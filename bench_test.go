@@ -1,0 +1,469 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks, plus ablation benchmarks for the design
+// choices DESIGN.md calls out. Each benchmark runs the corresponding
+// harness experiment and reports the headline quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation and prints the numbers EXPERIMENTS.md
+// records. Individual artifacts: -bench=BenchmarkTable4, etc.
+package bench
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/harness"
+	"umi/internal/isa"
+	"umi/internal/prefetch"
+	programpkg "umi/internal/program"
+	"umi/internal/rio"
+	iumi "umi/internal/umi"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// One benchmark per table.
+// ---------------------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].SlowdownPct, "slowdown@10_%")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].SlowdownPct, "slowdown@1M_%")
+		b.ReportMetric(res.UMISlowPct, "umi_slowdown_%")
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPct, "avg_profiled_%")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UMINoPF[len(res.UMINoPF)-1].R, "umi_corr_noPF")
+		b.ReportMetric(res.UMIPF[len(res.UMIPF)-1].R, "umi_corr_PF")
+		b.ReportMetric(res.UMIK7[len(res.UMIK7)-1].R, "umi_corr_K7")
+		b.ReportMetric(res.CachegrindNoPF[len(res.CachegrindNoPF)-1].R, "cachegrind_corr")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cells[len(res.Cells)-1].R, "spec2006_corr")
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.AvgHigh.Recall, "recall_high_%")
+		b.ReportMetric(100*res.AvgAll.Recall, "recall_all_%")
+		b.ReportMetric(100*res.AvgAll.FalsePositives, "false_pos_%")
+		b.ReportMetric(100*res.AvgHigh.PMissCoverage, "coverage_high_%")
+	}
+}
+
+// ---------------------------------------------------------------------
+// One benchmark per figure.
+// ---------------------------------------------------------------------
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoRIO, "rio_geomean")
+		b.ReportMetric(res.GeoNoS, "umi_nosamp_geomean")
+		b.ReportMetric(res.GeoSamp, "umi_samp_geomean")
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 1.0
+		for _, r := range res.Rows {
+			if r.UMISW < best {
+				best = r.UMISW
+			}
+		}
+		b.ReportMetric(res.GeoSW, "sw_prefetch_geomean")
+		b.ReportMetric(best, "best_case")
+		b.ReportMetric(float64(len(res.Rows)), "benchmarks")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoSW, "sw_prefetch_geomean_k7")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoSW, "sw_geomean")
+		b.ReportMetric(res.GeoHW, "hw_geomean")
+		b.ReportMetric(res.GeoBoth, "both_geomean")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.GeoSW, "sw_miss_geomean")
+		b.ReportMetric(res.GeoHW, "hw_miss_geomean")
+		b.ReportMetric(res.GeoBoth, "both_miss_geomean")
+	}
+}
+
+func BenchmarkSensThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.SensitivityThreshold(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcf := res[0].Points
+		b.ReportMetric(100*mcf[0].Recall, "mcf_recall_th1_%")
+		b.ReportMetric(100*mcf[len(mcf)-1].Recall, "mcf_recall_th1024_%")
+	}
+}
+
+func BenchmarkSensProfileLen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.SensitivityProfileLen(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mcf := res[0].Points
+		b.ReportMetric(100*mcf[0].Recall, "mcf_recall_64_%")
+		b.ReportMetric(100*mcf[len(mcf)-1].Recall, "mcf_recall_32K_%")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations for the design decisions in DESIGN.md §5.
+// ---------------------------------------------------------------------
+
+// ablationRun executes mcf under UMI with an edited config and returns
+// the run.
+func ablationRun(b *testing.B, name string, edit func(*iumi.Config)) *harness.UMIRun {
+	b.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	cfg := harness.UMIParams(harness.P4)
+	if edit != nil {
+		edit(&cfg)
+	}
+	run, err := harness.RunUMI(w, harness.P4, cfg, false, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkAblationFiltering compares instrumentation overhead with and
+// without the stack/static operation filter (§4.1).
+func BenchmarkAblationFiltering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		filtered := ablationRun(b, "181.mcf", nil)
+		unfiltered := ablationRun(b, "181.mcf", func(c *iumi.Config) { c.FilterOps = false })
+		b.ReportMetric(float64(filtered.Report.ProfiledOps), "ops_filtered")
+		b.ReportMetric(float64(unfiltered.Report.ProfiledOps), "ops_unfiltered")
+		b.ReportMetric(float64(filtered.RT.Overhead), "overhead_filtered_cy")
+		b.ReportMetric(float64(unfiltered.RT.Overhead), "overhead_unfiltered_cy")
+	}
+}
+
+// BenchmarkAblationWarmup compares the mini-simulated miss ratio with and
+// without warm-up skipping (§5): without it, compulsory misses inflate
+// the ratio.
+func BenchmarkAblationWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		warm := ablationRun(b, "177.mesa", nil)
+		cold := ablationRun(b, "177.mesa", func(c *iumi.Config) { c.WarmupRows = 0 })
+		b.ReportMetric(warm.Report.SimMissRatio, "ratio_warmup")
+		b.ReportMetric(cold.Report.SimMissRatio, "ratio_no_warmup")
+	}
+}
+
+// BenchmarkAblationFlush compares the shared logical cache with periodic
+// flushing against flushing before every invocation (no state carry-over).
+func BenchmarkAblationFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		carry := ablationRun(b, "177.mesa", nil)
+		fresh := ablationRun(b, "177.mesa", func(c *iumi.Config) { c.FlushCycleGap = 0 })
+		b.ReportMetric(carry.Report.SimMissRatio, "ratio_carryover")
+		b.ReportMetric(fresh.Report.SimMissRatio, "ratio_always_flush")
+	}
+}
+
+// BenchmarkAblationAdaptiveThreshold reproduces §7.1's claim: the
+// adaptive per-trace delinquency threshold cuts false positives versus a
+// single global threshold at the floor value.
+func BenchmarkAblationAdaptiveThreshold(b *testing.B) {
+	w, _ := workloads.ByName("197.parser")
+	for i := 0; i < b.N; i++ {
+		cg, err := harness.RunCachegrind(w, harness.P4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		truth := cg.DelinquentSet(0.90)
+		adaptive := ablationRun(b, "197.parser", nil)
+		global := ablationRun(b, "197.parser", func(c *iumi.Config) {
+			c.Adaptive = false
+			c.DelinquencyInit = 0.10 // the floor, applied globally
+		})
+		b.ReportMetric(fpRatio(adaptive.Report.Delinquent, truth), "fp_adaptive")
+		b.ReportMetric(fpRatio(global.Report.Delinquent, truth), "fp_global_low")
+	}
+}
+
+func fpRatio(pred, truth map[uint64]bool) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	wrong := 0
+	for pc := range pred {
+		if !truth[pc] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(pred))
+}
+
+// BenchmarkAblationSampling compares sample-based region selection with
+// instrument-everything on the many-trace gcc stand-in (§6.1's gcc story).
+func BenchmarkAblationSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sampled := ablationRun(b, "176.gcc", nil)
+		eager := ablationRun(b, "176.gcc", func(c *iumi.Config) { c.UseSampling = false })
+		b.ReportMetric(float64(sampled.RT.Overhead), "overhead_sampled_cy")
+		b.ReportMetric(float64(eager.RT.Overhead), "overhead_eager_cy")
+		b.ReportMetric(float64(sampled.Report.InstrumentEvents), "events_sampled")
+		b.ReportMetric(float64(eager.Report.InstrumentEvents), "events_eager")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the core engines (allocation behaviour matters for
+// an online system).
+// ---------------------------------------------------------------------
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.P4L2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := cache.NewP4(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i)*64, 8, false)
+	}
+}
+
+func BenchmarkVMExecution(b *testing.B) {
+	w, _ := workloads.ByName("252.eon")
+	p := w.Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(p, nil)
+		if err := m.Run(harness.MaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(m.Instrs))
+	}
+}
+
+func BenchmarkRIOExecution(b *testing.B) {
+	w, _ := workloads.ByName("252.eon")
+	p := w.Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := vm.New(p, nil)
+		rt := rio.NewRuntime(m)
+		if err := rt.Run(harness.MaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMiniSimAnalyze(b *testing.B) {
+	cfg := iumi.DefaultConfig(cache.P4L2)
+	an := iumi.NewAnalyzer(&cfg)
+	prof := iumi.NewAddressProfile([]uint64{1, 2, 3, 4}, []bool{true, true, false, true}, 256)
+	for r := 0; r < 256; r++ {
+		row, _ := prof.OpenRow()
+		for c := 0; c < 4; c++ {
+			prof.Record(row, c, uint64(r*64+c*4096))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.BeginInvocation(uint64(i))
+		an.AnalyzeProfile(prof, 0.9)
+	}
+}
+
+// BenchmarkAblationPolicy measures the mini-simulator's sensitivity to the
+// replacement policy (§5: "The simulator implements an LRU replacement
+// policy although other schemes are possible"). The paper's observation —
+// results depend far more on profile length than simulator detail —
+// predicts small deltas.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []cache.Policy{cache.LRU, cache.FIFO, cache.Random, cache.PLRU} {
+			run := ablationRun(b, "181.mcf", func(c *iumi.Config) {
+				c.MiniSimCache.Policy = pol
+			})
+			b.ReportMetric(run.Report.SimMissRatio, "ratio_"+pol.String())
+		}
+	}
+}
+
+// BenchmarkAblationAdaptiveFrequency measures the §7.2 future-work
+// extension: per-trace frequency thresholds back off boring traces,
+// trading overhead for coverage on gcc-like codes.
+func BenchmarkAblationAdaptiveFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fixed := ablationRun(b, "176.gcc", nil)
+		adaptive := ablationRun(b, "176.gcc", func(c *iumi.Config) {
+			c.AdaptiveFrequency = true
+			c.MaxFrequencyThreshold = 256
+		})
+		b.ReportMetric(float64(fixed.RT.Overhead), "overhead_fixed_cy")
+		b.ReportMetric(float64(adaptive.RT.Overhead), "overhead_adaptive_cy")
+		b.ReportMetric(float64(fixed.Report.InstrumentEvents), "events_fixed")
+		b.ReportMetric(float64(adaptive.Report.InstrumentEvents), "events_adaptive")
+	}
+}
+
+// BenchmarkAblationICache quantifies the unified-L2 perturbation from
+// instruction fetches that the paper conjectures explains part of the K7
+// correlation gap (§6.2): ground truth with an instruction cache vs the
+// data-only view UMI simulates.
+func BenchmarkAblationICache(b *testing.B) {
+	w, _ := workloads.ByName("176.gcc")
+	for i := 0; i < b.N; i++ {
+		plain := cache.NewK7()
+		m := vm.New(w.Program(), plain)
+		if err := m.Run(harness.MaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+		withI := cache.NewK7()
+		withI.EnableICache(cache.K7L1I)
+		m2 := vm.New(w.Program(), withI)
+		if err := m2.Run(harness.MaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(plain.L2Stats.MissRatio(), "l2_ratio_no_icache")
+		b.ReportMetric(withI.L2Stats.MissRatio(), "l2_ratio_icache")
+		b.ReportMetric(float64(withI.L1IStats.Misses), "icache_misses")
+	}
+}
+
+// BenchmarkOptBypass measures the second online optimization (the
+// conclusion's "enhance ... cache replacement policies"): non-temporal
+// rewriting of a streaming delinquent load that would otherwise thrash a
+// 384 KiB L2-resident working set out of the 512 KiB L2.
+func BenchmarkOptBypass(b *testing.B) {
+	prog := bypassProgram(b)
+	for i := 0; i < b.N; i++ {
+		run := func(withNT bool) (uint64, int) {
+			h := harness.P4.Hierarchy(false)
+			m := vm.New(prog, h)
+			rt := rio.NewRuntime(m)
+			s := iumi.Attach(rt, harness.UMIParams(harness.P4))
+			var nt *prefetch.NTOptimizer
+			if withNT {
+				nt = prefetch.NewNTOptimizer()
+				s.OnAnalyzed = nt.Hook()
+			}
+			if err := rt.Run(harness.MaxInstrs); err != nil {
+				b.Fatal(err)
+			}
+			s.Finish()
+			rewritten := 0
+			if nt != nil {
+				rewritten = len(nt.Rewritten)
+			}
+			return h.L2Stats.Misses, rewritten
+		}
+		plain, _ := run(false)
+		bypass, rewritten := run(true)
+		b.ReportMetric(float64(plain), "misses_plain")
+		b.ReportMetric(float64(bypass), "misses_bypass")
+		b.ReportMetric(float64(rewritten), "loads_rewritten")
+	}
+}
+
+// bypassProgram streams one line per iteration while cycling six loads
+// over a 384 KiB resident region.
+func bypassProgram(b *testing.B) *programpkg.Program {
+	bl := programpkg.NewBuilder("bypass-bench")
+	e := bl.Block("entry")
+	e.MovI(isa.R2, int64(programpkg.HeapBase))
+	e.MovI(isa.R5, int64(programpkg.HeapBase+(64<<20)))
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 1_000_000)
+	l := bl.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.Add(isa.R7, isa.R7, isa.R1)
+	for j := 0; j < 6; j++ {
+		l.AddI(isa.R12, isa.R0, int64(j)*1024)
+		l.AndI(isa.R12, isa.R12, (48<<10)-1)
+		l.Load(isa.R4, 8, isa.MemIdx(isa.R5, isa.R12, 8, 0))
+		l.Add(isa.R7, isa.R7, isa.R4)
+	}
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	bl.Block("done").Halt()
+	p, err := bl.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

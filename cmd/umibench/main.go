@@ -1,0 +1,194 @@
+// Command umibench regenerates the tables and figures of the UMI paper's
+// evaluation (CGO 2007) from the reproduction's simulated stack.
+//
+// Usage:
+//
+//	umibench [-bench name,name,...] <experiment> [<experiment> ...]
+//	umibench all
+//
+// Experiments: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4
+// fig5 fig6 sens-threshold sens-profile. With -bench, the applicable
+// experiments run on the named workloads only (default: the paper's 32
+// CPU2000+Olden benchmarks). "umibench list" prints the workload names.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"umi/internal/harness"
+	"umi/internal/workloads"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "", "comma-separated workload subset (default: the paper's 32)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var names []string
+	if *benchFlag != "" {
+		names = strings.Split(*benchFlag, ",")
+	}
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table2", "table3", "table4", "table5", "table6",
+			"fig2", "fig3", "fig4", "fig5", "fig6",
+			"sens-threshold", "sens-profile", "sens-geometry", "linuxapps",
+			"counters-vs-umi"}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, exp := range args {
+		v, text, err := run(exp, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "umibench: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := enc.Encode(map[string]any{"experiment": exp, "result": v}); err != nil {
+				fmt.Fprintf(os.Stderr, "umibench: %s: %v\n", exp, err)
+				os.Exit(1)
+			}
+		} else if text != "" {
+			fmt.Println(text)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: umibench [-bench names] <experiment>...
+
+experiments:
+  table1          HW counter sampling overhead vs UMI (Table 1)
+  table2          qualitative profiling tradeoffs (Table 2)
+  table3          profiling statistics, no sampling (Table 3)
+  table4          correlation coefficients, CPU2000+Olden (Table 4)
+  table5          correlation coefficients, CPU2006 subset (Table 5)
+  table6          delinquent load prediction quality (Table 6)
+  fig2            runtime overhead (Figure 2)
+  fig3            SW prefetch running time, P4 no HW prefetch (Figure 3)
+  fig4            SW prefetch running time, AMD K7 (Figure 4)
+  fig5            SW vs HW vs combined prefetch time, P4 (Figure 5)
+  fig6            L2 misses under prefetching (Figure 6)
+  sens-threshold  frequency-threshold sensitivity (Section 7.2)
+  sens-profile    address-profile-length sensitivity (Section 7.2)
+  sens-geometry   geometry vs profile-length sensitivity (Section 5)
+  linuxapps       Linux application miss ratios (Section 6.3)
+  counters-vs-umi PMU sampling quality per overhead vs UMI (Section 1.2)
+  all             everything above
+  list            print workload names
+`)
+}
+
+func run(exp string, names []string) (any, string, error) {
+	switch exp {
+	case "list":
+		var sb strings.Builder
+		for _, w := range workloads.All() {
+			fmt.Fprintf(&sb, "%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
+		}
+		return workloads.Names(), sb.String(), nil
+	case "table1":
+		r, err := harness.Table1()
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "table2":
+		t := harness.Table2()
+		return t, t, nil
+	case "table3":
+		r, err := harness.Table3(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "table4":
+		r, err := harness.Table4(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "table5":
+		r, err := harness.Table5()
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "table6":
+		r, err := harness.Table6(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "fig2":
+		r, err := harness.Fig2(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "fig3":
+		r, err := harness.Fig3(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "fig4":
+		r, err := harness.Fig4(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "fig5":
+		r, err := harness.Fig5(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "fig6":
+		r, err := harness.Fig6(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "sens-threshold":
+		r, err := harness.SensitivityThreshold(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, harness.RenderSens(r), nil
+	case "sens-profile":
+		r, err := harness.SensitivityProfileLen(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, harness.RenderSens(r), nil
+	case "sens-geometry":
+		r, err := harness.SensitivityGeometry(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, harness.RenderGeometry(r), nil
+	case "linuxapps":
+		r, err := harness.LinuxApps()
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "counters-vs-umi":
+		r, err := harness.CountersVsUMIRun(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, harness.RenderCvU(r), nil
+	default:
+		return nil, "", fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	v, text, err := run("table2", nil)
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if v == nil || !strings.Contains(text, "tradeoffs") {
+		t.Errorf("table2 output wrong: %q", text)
+	}
+	if _, _, err := run("nope", nil); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	if _, _, err := run("table3", []string{"not-a-workload"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	_, text, err = run("list", nil)
+	if err != nil || !strings.Contains(text, "181.mcf") {
+		t.Errorf("list broken: %v, %q", err, text)
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a UMI experiment")
+	}
+	v, text, err := run("table6", []string{"181.mcf"})
+	if err != nil {
+		t.Fatalf("table6: %v", err)
+	}
+	if v == nil || !strings.Contains(text, "181.mcf") {
+		t.Errorf("table6 output wrong: %q", text)
+	}
+}

@@ -1,0 +1,153 @@
+// Command umiprof runs one workload under the UMI runtime and prints the
+// online profiling results: the delinquent load set, discovered strides,
+// per-operation mini-simulation statistics, and overhead accounting — the
+// view a runtime optimizer would act on.
+//
+// Usage:
+//
+//	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-top n] <workload>
+//	umiprof -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"umi/internal/harness"
+	"umi/internal/prefetch"
+	"umi/internal/rio"
+	"umi/internal/umi"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+func main() {
+	machine := flag.String("machine", "p4", "hardware model: p4 or k7")
+	hwpf := flag.Bool("hwpf", false, "enable hardware prefetchers (P4 only)")
+	swpf := flag.Bool("swpf", false, "enable the online software prefetcher")
+	noSampling := flag.Bool("no-sampling", false, "instrument every trace at creation")
+	top := flag.Int("top", 10, "top missing operations to print")
+	ws := flag.Bool("ws", false, "report working-set and reuse-distance characterization")
+	patterns := flag.Bool("patterns", false, "classify reference patterns per operation")
+	whatIf := flag.Bool("whatif", false, "mini-simulate alternative cache sizes over the same profiles")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: umiprof [flags] <workload>   (umiprof -list to enumerate)")
+		os.Exit(2)
+	}
+	w, ok := workloads.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "umiprof: unknown workload %q\n", flag.Arg(0))
+		os.Exit(1)
+	}
+
+	var plat = harness.P4
+	if *machine == "k7" {
+		plat = harness.K7
+	}
+	cfg := harness.UMIParams(plat)
+	cfg.UseSampling = !*noSampling
+
+	h := plat.Hierarchy(*hwpf)
+	m := vm.New(w.Program(), h)
+	rt := rio.NewRuntime(m)
+	sys := umi.Attach(rt, cfg)
+	var opt *prefetch.Optimizer
+	if *swpf {
+		opt = prefetch.NewOptimizer(prefetch.DefaultConfig)
+		sys.OnAnalyzed = opt.Hook()
+	}
+	var wset *umi.WorkingSet
+	if *ws {
+		wset = umi.NewWorkingSet(plat.L2.LineSize)
+		sys.AddConsumer(wset)
+	}
+	var census *umi.PatternCensus
+	if *patterns {
+		census = umi.NewPatternCensus()
+		sys.AddConsumer(census)
+	}
+	var explorer *umi.WhatIf
+	if *whatIf {
+		quarter, half, double := plat.L2, plat.L2, plat.L2
+		quarter.Size /= 4
+		quarter.Name = "L2/4"
+		half.Size /= 2
+		half.Name = "L2/2"
+		double.Size *= 2
+		double.Name = "L2x2"
+		explorer = umi.NewWhatIf(cfg.WarmupRows, quarter, half, plat.L2, double)
+		sys.AddConsumer(explorer)
+	}
+	if err := rt.Run(harness.MaxInstrs); err != nil {
+		fmt.Fprintf(os.Stderr, "umiprof: %v\n", err)
+		os.Exit(1)
+	}
+	sys.Finish()
+	rep := sys.Report()
+
+	fmt.Printf("workload:   %s (%s; %s)\n", w.Name, w.Suite, w.Class)
+	fmt.Printf("platform:   %s (hw prefetch %v)\n", plat.Name, *hwpf && plat.HasHWPrefetch)
+	fmt.Printf("instrs:     %d guest, %d cycles (total %d with runtime overhead)\n",
+		m.Instrs, m.Cycles, rt.TotalCycles())
+	fmt.Printf("hardware:   L2 %s\n", &h.L2Stats)
+	fmt.Printf("umi:        %s\n", rep)
+	fmt.Printf("traces:     %d seen, %d instrument events, %d blocks / %d traces built\n",
+		rep.TracesSeen, rep.InstrumentEvents, rt.BlocksBuilt, rt.TracesBuilt)
+	fmt.Printf("analysis:   %d invocations, %d refs simulated, %d cache flushes\n",
+		rep.AnalyzerInvocations, rep.SimulatedRefs, rep.Flushes)
+	fmt.Printf("sim ratio:  %.4f (hardware %.4f)\n", rep.SimMissRatio, h.L2Stats.MissRatio())
+
+	fmt.Printf("\ndelinquent loads (|P| = %d):\n", len(rep.Delinquent))
+	an := sys.Analyzer()
+	for _, st := range an.TopMissers(*top) {
+		if !rep.Delinquent[st.PC] {
+			continue
+		}
+		line := fmt.Sprintf("  %#08x  miss ratio %.3f (%d/%d)", st.PC, st.MissRatio(), st.Misses, st.Accesses)
+		if si, ok := rep.Strides[st.PC]; ok {
+			line += fmt.Sprintf("  stride %+d bytes (%.0f%% confident)", si.Stride, 100*si.Confidence)
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Printf("\ntop %d simulated missers:\n", *top)
+	for _, st := range an.TopMissers(*top) {
+		kind := "load"
+		if !st.IsLoad {
+			kind = "store"
+		}
+		fmt.Printf("  %#08x  %-5s misses=%-8d accesses=%-8d ratio=%.3f\n",
+			st.PC, kind, st.Misses, st.Accesses, st.MissRatio())
+	}
+
+	if opt != nil {
+		fmt.Printf("\nsoftware prefetches inserted (%d):\n", len(opt.Insertions))
+		for _, ins := range opt.Insertions {
+			fmt.Printf("  %v\n", ins)
+		}
+	}
+
+	if wset != nil {
+		fmt.Printf("\nworking set (profiled bursts): %v\n", wset)
+	}
+	if census != nil {
+		fmt.Printf("\n%s\n", census.Summary())
+	}
+	if explorer != nil {
+		fmt.Println("\nwhat-if cache geometries over the same profiles:")
+		for _, r := range explorer.Results() {
+			fmt.Printf("  %-6s %6dKB  sim miss ratio %.4f (%d/%d)\n",
+				r.Config.Name, r.Config.Size/1024, r.MissRatio, r.Misses, r.Accesses)
+		}
+	}
+}

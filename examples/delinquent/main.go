@@ -1,0 +1,97 @@
+// Delinquent-load identification on a pointer-chasing workload: the
+// motivating use case of UMI §7. The program walks a linked ring twice —
+// once in a cache-hostile random layout, once in a sequential layout — and
+// UMI's online introspection tells the two loads apart without any offline
+// simulation.
+//
+//	go run ./examples/delinquent
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/pkg/umi"
+)
+
+const (
+	nodes    = 1 << 15 // 32K nodes x 64B = 2 MiB: far beyond the 512 KiB L2
+	seqNodes = 128     // packed resident ring: 16 cache lines, warm within a burst
+)
+
+func buildProgram() (*umi.Program, error) {
+	b := umi.NewProgram("delinquent")
+
+	// Random layout at HeapBase: next pointers form a random Hamiltonian
+	// cycle, so every hop lands on a cold line.
+	r := rand.New(rand.NewSource(42))
+	perm := r.Perm(nodes)
+	randWords := make([]uint64, nodes*8)
+	for i := 0; i < nodes; i++ {
+		randWords[perm[i]*8] = program.HeapBase + uint64(perm[(i+1)%nodes]*64)
+	}
+	b.AddWords(program.HeapBase, randWords)
+
+	// Packed sequential layout 16 MiB higher: node i is just the next
+	// pointer (8 bytes), so a line holds 8 nodes and the tiny ring warms
+	// up within a single profiling burst — the cache-friendly
+	// counterpart.
+	seqBase := program.HeapBase + (16 << 20)
+	seqWords := make([]uint64, seqNodes)
+	for i := 0; i < seqNodes; i++ {
+		seqWords[i] = seqBase + uint64(((i+1)%seqNodes)*8)
+	}
+	b.AddWords(seqBase, seqWords)
+
+	e := b.Block("entry")
+	e.MovI(isa.R1, int64(program.HeapBase))
+	e.MovI(isa.R2, int64(seqBase))
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 300_000)
+	l := b.Block("walk")
+	l.Load(isa.R1, 8, isa.Mem(isa.R1, 0)) // random chase: delinquent
+	l.Load(isa.R2, 8, isa.Mem(isa.R2, 0)) // sequential chase: mostly L1 hits
+	l.AddI(isa.R0, isa.R0, 1)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "walk")
+	b.Block("done").Halt()
+	return b.Assemble()
+}
+
+func main() {
+	prog, err := buildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	chasePC := prog.Symbols["walk"]
+	seqPC := chasePC + 16
+
+	sess := umi.NewSession(prog)
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("hardware L2 miss ratio: %.2f%%\n", 100*sess.HardwareMissRatio())
+	describe := func(name string, pc uint64) {
+		st := report.OpStats[pc]
+		if st == nil {
+			fmt.Printf("%-18s pc %#x: not profiled\n", name, pc)
+			return
+		}
+		fmt.Printf("%-18s pc %#x: simulated miss ratio %.2f, delinquent=%v\n",
+			name, pc, st.MissRatio(), report.Delinquent[pc])
+	}
+	describe("random layout", chasePC)
+	describe("sequential layout", seqPC)
+
+	if report.Delinquent[chasePC] && !report.Delinquent[seqPC] {
+		fmt.Println("\nUMI separated the two walks online: only the random-layout")
+		fmt.Println("chase is delinquent — the signal a runtime optimizer (or a")
+		fmt.Println("data-layout pass) needs, at a fraction of full-simulation cost.")
+	} else {
+		fmt.Println("\nunexpected classification; see the report above")
+	}
+}

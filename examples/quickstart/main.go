@@ -1,0 +1,64 @@
+// Quickstart: profile a small program with UMI and print what the online
+// mini-simulations discovered.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/pkg/umi"
+)
+
+func main() {
+	// Build a guest program: sum a 3 MiB array (streaming, delinquent
+	// load) while repeatedly touching a small table (resident load).
+	b := umi.NewProgram("quickstart")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase)) // big array
+	e.MovI(isa.R5, int64(program.GlobalBase))
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 400_000)
+	l := b.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0)) // streaming: misses
+	l.Add(isa.R7, isa.R7, isa.R1)
+	l.AndI(isa.R12, isa.R0, 63)
+	l.Load(isa.R3, 8, isa.MemIdx(isa.R5, isa.R12, 8, 0)) // resident: hits
+	l.Add(isa.R7, isa.R7, isa.R3)
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	b.Block("done").Halt()
+	prog, err := b.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run it under UMI on the modelled Pentium 4.
+	sess := umi.NewSession(prog)
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("guest instructions: %d\n", sess.GuestInstructions())
+	fmt.Printf("hardware L2 miss ratio: %.2f%%\n", 100*sess.HardwareMissRatio())
+	fmt.Printf("UMI mini-simulated ratio: %.2f%% from %d sampled references\n",
+		100*report.SimMissRatio, report.SimulatedRefs)
+	fmt.Printf("profiled %d of %d candidate memory operations\n",
+		report.ProfiledOps, report.CandidateOps)
+
+	fmt.Println("\ndelinquent loads predicted online:")
+	for pc := range report.Delinquent {
+		line := fmt.Sprintf("  pc %#x", pc)
+		if st, ok := report.OpStats[pc]; ok {
+			line += fmt.Sprintf("  (simulated miss ratio %.2f)", st.MissRatio())
+		}
+		if si, ok := report.Strides[pc]; ok {
+			line += fmt.Sprintf("  stride %+d bytes", si.Stride)
+		}
+		fmt.Println(line)
+	}
+}

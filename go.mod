@@ -1,0 +1,3 @@
+module umi
+
+go 1.22

@@ -1,0 +1,567 @@
+// Package asm is a two-pass textual assembler and formatter for guest
+// programs. The syntax is the instruction syntax isa.Instr.String() prints,
+// plus labels, comments, and data directives, so Format and Parse round
+// trip: any assembled program can be dumped to text, edited by hand, and
+// re-assembled.
+//
+//	; sum an array
+//	.entry entry
+//	entry:
+//	    movi r0, 0
+//	    movi r6, 100
+//	    movi r2, 0x10000000
+//	loop:
+//	    load8 r1, [r2+r0*8]
+//	    add r7, r7, r1
+//	    addi r0, r0, 1
+//	    br.lt r0, r6, loop
+//	    halt
+//	.data 0x10000000
+//	    .word 1 2 3 4
+//
+// Branch targets may be labels or absolute addresses (0x...). Instructions
+// are laid out sequentially from program.CodeBase.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+)
+
+// Parse assembles source text into a program named name.
+func Parse(name, src string) (*program.Program, error) {
+	p := &parser{name: name, labels: make(map[string]uint64)}
+	return p.parse(src)
+}
+
+type parser struct {
+	name   string
+	labels map[string]uint64
+	entry  string
+}
+
+type srcLine struct {
+	num  int
+	text string
+}
+
+func (p *parser) parse(src string) (*program.Program, error) {
+	// Split into significant lines.
+	var lines []srcLine
+	for i, raw := range strings.Split(src, "\n") {
+		t := raw
+		if idx := strings.IndexByte(t, ';'); idx >= 0 {
+			t = t[:idx]
+		}
+		t = strings.TrimSpace(t)
+		if t != "" {
+			lines = append(lines, srcLine{num: i + 1, text: t})
+		}
+	}
+
+	// Pass 1: assign addresses to labels; count instructions.
+	pc := program.CodeBase
+	inData := false
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln.text, ".entry"):
+			f := strings.Fields(ln.text)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("%s:%d: .entry wants one label", p.name, ln.num)
+			}
+			p.entry = f[1]
+		case strings.HasPrefix(ln.text, ".data"):
+			inData = true
+		case strings.HasPrefix(ln.text, ".word"):
+			if !inData {
+				return nil, fmt.Errorf("%s:%d: .word outside .data", p.name, ln.num)
+			}
+		case strings.HasSuffix(ln.text, ":"):
+			if inData {
+				return nil, fmt.Errorf("%s:%d: label inside .data", p.name, ln.num)
+			}
+			label := strings.TrimSuffix(ln.text, ":")
+			if !validLabel(label) {
+				return nil, fmt.Errorf("%s:%d: invalid label %q", p.name, ln.num, label)
+			}
+			if _, dup := p.labels[label]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate label %q", p.name, ln.num, label)
+			}
+			p.labels[label] = pc
+		default:
+			if inData {
+				return nil, fmt.Errorf("%s:%d: instruction inside .data", p.name, ln.num)
+			}
+			pc += isa.InstrBytes
+		}
+	}
+
+	// Pass 2: emit.
+	var instrs []isa.Instr
+	var data []program.DataSegment
+	var dataAddr uint64
+	inData = false
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln.text, ".entry"):
+		case strings.HasPrefix(ln.text, ".data"):
+			f := strings.Fields(ln.text)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("%s:%d: .data wants an address", p.name, ln.num)
+			}
+			a, err := parseUint(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", p.name, ln.num, err)
+			}
+			inData = true
+			dataAddr = a
+			data = append(data, program.DataSegment{Addr: a})
+		case strings.HasPrefix(ln.text, ".word"):
+			seg := &data[len(data)-1]
+			for _, w := range strings.Fields(ln.text)[1:] {
+				v, err := parseUint(w)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", p.name, ln.num, err)
+				}
+				var b [8]byte
+				for i := 0; i < 8; i++ {
+					b[i] = byte(v >> (8 * i))
+				}
+				seg.Bytes = append(seg.Bytes, b[:]...)
+			}
+			dataAddr += 0 // address advances implicitly with Bytes
+		case strings.HasSuffix(ln.text, ":"):
+		default:
+			in, err := p.parseInstr(ln)
+			if err != nil {
+				return nil, err
+			}
+			instrs = append(instrs, in)
+		}
+	}
+	_ = dataAddr
+
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("%s: no instructions", p.name)
+	}
+	entry := program.CodeBase
+	if p.entry != "" {
+		a, ok := p.labels[p.entry]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined entry label %q", p.name, p.entry)
+		}
+		entry = a
+	}
+	prog := &program.Program{
+		Name:    p.name,
+		Entry:   entry,
+		Base:    program.CodeBase,
+		Instrs:  instrs,
+		Symbols: p.labels,
+		Data:    data,
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// splitOperands splits "r1, [r2+8], 5" respecting no nesting (memrefs have
+// no commas).
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (p *parser) errf(ln srcLine, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.name, ln.num, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseInstr(ln srcLine) (isa.Instr, error) {
+	fields := strings.SplitN(ln.text, " ", 2)
+	mnemonic := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	ops := splitOperands(rest)
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(ops) {
+			return 0, p.errf(ln, "%s: missing operand %d", mnemonic, i+1)
+		}
+		return parseReg(ops[i])
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, p.errf(ln, "%s: missing operand %d", mnemonic, i+1)
+		}
+		return parseInt(ops[i])
+	}
+	target := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, p.errf(ln, "%s: missing branch target", mnemonic)
+		}
+		if a, ok := p.labels[ops[i]]; ok {
+			return int64(a), nil
+		}
+		v, err := parseUint(ops[i])
+		if err != nil {
+			return 0, p.errf(ln, "%s: unknown label or address %q", mnemonic, ops[i])
+		}
+		return int64(v), nil
+	}
+	mem := func(i int) (isa.MemRef, error) {
+		if i >= len(ops) {
+			return isa.NoMem, p.errf(ln, "%s: missing memory operand", mnemonic)
+		}
+		m, err := parseMemRef(ops[i])
+		if err != nil {
+			return isa.NoMem, p.errf(ln, "%v", err)
+		}
+		return m, nil
+	}
+
+	// Conditional branches: br.COND / bri.COND.
+	if cond, rest, ok := strings.Cut(mnemonic, "."); ok && (cond == "br" || cond == "bri") {
+		c, err := parseCond(rest)
+		if err != nil {
+			return isa.Instr{}, p.errf(ln, "%v", err)
+		}
+		if cond == "br" {
+			r1, err := reg(0)
+			if err != nil {
+				return isa.Instr{}, err
+			}
+			r2, err := reg(1)
+			if err != nil {
+				return isa.Instr{}, err
+			}
+			t, err := target(2)
+			if err != nil {
+				return isa.Instr{}, err
+			}
+			return isa.Instr{Op: isa.OpBr, Cond: c, Rs1: r1, Rs2: r2, Imm: t, Mem: isa.NoMem}, nil
+		}
+		r1, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		t, err := target(2)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpBrI, Cond: c, Rs1: r1, Imm2: v, Imm: t, Mem: isa.NoMem}, nil
+	}
+
+	// Sized memory ops: load1/2/4/8, store1/2/4/8, with an optional .nt
+	// (non-temporal) suffix.
+	if strings.HasPrefix(mnemonic, "load") || strings.HasPrefix(mnemonic, "store") {
+		kind := "load"
+		if strings.HasPrefix(mnemonic, "store") {
+			kind = "store"
+		}
+		szStr := strings.TrimPrefix(mnemonic, kind)
+		nt := false
+		if strings.HasSuffix(szStr, ".nt") {
+			nt = true
+			szStr = strings.TrimSuffix(szStr, ".nt")
+		}
+		sz, err := strconv.Atoi(szStr)
+		if err != nil || (sz != 1 && sz != 2 && sz != 4 && sz != 8) {
+			return isa.Instr{}, p.errf(ln, "bad access size in %q", mnemonic)
+		}
+		r, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		m, err := mem(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		if kind == "load" {
+			return isa.Instr{Op: isa.OpLoad, Rd: r, Size: uint8(sz), NT: nt, Mem: m}, nil
+		}
+		return isa.Instr{Op: isa.OpStore, Rs1: r, Size: uint8(sz), NT: nt, Mem: m}, nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		return isa.Instr{Op: isa.OpNop, Mem: isa.NoMem}, nil
+	case "halt":
+		return isa.Instr{Op: isa.OpHalt, Mem: isa.NoMem}, nil
+	case "ret":
+		return isa.Instr{Op: isa.OpRet, Mem: isa.NoMem}, nil
+	case "add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		r2, err := reg(2)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		op := map[string]isa.Op{"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul,
+			"div": isa.OpDiv, "and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+			"shl": isa.OpShl, "shr": isa.OpShr}[mnemonic]
+		return isa.Instr{Op: op, Rd: rd, Rs1: r1, Rs2: r2, Mem: isa.NoMem}, nil
+	case "addi", "muli", "andi", "shri":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		op := map[string]isa.Op{"addi": isa.OpAddI, "muli": isa.OpMulI,
+			"andi": isa.OpAndI, "shri": isa.OpShrI}[mnemonic]
+		return isa.Instr{Op: op, Rd: rd, Rs1: r1, Imm: v, Mem: isa.NoMem}, nil
+	case "mov":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		r1, err := reg(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpMov, Rd: rd, Rs1: r1, Mem: isa.NoMem}, nil
+	case "movi":
+		rd, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpMovI, Rd: rd, Imm: v, Mem: isa.NoMem}, nil
+	case "prefetch":
+		m, err := mem(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpPrefetch, Mem: m}, nil
+	case "jmp":
+		t, err := target(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpJmp, Imm: t, Mem: isa.NoMem}, nil
+	case "call":
+		t, err := target(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpCall, Imm: t, Mem: isa.NoMem}, nil
+	case "jmpind":
+		r1, err := reg(0)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpJmpInd, Rs1: r1, Mem: isa.NoMem}, nil
+	}
+	return isa.Instr{}, p.errf(ln, "unknown mnemonic %q", mnemonic)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	switch s {
+	case "sp":
+		return isa.SP, nil
+	case "bp":
+		return isa.BP, nil
+	case "lr":
+		return isa.LR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("invalid register %q", s)
+}
+
+func parseCond(s string) (isa.Cond, error) {
+	conds := map[string]isa.Cond{
+		"eq": isa.CondEQ, "ne": isa.CondNE, "lt": isa.CondLT, "ge": isa.CondGE,
+		"gt": isa.CondGT, "le": isa.CondLE, "ltu": isa.CondLTU, "geu": isa.CondGEU,
+	}
+	c, ok := conds[s]
+	if !ok {
+		return 0, fmt.Errorf("invalid condition %q", s)
+	}
+	return c, nil
+}
+
+// parseMemRef parses "[base+index*scale+disp]" in the forms
+// isa.MemRef.String() emits: [r2], [r2+16], [r2-8], [r2+r3*8],
+// [r2+r3*8+16], [r3*8-4], [+4096].
+func parseMemRef(s string) (isa.MemRef, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return isa.NoMem, fmt.Errorf("invalid memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	m := isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}
+	// Tokenize into signed terms.
+	var terms []string
+	cur := strings.Builder{}
+	for i, r := range body {
+		if (r == '+' || r == '-') && i > 0 {
+			terms = append(terms, cur.String())
+			cur.Reset()
+			if r == '-' {
+				cur.WriteByte('-')
+			}
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	terms = append(terms, cur.String())
+	for _, t := range terms {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		switch {
+		case strings.Contains(t, "*"):
+			idx, scale, ok := strings.Cut(t, "*")
+			if !ok {
+				return isa.NoMem, fmt.Errorf("invalid index term %q", t)
+			}
+			r, err := parseReg(idx)
+			if err != nil {
+				return isa.NoMem, err
+			}
+			sc, err := strconv.Atoi(scale)
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return isa.NoMem, fmt.Errorf("invalid scale %q", scale)
+			}
+			if m.Index != isa.NoReg {
+				return isa.NoMem, fmt.Errorf("duplicate index in %q", s)
+			}
+			m.Index = r
+			m.Scale = uint8(sc)
+		case looksLikeReg(t):
+			r, err := parseReg(t)
+			if err != nil {
+				return isa.NoMem, err
+			}
+			if m.Base != isa.NoReg {
+				return isa.NoMem, fmt.Errorf("duplicate base in %q", s)
+			}
+			m.Base = r
+		default:
+			v, err := parseInt(t)
+			if err != nil {
+				return isa.NoMem, fmt.Errorf("invalid displacement %q", t)
+			}
+			m.Disp += v
+		}
+	}
+	return m, nil
+}
+
+func looksLikeReg(t string) bool {
+	if t == "sp" || t == "bp" || t == "lr" {
+		return true
+	}
+	if len(t) >= 2 && t[0] == 'r' && t[1] >= '0' && t[1] <= '9' {
+		return true
+	}
+	return false
+}
+
+// Format renders a program as re-assemblable source: labels from the
+// symbol table, instructions in the String() syntax, and data segments as
+// .data/.word directives.
+func Format(p *program.Program) string {
+	byAddr := make(map[uint64][]string)
+	for sym, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], sym)
+	}
+	var sb strings.Builder
+	if len(p.Instrs) > 0 {
+		// Emit .entry when the entry point is labelled.
+		for sym, addr := range p.Symbols {
+			if addr == p.Entry {
+				fmt.Fprintf(&sb, ".entry %s\n", sym)
+				break
+			}
+		}
+	}
+	for i := range p.Instrs {
+		pc := p.PCOf(i)
+		syms := byAddr[pc]
+		sort.Strings(syms)
+		for _, s := range syms {
+			fmt.Fprintf(&sb, "%s:\n", s)
+		}
+		fmt.Fprintf(&sb, "    %v\n", p.Instrs[i])
+	}
+	for _, seg := range p.Data {
+		fmt.Fprintf(&sb, ".data %#x\n", seg.Addr)
+		for off := 0; off < len(seg.Bytes); off += 8 * 8 {
+			sb.WriteString("    .word")
+			for w := 0; w < 8 && off+w*8 < len(seg.Bytes); w++ {
+				var v uint64
+				for b := 0; b < 8 && off+w*8+b < len(seg.Bytes); b++ {
+					v |= uint64(seg.Bytes[off+w*8+b]) << (8 * b)
+				}
+				fmt.Fprintf(&sb, " %#x", v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,310 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+const sumSrc = `
+; sum 4 words
+.entry entry
+entry:
+    movi r0, 0
+    movi r6, 4
+    movi r2, 0x10000000
+loop:
+    load8 r1, [r2+r0*8]
+    add r7, r7, r1
+    addi r0, r0, 1
+    br.lt r0, r6, loop
+    halt
+.data 0x10000000
+    .word 3 5 7 11
+`
+
+func TestParseAndRun(t *testing.T) {
+	p, err := Parse("sum", sumSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Entry != p.Symbols["entry"] {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.Symbols["entry"])
+	}
+	m := vm.New(p, nil)
+	if err := m.Run(1000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Regs[isa.R7] != 26 {
+		t.Errorf("sum = %d, want 26", m.Regs[isa.R7])
+	}
+}
+
+func TestParseAllSyntaxForms(t *testing.T) {
+	src := `
+start:
+    nop
+    add r1, r2, r3
+    sub r1, r2, r3
+    mul r1, r2, r3
+    div r1, r2, r3
+    and r1, r2, r3
+    or r1, r2, r3
+    xor r1, r2, r3
+    shl r1, r2, r3
+    shr r1, r2, r3
+    addi r1, r2, -5
+    muli r1, r2, 3
+    andi r1, r2, 0xFF
+    shri r1, r2, 4
+    mov r1, r2
+    movi r1, 0x1234
+    load1 r1, [r2]
+    load2 r1, [r2+16]
+    load4 r1, [r2-8]
+    load8 r1, [r2+r3*8+32]
+    store8 r1, [sp+8]
+    store4 r1, [bp-16]
+    load8 r1, [+0x8000000]
+    load8 r1, [r3*4+64]
+    prefetch [r2+256]
+    jmp start
+    br.geu r1, r2, start
+    bri.ne r1, 42, start
+    call start
+    jmpind r4
+    ret
+    halt
+`
+	p, err := Parse("forms", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Instrs) != 32 {
+		t.Errorf("parsed %d instructions, want 32", len(p.Instrs))
+	}
+	// Spot-check a few decoded operands.
+	ld := p.Instrs[19] // load8 r1, [r2+r3*8+32]
+	if ld.Op != isa.OpLoad || ld.Mem.Base != isa.R2 || ld.Mem.Index != isa.R3 ||
+		ld.Mem.Scale != 8 || ld.Mem.Disp != 32 {
+		t.Errorf("indexed load decoded wrong: %+v", ld)
+	}
+	abs := p.Instrs[22] // [+0x8000000]
+	if !abs.Mem.IsStatic() || abs.Mem.Disp != 0x8000000 {
+		t.Errorf("absolute ref decoded wrong: %+v", abs.Mem)
+	}
+	sp := p.Instrs[20]
+	if !sp.Mem.IsStackRelative() || sp.Mem.Disp != 8 {
+		t.Errorf("stack ref decoded wrong: %+v", sp.Mem)
+	}
+	bri := p.Instrs[27]
+	if bri.Op != isa.OpBrI || bri.Cond != isa.CondNE || bri.Imm2 != 42 {
+		t.Errorf("bri decoded wrong: %+v", bri)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frob r1, r2"},
+		{"bad register", "mov r99, r1"},
+		{"undefined label", "jmp nowhere"},
+		{"duplicate label", "a:\nnop\na:\nhalt"},
+		{"bad size", "load3 r1, [r2]"},
+		{"bad cond", "br.zz r1, r2, 0x400000"},
+		{"word outside data", ".word 1 2"},
+		{"label in data", ".data 0x1000\nlbl:"},
+		{"bad memref", "load8 r1, r2"},
+		{"bad scale", "load8 r1, [r2+r3*3]"},
+		{"empty", "; nothing"},
+		{"bad entry", ".entry nope\nhalt"},
+		{"missing operand", "add r1, r2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse("bad", c.src); err == nil {
+				t.Errorf("Parse accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestFormatParsesBack(t *testing.T) {
+	p, err := Parse("sum", sumSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text := Format(p)
+	for _, want := range []string{".entry entry", "loop:", "load8 r1, [r2+r0*8]", ".data 0x10000000", ".word 0x3 0x5 0x7 0xb"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output missing %q:\n%s", want, text)
+		}
+	}
+	p2, err := Parse("sum2", text)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if len(p2.Instrs) != len(p.Instrs) {
+		t.Fatalf("instr count changed: %d -> %d", len(p.Instrs), len(p2.Instrs))
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d changed: %v -> %v", i, p.Instrs[i], p2.Instrs[i])
+		}
+	}
+}
+
+// The strongest round-trip statement: every bundled workload formats to
+// text that re-assembles into an identical instruction stream and runs to
+// the same architectural state.
+func TestWorkloadRoundTrip(t *testing.T) {
+	for _, name := range []string{"181.mcf", "171.swim", "164.gzip", "treeadd", "252.eon"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatal("workload missing")
+			}
+			orig := w.Program()
+			text := Format(orig)
+			re, err := Parse(name, text)
+			if err != nil {
+				t.Fatalf("re-Parse: %v", err)
+			}
+			if len(re.Instrs) != len(orig.Instrs) {
+				t.Fatalf("instr count %d -> %d", len(orig.Instrs), len(re.Instrs))
+			}
+			for i := range orig.Instrs {
+				if re.Instrs[i] != orig.Instrs[i] {
+					t.Fatalf("instr %d: %v -> %v", i, orig.Instrs[i], re.Instrs[i])
+				}
+			}
+			if re.Entry != orig.Entry {
+				t.Errorf("entry %#x -> %#x", orig.Entry, re.Entry)
+			}
+			m1, m2 := vm.New(orig, nil), vm.New(re, nil)
+			if err := m1.Run(60_000_000); err != nil {
+				t.Fatalf("orig run: %v", err)
+			}
+			if err := m2.Run(60_000_000); err != nil {
+				t.Fatalf("reassembled run: %v", err)
+			}
+			if m1.Regs != m2.Regs || m1.Instrs != m2.Instrs {
+				t.Error("architectural state diverged after round trip")
+			}
+		})
+	}
+}
+
+func TestDataPadding(t *testing.T) {
+	// Data segments are always 8-byte aligned through AddWords; Format
+	// must preserve values exactly.
+	b := program.NewBuilder("d")
+	b.Block("entry").Halt()
+	b.AddWords(program.HeapBase, []uint64{0xDEADBEEF, 1, ^uint64(0)})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse("d", Format(p))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := vm.New(re, nil)
+	if got := m.Mem.Read(program.HeapBase, 8); got != 0xDEADBEEF {
+		t.Errorf("word 0 = %#x", got)
+	}
+	if got := m.Mem.Read(program.HeapBase+16, 8); got != ^uint64(0) {
+		t.Errorf("word 2 = %#x", got)
+	}
+}
+
+func TestNonTemporalSyntax(t *testing.T) {
+	src := `
+entry:
+    load8.nt r1, [r2+r0*8]
+    store4.nt r1, [r3]
+    load8 r1, [r2]
+    halt
+`
+	p, err := Parse("nt", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.Instrs[0].NT || !p.Instrs[1].NT {
+		t.Error("NT flag not parsed")
+	}
+	if p.Instrs[2].NT {
+		t.Error("plain load must not be NT")
+	}
+	// Round trip through Format.
+	re, err := Parse("nt2", Format(p))
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	for i := range p.Instrs {
+		if re.Instrs[i] != p.Instrs[i] {
+			t.Errorf("instr %d changed: %v -> %v", i, p.Instrs[i], re.Instrs[i])
+		}
+	}
+}
+
+// Property: random builder-constructed programs survive Format -> Parse
+// with identical instruction streams.
+func TestRandomRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		b := program.NewBuilder("rt")
+		e := b.Block("entry")
+		e.MovI(isa.R2, int64(program.HeapBase))
+		nBlocks := 1 + r.Intn(4)
+		for k := 0; k < nBlocks; k++ {
+			blk := b.Block(string(rune('a' + k)))
+			for i := 0; i < 2+r.Intn(6); i++ {
+				rd := isa.Reg(r.Intn(13))
+				rs := isa.Reg(r.Intn(13))
+				switch r.Intn(6) {
+				case 0:
+					blk.Add(rd, rd, rs)
+				case 1:
+					blk.MovI(rd, r.Int63n(1<<30)-(1<<29))
+				case 2:
+					blk.Load(rd, uint8(1<<r.Intn(4)), isa.MemIdx(isa.R2, rs, 8, int64(r.Intn(4096))))
+				case 3:
+					blk.Store(rd, 8, isa.Mem(isa.R2, int64(r.Intn(4096))))
+				case 4:
+					blk.AddI(rd, rs, int64(r.Intn(100))-50)
+				case 5:
+					blk.Prefetch(isa.Mem(isa.R2, int64(r.Intn(8192))))
+				}
+			}
+			if r.Intn(2) == 0 && k > 0 {
+				blk.BrI(isa.CondLT, isa.R0, int64(r.Intn(100)), string(rune('a'+r.Intn(k))))
+			}
+		}
+		b.Block("zzend").Halt()
+		p, err := b.Assemble()
+		if err != nil {
+			t.Fatalf("trial %d: Assemble: %v", trial, err)
+		}
+		re, err := Parse("rt", Format(p))
+		if err != nil {
+			t.Fatalf("trial %d: re-Parse: %v\n%s", trial, err, Format(p))
+		}
+		if len(re.Instrs) != len(p.Instrs) {
+			t.Fatalf("trial %d: %d -> %d instrs", trial, len(p.Instrs), len(re.Instrs))
+		}
+		for i := range p.Instrs {
+			if re.Instrs[i] != p.Instrs[i] {
+				t.Fatalf("trial %d instr %d: %v -> %v", trial, i, p.Instrs[i], re.Instrs[i])
+			}
+		}
+	}
+}

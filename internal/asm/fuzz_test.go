@@ -1,0 +1,44 @@
+package asm
+
+import (
+	"testing"
+
+	"umi/internal/vm"
+)
+
+// FuzzParse asserts the assembler never panics and that anything it
+// accepts is a valid, loadable program (and that formatting it reparses).
+// Run with `go test -fuzz=FuzzParse ./internal/asm`; the seed corpus runs
+// as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	f.Add(sumSrc)
+	f.Add("entry:\n  halt\n")
+	f.Add(".entry a\na:\n  jmp a\n")
+	f.Add("load8 r1, [r2+r3*8+16]\nhalt")
+	f.Add(".data 0x1000\n.word 1 2 3")
+	f.Add("br.lt r0, r1, 0x400000\nhalt")
+	f.Add("bri.geu r0, -12, lbl\nlbl:\nhalt")
+	f.Add("load8.nt r1, [+0x8000]\nhalt")
+	f.Add("; comment only")
+	f.Add("a:\nb:\n  nop")
+	f.Add("store4 r1,[sp-8]\nret")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid program: %v", err)
+		}
+		// Accepted programs must be loadable and format/reparse cleanly.
+		_ = vm.New(p, nil)
+		re, err := Parse("fuzz2", Format(p))
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\n%s", err, Format(p))
+		}
+		if len(re.Instrs) != len(p.Instrs) {
+			t.Fatalf("round trip changed instruction count: %d -> %d",
+				len(p.Instrs), len(re.Instrs))
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package cache models set-associative caches, multi-level hierarchies, and
+// the Pentium 4 hardware prefetchers (adjacent cache line and stride).
+//
+// The package serves three roles in the reproduction:
+//
+//  1. as the ground-truth "hardware" the guest machine runs against (the
+//     Hierarchy type implements vm.MemModel, and its statistics are what
+//     the hardware performance counter model reads);
+//  2. as the fast mini-simulator inside UMI's profile analyzer (a single
+//     Cache with LRU replacement, exactly the simulator §5 describes);
+//  3. as the engine of the Cachegrind-style offline simulator.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	Assoc    int // ways
+	LineSize int // bytes, power of two
+	// Policy is the replacement policy; the zero value is LRU, the
+	// paper's choice.
+	Policy Policy
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Size / (c.Assoc * c.LineSize) }
+
+// Validate checks the configuration is realizable.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.Assoc <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	sets := c.Sets()
+	if sets <= 0 || c.Size != sets*c.Assoc*c.LineSize {
+		return fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte lines",
+			c.Name, c.Size, c.Assoc, c.LineSize)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("cache %s: invalid replacement policy %d", c.Name, int(c.Policy))
+	}
+	if c.Policy == PLRU && c.Assoc&(c.Assoc-1) != 0 {
+		return fmt.Errorf("cache %s: PLRU requires power-of-two associativity, got %d", c.Name, c.Assoc)
+	}
+	return nil
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %dKB %d-way %dB lines (%d sets)",
+		c.Name, c.Size/1024, c.Assoc, c.LineSize, c.Sets())
+}
+
+// Evaluation-platform cache configurations from §6 of the paper.
+var (
+	// PentiumIV (§6): 8KB 4-way L1D, 512KB 8-way unified L2, 64B lines.
+	P4L1D = Config{Name: "P4-L1D", Size: 8 * 1024, Assoc: 4, LineSize: 64}
+	P4L2  = Config{Name: "P4-L2", Size: 512 * 1024, Assoc: 8, LineSize: 64}
+
+	// AMD K7 (§6): 64KB 2-way L1D, 256KB 16-way unified L2, 64B lines.
+	K7L1D = Config{Name: "K7-L1D", Size: 64 * 1024, Assoc: 2, LineSize: 64}
+	K7L2  = Config{Name: "K7-L2", Size: 256 * 1024, Assoc: 16, LineSize: 64}
+)
+
+type line struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64 // logical time of last touch (LRU)
+	// prefetched marks a line installed by a prefetcher and not yet
+	// touched by a demand access; used for prefetch coverage accounting.
+	prefetched bool
+	// readyAt is the logical time at which an in-flight fill completes. A
+	// demand access arriving earlier pays a late-fill penalty.
+	readyAt uint64
+}
+
+// Cache is one set-associative cache level with true-LRU replacement, as in
+// the paper's mini-simulator ("an empty line, or the oldest line, is
+// selected"; "we use a counter to simulate time").
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	setBits   uint
+	clock     uint64
+
+	policy   Policy
+	rngState uint64   // Random policy state
+	plruBits []uint64 // PLRU tree bits, one word per set
+}
+
+// New builds a cache from the config, panicking on invalid geometry
+// (configurations are build-time constants in this codebase).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
+	}
+	setBits := uint(0)
+	for 1<<setBits != cfg.Sets() {
+		setBits++
+	}
+	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1), lineShift: shift,
+		setBits: setBits, policy: cfg.Policy, rngState: 0x9E3779B97F4A7C15}
+	if cfg.Policy == PLRU {
+		c.plruBits = make([]uint64, cfg.Sets())
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineOf returns the line-aligned address containing addr.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineSize) - 1) }
+
+func (c *Cache) setAndTag(addr uint64) (uint64, uint64) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> c.setBits
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// PrefetchedHit is set when the access hit a line that was installed
+	// by a prefetcher and had not yet been demanded: a useful prefetch.
+	PrefetchedHit bool
+	// Late is set when the access hit an in-flight fill that had not yet
+	// completed (the prefetch was issued too late to hide all latency).
+	Late bool
+}
+
+// Access performs one demand access. On miss the line is installed
+// (demand fill completes immediately).
+func (c *Cache) Access(addr uint64) AccessResult {
+	c.clock++
+	set, tag := c.setAndTag(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		ln := &lines[i]
+		if ln.valid && ln.tag == tag {
+			res := AccessResult{Hit: true}
+			if ln.prefetched {
+				res.PrefetchedHit = true
+				ln.prefetched = false
+			}
+			if ln.readyAt > c.clock {
+				res.Late = true
+				ln.readyAt = 0
+			}
+			if c.policy != FIFO {
+				ln.lastUse = c.clock // FIFO keeps install time
+			}
+			c.plruTouch(set, i)
+			return res
+		}
+	}
+	c.install(set, tag, false, 0)
+	return AccessResult{}
+}
+
+// Probe reports whether addr is resident without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.setAndTag(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Install brings addr's line in as a prefetch that completes after delay
+// further accesses. It does nothing if the line is already resident.
+func (c *Cache) Install(addr uint64, delay uint64) {
+	set, tag := c.setAndTag(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			return
+		}
+	}
+	c.install(set, tag, true, c.clock+delay)
+}
+
+func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
+	lines := c.sets[set]
+	victim := -1
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.victim(set, lines)
+	}
+	lines[victim] = line{tag: tag, valid: true, lastUse: c.clock, prefetched: prefetched, readyAt: readyAt}
+	c.plruTouch(set, victim)
+}
+
+// Flush invalidates the entire cache. The paper's analyzer flushes its
+// logical cache when more than 1M cycles have elapsed since it last ran, to
+// avoid long-term contamination.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line{}
+		}
+	}
+}
+
+// Resident counts valid lines (for tests).
+func (c *Cache) Resident() int {
+	n := 0
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

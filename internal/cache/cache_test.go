@@ -1,0 +1,374 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var tiny = Config{Name: "tiny", Size: 1024, Assoc: 2, LineSize: 64} // 8 sets
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{tiny, P4L1D, P4L2, K7L1D, K7L2}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "odd-line", Size: 1024, Assoc: 2, LineSize: 48},
+		{Name: "indivisible", Size: 1000, Assoc: 2, LineSize: 64},
+		{Name: "npo2-sets", Size: 3 * 64 * 2, Assoc: 2, LineSize: 64},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v: Validate accepted invalid config", c)
+		}
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	if P4L2.Sets() != 1024 {
+		t.Errorf("P4 L2 sets = %d, want 1024", P4L2.Sets())
+	}
+	if K7L2.Sets() != 256 {
+		t.Errorf("K7 L2 sets = %d, want 256", K7L2.Sets())
+	}
+	if P4L1D.Sets() != 32 {
+		t.Errorf("P4 L1D sets = %d, want 32", P4L1D.Sets())
+	}
+}
+
+func TestAccessHitMiss(t *testing.T) {
+	c := New(tiny)
+	if res := c.Access(0x1000); res.Hit {
+		t.Error("first access must miss")
+	}
+	if res := c.Access(0x1000); !res.Hit {
+		t.Error("second access must hit")
+	}
+	if res := c.Access(0x1004); !res.Hit {
+		t.Error("same-line access must hit")
+	}
+	if res := c.Access(0x1040); res.Hit {
+		t.Error("next-line access must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tiny) // 2-way, 8 sets, 64B lines: set stride is 512B
+	a0 := uint64(0x0000)
+	a1 := a0 + 512  // same set
+	a2 := a0 + 1024 // same set
+	c.Access(a0)
+	c.Access(a1)
+	c.Access(a0) // a1 is now LRU
+	c.Access(a2) // evicts a1
+	if !c.Probe(a0) {
+		t.Error("a0 must survive (MRU)")
+	}
+	if c.Probe(a1) {
+		t.Error("a1 must be evicted (LRU)")
+	}
+	if !c.Probe(a2) {
+		t.Error("a2 must be resident")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := New(tiny)
+	c.Access(0x0)
+	c.Access(0x200) // same set, 2-way now full; 0x0 is LRU
+	for i := 0; i < 10; i++ {
+		c.Probe(0x0) // must not refresh LRU
+	}
+	c.Access(0x400) // should evict 0x0
+	if c.Probe(0x0) {
+		t.Error("probe must not update recency")
+	}
+}
+
+func TestInstallPrefetch(t *testing.T) {
+	c := New(tiny)
+	c.Install(0x1000, 0)
+	res := c.Access(0x1000)
+	if !res.Hit || !res.PrefetchedHit {
+		t.Errorf("access after install = %+v, want prefetched hit", res)
+	}
+	// Second access: prefetched flag consumed.
+	if res := c.Access(0x1000); res.PrefetchedHit {
+		t.Error("prefetched flag must clear after first demand hit")
+	}
+}
+
+func TestInstallInFlight(t *testing.T) {
+	c := New(tiny)
+	c.Install(0x1000, 5) // ready 5 ticks from now
+	res := c.Access(0x1000)
+	if !res.Hit || !res.Late {
+		t.Errorf("early access = %+v, want late hit", res)
+	}
+	if res := c.Access(0x1000); res.Late {
+		t.Error("late flag must clear once paid")
+	}
+
+	c2 := New(tiny)
+	c2.Install(0x2000, 2)
+	c2.Access(0x0)
+	c2.Access(0x40)
+	c2.Access(0x80) // 3 ticks elapse; fill complete
+	if res := c2.Access(0x2000); res.Late {
+		t.Error("fill must be ready after delay has elapsed")
+	}
+}
+
+func TestInstallIdempotentWhenResident(t *testing.T) {
+	c := New(tiny)
+	c.Access(0x1000)
+	c.Install(0x1000, 10)
+	res := c.Access(0x1000)
+	if res.PrefetchedHit || res.Late {
+		t.Errorf("install over resident line must be a no-op, got %+v", res)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(tiny)
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i * 64)
+	}
+	if c.Resident() == 0 {
+		t.Fatal("expected resident lines")
+	}
+	c.Flush()
+	if c.Resident() != 0 {
+		t.Errorf("Resident after flush = %d, want 0", c.Resident())
+	}
+	if res := c.Access(0); res.Hit {
+		t.Error("access after flush must miss")
+	}
+}
+
+// Property: the number of resident lines never exceeds capacity, and a
+// just-accessed line is always resident.
+func TestResidencyQuick(t *testing.T) {
+	c := New(tiny)
+	capacity := tiny.Sets() * tiny.Assoc
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			addr := uint64(a) % (1 << 20)
+			c.Access(addr)
+			if !c.Probe(addr) {
+				return false
+			}
+			if c.Resident() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set that fits in one set's ways never misses after
+// the first pass, regardless of access order (true LRU, no pathological
+// replacement).
+func TestLRUNoThrashWithinAssoc(t *testing.T) {
+	c := New(tiny)
+	lines := []uint64{0x0, 0x200} // same set, assoc = 2
+	for _, a := range lines {
+		c.Access(a)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a := lines[r.Intn(len(lines))]
+		if res := c.Access(a); !res.Hit {
+			t.Fatalf("iteration %d: unexpected miss on %#x", i, a)
+		}
+	}
+}
+
+func TestAdjacentLinePrefetcher(t *testing.T) {
+	pf := NewAdjacentLine(64)
+	got := pf.Observe(0x1000, true)
+	if len(got) != 1 || got[0] != 0x1040 {
+		t.Errorf("Observe(0x1000) = %#x, want [0x1040]", got)
+	}
+	got = pf.Observe(0x1040, true)
+	if len(got) != 1 || got[0] != 0x1000 {
+		t.Errorf("Observe(0x1040) = %#x, want [0x1000]", got)
+	}
+	if got := pf.Observe(0x2000, false); got != nil {
+		t.Errorf("hit must not trigger adjacent prefetch, got %#x", got)
+	}
+}
+
+func TestStridePrefetcherDetectsStream(t *testing.T) {
+	pf := NewStrideStreams(64, 2)
+	// Unit-stride miss stream: 0, 64, 128, ...
+	var issued []uint64
+	for i := uint64(0); i < 6; i++ {
+		issued = pf.Observe(i*64, true)
+	}
+	if len(issued) != 2 {
+		t.Fatalf("trained stream must issue depth=2 prefetches, got %v", issued)
+	}
+	if issued[0] != 6*64 || issued[1] != 7*64 {
+		t.Errorf("prefetch targets = %#x, want next two lines", issued)
+	}
+}
+
+func TestStridePrefetcherNegativeStride(t *testing.T) {
+	pf := NewStrideStreams(64, 1)
+	var issued []uint64
+	for i := 10; i >= 5; i-- {
+		issued = pf.Observe(uint64(i)*64, true)
+	}
+	if len(issued) != 1 || issued[0] != 4*64 {
+		t.Errorf("descending stream: prefetch = %#x, want [0x100]", issued)
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	pf := NewStrideStreams(64, 2)
+	r := rand.New(rand.NewSource(3))
+	issued := 0
+	for i := 0; i < 200; i++ {
+		// Addresses far apart: no stream should train.
+		addr := uint64(r.Intn(1<<20)) * 4096
+		issued += len(pf.Observe(addr, true))
+	}
+	if issued > 10 {
+		t.Errorf("random misses issued %d prefetches; expected almost none", issued)
+	}
+}
+
+func TestStridePrefetcherStreamLimit(t *testing.T) {
+	pf := NewStrideStreams(64, 1)
+	// Allocate more streams than MaxStreams; must not grow unbounded.
+	for i := 0; i < 100; i++ {
+		pf.Observe(uint64(i)*1<<16, true)
+	}
+	if len(pf.streams) != MaxStreams {
+		t.Errorf("stream table = %d entries, want %d", len(pf.streams), MaxStreams)
+	}
+}
+
+func TestHierarchySequentialSweep(t *testing.T) {
+	h := NewP4(false)
+	// Sweep 4 MiB: every new line misses in L2 (footprint >> 512 KiB).
+	for addr := uint64(0); addr < 4<<20; addr += 64 {
+		h.Access(addr, 8, false)
+	}
+	if h.L2Stats.Misses != h.L2Stats.Accesses {
+		t.Errorf("cold sweep: L2 misses = %d, accesses = %d; want equal",
+			h.L2Stats.Misses, h.L2Stats.Accesses)
+	}
+	if h.L1Stats.Misses != h.L1Stats.Accesses {
+		t.Errorf("cold sweep at line granularity: L1 misses = %d, accesses = %d",
+			h.L1Stats.Misses, h.L1Stats.Accesses)
+	}
+}
+
+func TestHierarchyPrefetchReducesMisses(t *testing.T) {
+	run := func(hw bool) LevelStats {
+		h := NewP4(hw)
+		for rep := 0; rep < 4; rep++ {
+			for addr := uint64(0); addr < 4<<20; addr += 64 {
+				h.Access(addr, 8, false)
+			}
+		}
+		return h.L2Stats
+	}
+	base := run(false)
+	pf := run(true)
+	if pf.Misses >= base.Misses {
+		t.Errorf("HW prefetch must cut sequential misses: with=%d without=%d",
+			pf.Misses, base.Misses)
+	}
+	if pf.PrefetchedHits == 0 {
+		t.Error("expected useful prefetches")
+	}
+}
+
+func TestHierarchyStallModel(t *testing.T) {
+	h := NewP4(false)
+	s1 := h.Access(0x100000, 8, false) // cold: memory
+	if s1 != h.Lat.Memory {
+		t.Errorf("cold stall = %d, want %d", s1, h.Lat.Memory)
+	}
+	s2 := h.Access(0x100000, 8, false) // L1 hit
+	if s2 != 0 {
+		t.Errorf("L1 hit stall = %d, want 0", s2)
+	}
+	// Evict from L1 (8 KiB, 4-way, 32 sets): fill set with conflicting lines.
+	for i := uint64(1); i <= 8; i++ {
+		h.Access(0x100000+i*8192, 8, false)
+	}
+	s3 := h.Access(0x100000, 8, false) // L1 miss, L2 hit
+	if s3 != h.Lat.L2Hit {
+		t.Errorf("L2 hit stall = %d, want %d", s3, h.Lat.L2Hit)
+	}
+}
+
+func TestSoftwarePrefetchHidesLatency(t *testing.T) {
+	h := NewP4(false)
+	h.Prefetch(0x40000)
+	// Let the in-flight window pass.
+	for i := uint64(0); i < PrefetchDelay+1; i++ {
+		h.Access(0x800000+i*64, 8, false)
+	}
+	stall := h.Access(0x40000, 8, false)
+	if stall != h.Lat.L2Hit {
+		t.Errorf("prefetched access stall = %d, want L2 hit %d", stall, h.Lat.L2Hit)
+	}
+	if h.L2Stats.PrefetchedHits != 1 {
+		t.Errorf("PrefetchedHits = %d, want 1", h.L2Stats.PrefetchedHits)
+	}
+}
+
+func TestLatePrefetchPaysPartialStall(t *testing.T) {
+	h := NewP4(false)
+	h.Prefetch(0x40000)
+	stall := h.Access(0x40000, 8, false) // immediately: in flight
+	want := h.Lat.L2Hit + h.Lat.LateFill
+	if stall != want {
+		t.Errorf("late prefetch stall = %d, want %d", stall, want)
+	}
+	if h.L2Stats.LateHits != 1 {
+		t.Errorf("LateHits = %d, want 1", h.L2Stats.LateHits)
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s LevelStats
+	if s.MissRatio() != 0 {
+		t.Error("empty stats must have ratio 0")
+	}
+	s.Accesses = 200
+	s.Misses = 50
+	if got := s.MissRatio(); got != 0.25 {
+		t.Errorf("MissRatio = %v, want 0.25", got)
+	}
+}
+
+func TestHierarchyFlushAndReset(t *testing.T) {
+	h := NewP4(true)
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		h.Access(addr, 8, false)
+	}
+	h.Flush()
+	if h.L2.Resident() != 0 || h.L1.Resident() != 0 {
+		t.Error("Flush must empty both levels")
+	}
+	if h.L2Stats.Accesses == 0 {
+		t.Error("Flush must preserve statistics")
+	}
+	h.ResetStats()
+	if h.L2Stats.Accesses != 0 || h.L1Stats.Accesses != 0 {
+		t.Error("ResetStats must zero statistics")
+	}
+}

@@ -1,0 +1,71 @@
+package cache
+
+import "testing"
+
+func TestICacheDisabledIsFree(t *testing.T) {
+	h := NewP4(false)
+	if stall := h.FetchInstr(0x400000); stall != 0 {
+		t.Errorf("fetch without icache stalls %d cycles", stall)
+	}
+	if h.L1IStats.Accesses != 0 {
+		t.Error("fetch without icache must not be counted")
+	}
+}
+
+func TestICacheHitMiss(t *testing.T) {
+	h := NewK7()
+	h.EnableICache(K7L1I)
+	s1 := h.FetchInstr(0x400000)
+	if s1 == 0 {
+		t.Error("cold instruction fetch must stall")
+	}
+	s2 := h.FetchInstr(0x400000)
+	if s2 != 0 {
+		t.Errorf("warm fetch stalls %d cycles", s2)
+	}
+	if h.L1IStats.Accesses != 2 || h.L1IStats.Misses != 1 {
+		t.Errorf("L1I stats = %+v", h.L1IStats)
+	}
+	// Instruction traffic must appear in the unified L2.
+	if h.L2Stats.Accesses == 0 {
+		t.Error("instruction miss must access the unified L2")
+	}
+}
+
+func TestICachePerturbsUnifiedL2(t *testing.T) {
+	// A large code footprint cycled through the icache evicts data from
+	// the unified L2: the effect the paper conjectures explains the K7
+	// correlation gap.
+	run := func(icache bool) uint64 {
+		h := NewK7()
+		if icache {
+			h.EnableICache(K7L1I)
+		}
+		// Data working set: resident in L2 alone.
+		dataLines := uint64(2048) // 128 KiB of the 256 KiB L2
+		for rep := 0; rep < 20; rep++ {
+			for i := uint64(0); i < dataLines; i++ {
+				h.Access(0x1000_0000+i*64, 8, false)
+			}
+			// Code sweep: 512 KiB of instruction addresses (beyond L1I
+			// and L2).
+			for pc := uint64(0x40_0000); pc < 0x48_0000; pc += 64 {
+				h.FetchInstr(pc)
+			}
+		}
+		return h.L2Stats.Misses
+	}
+	with, without := run(true), run(false)
+	if with <= without {
+		t.Errorf("icache traffic must add unified-L2 misses: with=%d without=%d", with, without)
+	}
+}
+
+func TestMachineChargesInstructionFetch(t *testing.T) {
+	// Covered end to end in vm tests via the InstrFetchModel interface;
+	// here verify the hierarchy satisfies it structurally.
+	var h interface{} = NewP4(false)
+	if _, ok := h.(interface{ FetchInstr(uint64) uint64 }); !ok {
+		t.Fatal("Hierarchy must implement the instruction-fetch interface")
+	}
+}

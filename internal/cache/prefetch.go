@@ -1,0 +1,153 @@
+package cache
+
+// Hardware prefetcher models for the Pentium 4 L2 (§8 of the paper, citing
+// the IA-32 optimization manual): an adjacent-cache-line prefetcher and a
+// stride prefetcher tracking up to 8 independent streams. The AMD K7 has no
+// documented hardware prefetcher, so its hierarchy attaches none.
+
+// Prefetcher observes the L2 demand-access stream and issues line fills.
+type Prefetcher interface {
+	// Observe is called for every L2 demand access with the line-aligned
+	// address and whether the access missed. It returns the line-aligned
+	// addresses to prefetch.
+	Observe(lineAddr uint64, miss bool) []uint64
+	// Reset clears predictor state.
+	Reset()
+	// Name identifies the prefetcher in statistics.
+	Name() string
+}
+
+// AdjacentLine prefetches the buddy of every missing line: lines are
+// fetched in aligned pairs, mirroring the P4's "adjacent cache line
+// prefetch" mode.
+type AdjacentLine struct {
+	lineSize uint64
+	buf      [1]uint64
+}
+
+// NewAdjacentLine returns the adjacent-line prefetcher for the given line
+// size.
+func NewAdjacentLine(lineSize int) *AdjacentLine {
+	return &AdjacentLine{lineSize: uint64(lineSize)}
+}
+
+// Observe implements Prefetcher.
+func (a *AdjacentLine) Observe(lineAddr uint64, miss bool) []uint64 {
+	if !miss {
+		return nil
+	}
+	a.buf[0] = lineAddr ^ a.lineSize // buddy line within the aligned pair
+	return a.buf[:]
+}
+
+// Reset implements Prefetcher.
+func (a *AdjacentLine) Reset() {}
+
+// Name implements Prefetcher.
+func (a *AdjacentLine) Name() string { return "adjacent-line" }
+
+// StrideStreams is the P4-style stride prefetcher: it tracks up to
+// MaxStreams independent miss streams and, once a stream shows two
+// consecutive strides of the same sign and magnitude, prefetches Depth
+// lines ahead of each subsequent access in the stream.
+type StrideStreams struct {
+	lineSize uint64
+	streams  []stream
+	clock    uint64
+	depth    int
+	buf      []uint64
+}
+
+// MaxStreams is the number of concurrent streams the P4 stride prefetcher
+// tracks.
+const MaxStreams = 8
+
+type stream struct {
+	valid     bool
+	lastLine  uint64
+	stride    int64 // in lines
+	confirmed bool
+	lastUse   uint64
+}
+
+// NewStrideStreams returns a stride prefetcher. depth is how many lines
+// ahead of the current access it runs (1 or 2 are typical).
+func NewStrideStreams(lineSize, depth int) *StrideStreams {
+	return &StrideStreams{
+		lineSize: uint64(lineSize),
+		streams:  make([]stream, MaxStreams),
+		depth:    depth,
+		buf:      make([]uint64, 0, depth),
+	}
+}
+
+// Observe implements Prefetcher. Both hits and misses train the predictor;
+// only trained streams issue prefetches.
+func (s *StrideStreams) Observe(lineAddr uint64, miss bool) []uint64 {
+	s.clock++
+	ln := int64(lineAddr / s.lineSize)
+	// Find the stream this access extends: the one whose last line is
+	// within 8 lines of this access.
+	best := -1
+	for i := range s.streams {
+		st := &s.streams[i]
+		if !st.valid {
+			continue
+		}
+		delta := ln - int64(st.lastLine)
+		if delta != 0 && delta >= -8 && delta <= 8 {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		if !miss {
+			return nil // only misses allocate streams
+		}
+		victim := 0
+		for i := range s.streams {
+			if !s.streams[i].valid {
+				victim = i
+				break
+			}
+			if s.streams[i].lastUse < s.streams[victim].lastUse {
+				victim = i
+			}
+		}
+		s.streams[victim] = stream{valid: true, lastLine: uint64(ln), lastUse: s.clock}
+		return nil
+	}
+	st := &s.streams[best]
+	delta := ln - int64(st.lastLine)
+	st.lastUse = s.clock
+	if st.stride == delta {
+		st.confirmed = true
+	} else {
+		st.stride = delta
+		st.confirmed = false
+	}
+	st.lastLine = uint64(ln)
+	if !st.confirmed || st.stride == 0 {
+		return nil
+	}
+	s.buf = s.buf[:0]
+	for d := 1; d <= s.depth; d++ {
+		next := ln + st.stride*int64(d)
+		if next < 0 {
+			break
+		}
+		s.buf = append(s.buf, uint64(next)*s.lineSize)
+	}
+	return s.buf
+}
+
+// Reset implements Prefetcher.
+func (s *StrideStreams) Reset() {
+	for i := range s.streams {
+		s.streams[i] = stream{}
+	}
+	s.clock = 0
+}
+
+// Name implements Prefetcher.
+func (s *StrideStreams) Name() string { return "stride" }

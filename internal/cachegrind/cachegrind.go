@@ -1,0 +1,175 @@
+// Package cachegrind is the reproduction's offline, full-trace cache
+// simulator — the role Cachegrind plays in the paper: ground truth for
+// per-instruction miss counts (modified, as the authors did, "to report the
+// number of cache misses for individual memory references rather than for
+// each line of code"), the source of the reference delinquent-load set C,
+// and the high-overhead end of the profiling tradeoff space.
+//
+// Attach a Simulator to a vm.Machine's RefHook and every memory reference
+// of the run flows through a two-level hierarchy with per-PC accounting.
+package cachegrind
+
+import (
+	"fmt"
+	"sort"
+
+	"umi/internal/cache"
+)
+
+// PCStat is the simulated behaviour of one static memory instruction.
+type PCStat struct {
+	PC       uint64
+	IsLoad   bool
+	Accesses uint64
+	L1Misses uint64
+	L2Misses uint64
+}
+
+// MissRatio returns L2 misses per access for this instruction.
+func (s *PCStat) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.Accesses)
+}
+
+// Simulator is a trace-driven two-level cache simulator with
+// per-instruction accounting.
+type Simulator struct {
+	l1 *cache.Cache
+	l2 *cache.Cache
+
+	perPC map[uint64]*PCStat
+
+	// Aggregate L2 statistics (loads and stores).
+	L2Accesses uint64
+	L2Misses   uint64
+	L1Accesses uint64
+	L1Misses   uint64
+	Refs       uint64
+}
+
+// New builds a simulator with the given level geometries.
+func New(l1, l2 cache.Config) *Simulator {
+	return &Simulator{l1: cache.New(l1), l2: cache.New(l2), perPC: make(map[uint64]*PCStat)}
+}
+
+// NewP4 returns a simulator configured like the Pentium 4 hierarchy.
+func NewP4() *Simulator { return New(cache.P4L1D, cache.P4L2) }
+
+// NewK7 returns a simulator configured like the AMD K7 hierarchy.
+func NewK7() *Simulator { return New(cache.K7L1D, cache.K7L2) }
+
+// Ref processes one memory reference; its signature matches vm.RefHook.
+func (s *Simulator) Ref(pc, addr uint64, size uint8, write bool) {
+	s.Refs++
+	st := s.perPC[pc]
+	if st == nil {
+		st = &PCStat{PC: pc, IsLoad: !write}
+		s.perPC[pc] = st
+	}
+	st.Accesses++
+
+	s.L1Accesses++
+	if s.l1.Access(addr).Hit {
+		return
+	}
+	s.L1Misses++
+	st.L1Misses++
+
+	s.L2Accesses++
+	if s.l2.Access(addr).Hit {
+		return
+	}
+	s.L2Misses++
+	st.L2Misses++
+}
+
+// L2MissRatio is the whole-program L2 miss ratio (loads and stores), the
+// simulator column of the paper's Table 4 correlation.
+func (s *Simulator) L2MissRatio() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.L2Accesses)
+}
+
+// Stats returns the per-instruction table (live map; do not mutate).
+func (s *Simulator) Stats() map[uint64]*PCStat { return s.perPC }
+
+// StatOf returns the record for one instruction.
+func (s *Simulator) StatOf(pc uint64) (*PCStat, bool) {
+	st, ok := s.perPC[pc]
+	return st, ok
+}
+
+// TotalLoadMisses sums L2 misses over load instructions.
+func (s *Simulator) TotalLoadMisses() uint64 {
+	var total uint64
+	for _, st := range s.perPC {
+		if st.IsLoad {
+			total += st.L2Misses
+		}
+	}
+	return total
+}
+
+// DelinquentSet computes the paper's reference set C: the minimal set of
+// load instructions that together account for at least the given fraction
+// (e.g. 0.90) of all L2 load misses, built by taking instructions in
+// descending miss count order.
+func (s *Simulator) DelinquentSet(coverage float64) map[uint64]bool {
+	type rec struct {
+		pc     uint64
+		misses uint64
+	}
+	var loads []rec
+	var total uint64
+	for pc, st := range s.perPC {
+		if st.IsLoad && st.L2Misses > 0 {
+			loads = append(loads, rec{pc, st.L2Misses})
+			total += st.L2Misses
+		}
+	}
+	set := make(map[uint64]bool)
+	if total == 0 {
+		return set
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].misses != loads[j].misses {
+			return loads[i].misses > loads[j].misses
+		}
+		return loads[i].pc < loads[j].pc
+	})
+	need := uint64(coverage * float64(total))
+	var acc uint64
+	for _, r := range loads {
+		if acc >= need {
+			break
+		}
+		set[r.pc] = true
+		acc += r.misses
+	}
+	return set
+}
+
+// MissCoverage returns the fraction of all L2 load misses accounted for by
+// the loads in the given set (the paper's "miss coverage" columns).
+func (s *Simulator) MissCoverage(set map[uint64]bool) float64 {
+	total := s.TotalLoadMisses()
+	if total == 0 {
+		return 0
+	}
+	var covered uint64
+	for pc := range set {
+		if st, ok := s.perPC[pc]; ok && st.IsLoad {
+			covered += st.L2Misses
+		}
+	}
+	return float64(covered) / float64(total)
+}
+
+func (s *Simulator) String() string {
+	return fmt.Sprintf("cachegrind.Simulator{%d refs, L2 %d/%d misses (%.3f%%), %d static refs}",
+		s.Refs, s.L2Misses, s.L2Accesses, 100*s.L2MissRatio(), len(s.perPC))
+}

@@ -1,0 +1,172 @@
+package cachegrind
+
+import (
+	"strings"
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/vm"
+)
+
+func TestPerPCAccounting(t *testing.T) {
+	sim := NewP4()
+	// PC 0x100 streams (every access a new line, all miss); PC 0x200
+	// hammers one address (misses once).
+	for i := uint64(0); i < 1000; i++ {
+		sim.Ref(0x100, i*64, 8, false)
+		sim.Ref(0x200, 0x9000000, 8, false)
+	}
+	st1, ok := sim.StatOf(0x100)
+	if !ok || st1.Accesses != 1000 {
+		t.Fatalf("StatOf(0x100) = %+v, %v", st1, ok)
+	}
+	if st1.L2Misses != 1000 {
+		t.Errorf("streaming PC misses = %d, want 1000", st1.L2Misses)
+	}
+	st2, _ := sim.StatOf(0x200)
+	if st2.L2Misses != 1 {
+		t.Errorf("resident PC misses = %d, want 1", st2.L2Misses)
+	}
+	if st2.MissRatio() >= st1.MissRatio() {
+		t.Error("resident PC must have lower miss ratio than streaming PC")
+	}
+	if !st1.IsLoad {
+		t.Error("read refs must be loads")
+	}
+}
+
+func TestDelinquentSetCoverage(t *testing.T) {
+	sim := NewP4()
+	// Three loads with controlled L2 misses: walk disjoint gigantic
+	// regions so every access misses. Miss counts: A=800, B=150, C=50.
+	for i := uint64(0); i < 800; i++ {
+		sim.Ref(0xA, 0x1_0000_0000+i*4096, 8, false)
+	}
+	for i := uint64(0); i < 150; i++ {
+		sim.Ref(0xB, 0x2_0000_0000+i*4096, 8, false)
+	}
+	for i := uint64(0); i < 50; i++ {
+		sim.Ref(0xC, 0x3_0000_0000+i*4096, 8, false)
+	}
+	set := sim.DelinquentSet(0.90)
+	// A (80%) alone is not 90%; A+B = 95% suffices; C excluded.
+	if !set[0xA] || !set[0xB] {
+		t.Errorf("set = %v, want A and B", set)
+	}
+	if set[0xC] {
+		t.Errorf("set = %v, must exclude C", set)
+	}
+	cov := sim.MissCoverage(set)
+	if cov < 0.90 {
+		t.Errorf("coverage = %.3f, want >= 0.90", cov)
+	}
+}
+
+func TestDelinquentSetStoresExcluded(t *testing.T) {
+	sim := NewP4()
+	for i := uint64(0); i < 500; i++ {
+		sim.Ref(0xD, 0x1_0000_0000+i*4096, 8, true) // stores
+		sim.Ref(0xE, 0x2_0000_0000+i*4096, 8, false)
+	}
+	set := sim.DelinquentSet(0.90)
+	if set[0xD] {
+		t.Error("stores must not appear in the delinquent load set")
+	}
+	if !set[0xE] {
+		t.Error("the missing load must appear")
+	}
+}
+
+func TestDelinquentSetEmptyWhenNoMisses(t *testing.T) {
+	sim := NewP4()
+	for i := 0; i < 100; i++ {
+		sim.Ref(0xF, 0x1000, 8, false)
+	}
+	set := sim.DelinquentSet(0.90)
+	if len(set) > 1 {
+		t.Errorf("set = %v; a single compulsory miss must yield at most one entry", set)
+	}
+	sim2 := NewP4()
+	if got := sim2.DelinquentSet(0.90); len(got) != 0 {
+		t.Errorf("empty simulator must yield empty set, got %v", got)
+	}
+}
+
+func TestMatchesGroundTruthHierarchy(t *testing.T) {
+	// Cachegrind on the same reference stream as the ground-truth
+	// hierarchy (no prefetchers) must produce identical L2 miss counts —
+	// the reproduction's analogue of Table 4's near-perfect Cachegrind
+	// correlation.
+	b := program.NewBuilder("walk")
+	e := b.Block("entry")
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R2, int64(program.HeapBase))
+	l := b.Block("loop")
+	l.Load(isa.R3, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.Store(isa.R3, 8, isa.MemIdx(isa.R2, isa.R0, 8, 1<<22))
+	l.AddI(isa.R0, isa.R0, 5)
+	l.BrI(isa.CondLT, isa.R0, 200_000, "loop")
+	b.Block("done").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	sim := NewP4()
+	m.RefHook = sim.Ref
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sim.L2Misses != h.L2Stats.Misses {
+		t.Errorf("cachegrind L2 misses = %d, hierarchy = %d", sim.L2Misses, h.L2Stats.Misses)
+	}
+	if sim.L2Accesses != h.L2Stats.Accesses {
+		t.Errorf("cachegrind L2 accesses = %d, hierarchy = %d", sim.L2Accesses, h.L2Stats.Accesses)
+	}
+	if sim.L2MissRatio() != h.L2Stats.MissRatio() {
+		t.Error("miss ratios must match exactly")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	b := program.NewBuilder("anno")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.MovI(isa.R0, 0)
+	l := b.Block("hotloop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.AddI(isa.R0, isa.R0, 8)
+	l.BrI(isa.CondLT, isa.R0, 80_000, "hotloop")
+	b.Block("done").Halt()
+	// A cold library block that never executes.
+	cold := b.Block("libfunc")
+	cold.Load(isa.R3, 8, isa.Mem(isa.R4, 0))
+	cold.Ret()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	sim := NewP4()
+	m := vm.New(p, nil)
+	m.RefHook = sim.Ref
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := sim.Annotate(p, false)
+	for _, want := range []string{"hotloop:", "load8 r1", "L2", "cold blocks elided"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotation missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "libfunc:") {
+		t.Error("cold block must be elided by default")
+	}
+	withCold := sim.Annotate(p, true)
+	if !strings.Contains(withCold, "libfunc:") {
+		t.Error("withCold must include the cold block")
+	}
+}

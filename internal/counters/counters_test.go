@@ -1,0 +1,103 @@
+package counters
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+)
+
+func TestPMURead(t *testing.T) {
+	h := cache.NewP4(false)
+	pmu := &PMU{H: h}
+	for addr := uint64(0); addr < 1<<20; addr += 64 {
+		h.Access(addr, 8, false)
+	}
+	if got := pmu.Read(L1Accesses); got != h.L1Stats.Accesses || got == 0 {
+		t.Errorf("L1Accesses = %d, want %d", got, h.L1Stats.Accesses)
+	}
+	if got := pmu.Read(L2Misses); got != h.L2Stats.Misses || got == 0 {
+		t.Errorf("L2Misses = %d, want %d", got, h.L2Stats.Misses)
+	}
+	if pmu.L2MissRatio() != h.L2Stats.MissRatio() {
+		t.Error("L2MissRatio mismatch")
+	}
+	if pmu.Read(Event(99)) != 0 {
+		t.Error("unknown event must read 0")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if L2Misses.String() != "L2_MISSES" {
+		t.Errorf("String = %q", L2Misses.String())
+	}
+	if Event(99).String() == "" {
+		t.Error("unknown event must still format")
+	}
+}
+
+func TestSamplingModelShape(t *testing.T) {
+	m := DefaultSamplingModel
+	// A memory-intensive program: 8e9 native cycles, 5e9 countable events
+	// (roughly mcf's profile in the paper's Table 1 setup).
+	native := uint64(8e9)
+	events := uint64(5e9)
+
+	var prev float64 = 1e18
+	for _, size := range []uint64{10, 100, 1_000, 10_000, 100_000, 1_000_000} {
+		sd := m.SlowdownPct(native, events, size)
+		if sd >= prev {
+			t.Errorf("slowdown must decrease with sample size: size=%d sd=%.2f prev=%.2f",
+				size, sd, prev)
+		}
+		prev = sd
+	}
+	// Near-instruction granularity is ruinous (paper: 2056% at size 10).
+	if sd := m.SlowdownPct(native, events, 10); sd < 500 {
+		t.Errorf("sample size 10 slowdown = %.1f%%, want >= 500%%", sd)
+	}
+	// Coarse sampling is nearly free (paper: ~1% at 1M).
+	if sd := m.SlowdownPct(native, events, 1_000_000); sd > 5 {
+		t.Errorf("sample size 1M slowdown = %.1f%%, want <= 5%%", sd)
+	}
+	// No counter: no overhead.
+	if tm := m.Time(native, events, 0); tm != native {
+		t.Errorf("no-counter time = %d, want native %d", tm, native)
+	}
+}
+
+func TestSampledProfiler(t *testing.T) {
+	p := NewSampledProfiler(cache.P4L2, 10)
+	// PC 0xA misses constantly (streaming); PC 0xB always hits after the
+	// first touch.
+	for i := uint64(0); i < 5000; i++ {
+		p.Ref(0xA, 0x1_0000_0000+i*4096, 8, false)
+		p.Ref(0xB, 0x2000, 8, false)
+	}
+	if p.Refs != 10000 {
+		t.Errorf("Refs = %d", p.Refs)
+	}
+	if p.Interrupts == 0 {
+		t.Fatal("no interrupts at sample size 10")
+	}
+	set := p.DelinquentSet(0.90)
+	if !set[0xA] {
+		t.Error("streaming PC must be in the sampled delinquent set")
+	}
+	if set[0xB] {
+		t.Error("resident PC must not be sampled as delinquent")
+	}
+	if p.OverheadCycles(DefaultSamplingModel) == 0 {
+		t.Error("interrupts must cost cycles")
+	}
+	// Coarser sampling sees fewer PCs.
+	coarse := NewSampledProfiler(cache.P4L2, 1_000_000)
+	for i := uint64(0); i < 5000; i++ {
+		coarse.Ref(0xA, 0x3_0000_0000+i*4096, 8, false)
+	}
+	if len(coarse.DelinquentSet(0.90)) != 0 {
+		t.Error("sample size beyond the miss count must see nothing")
+	}
+	if empty := NewSampledProfiler(cache.P4L2, 0); empty.sampleSize != 1 {
+		t.Error("sample size 0 must clamp to 1")
+	}
+}

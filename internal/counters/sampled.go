@@ -1,0 +1,103 @@
+package counters
+
+import (
+	"sort"
+
+	"umi/internal/cache"
+)
+
+// SampledProfiler models what interrupt-driven counter sampling can
+// actually deliver for delinquent-load identification (§1.2: counters "add
+// significant overhead to provide context-specific information, and
+// gathering profiles at instruction granularity is an order of magnitude
+// more expensive"). Every sampleSize-th L2 miss raises an interrupt whose
+// handler records the program counter of the missing instruction; the
+// resulting histogram is the PMU analogue of UMI's prediction set P.
+//
+// The profiler observes the ground-truth reference stream through a
+// vm.RefHook and maintains its own L2 image (the same geometry as the
+// hardware), so its miss attribution is exact up to the sampling — the
+// best case for a PMU.
+type SampledProfiler struct {
+	l2         *cache.Cache
+	sampleSize uint64
+	missCount  uint64
+
+	// Samples maps PC -> sampled miss count.
+	Samples map[uint64]uint64
+	// Interrupts counts handler invocations (each costs
+	// SamplingModel.InterruptCycles).
+	Interrupts uint64
+	// Refs counts observed references.
+	Refs uint64
+}
+
+// NewSampledProfiler builds a profiler for the given L2 geometry and
+// counter sample size.
+func NewSampledProfiler(l2 cache.Config, sampleSize uint64) *SampledProfiler {
+	if sampleSize == 0 {
+		sampleSize = 1
+	}
+	return &SampledProfiler{
+		l2:         cache.New(l2),
+		sampleSize: sampleSize,
+		Samples:    make(map[uint64]uint64),
+	}
+}
+
+// Ref observes one memory reference (vm.RefHook signature).
+func (p *SampledProfiler) Ref(pc, addr uint64, size uint8, write bool) {
+	p.Refs++
+	if p.l2.Access(addr).Hit {
+		return
+	}
+	p.missCount++
+	if p.missCount%p.sampleSize == 0 {
+		p.Interrupts++
+		if !write {
+			p.Samples[pc]++
+		}
+	}
+}
+
+// OverheadCycles returns the modelled profiling cost under the given
+// sampling model.
+func (p *SampledProfiler) OverheadCycles(m SamplingModel) uint64 {
+	return p.Interrupts * m.InterruptCycles
+}
+
+// DelinquentSet returns the minimal set of sampled PCs covering the given
+// fraction of sampled misses — the PMU counterpart of the paper's C/P
+// construction.
+func (p *SampledProfiler) DelinquentSet(coverage float64) map[uint64]bool {
+	type rec struct {
+		pc uint64
+		n  uint64
+	}
+	var recs []rec
+	var total uint64
+	for pc, n := range p.Samples {
+		recs = append(recs, rec{pc, n})
+		total += n
+	}
+	set := make(map[uint64]bool)
+	if total == 0 {
+		return set
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].n != recs[j].n {
+			return recs[i].n > recs[j].n
+		}
+		return recs[i].pc < recs[j].pc
+	})
+	need := uint64(coverage * float64(total))
+	var acc uint64
+	for _, r := range recs {
+		if acc >= need {
+			break
+		}
+		set[r.pc] = true
+		acc += r.n
+	}
+	return set
+}

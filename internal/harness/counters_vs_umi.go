@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+
+	"umi/internal/counters"
+	"umi/internal/stats"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+// CountersVsUMI quantifies §1.2's tradeoff: what delinquent-load quality
+// does interrupt-driven counter sampling buy at each overhead level,
+// against UMI's quality at its own (low, fixed) overhead? For each counter
+// sample size, the PMU profiler records the PC of every Nth L2 miss; its
+// 90%-coverage PC set is scored against the Cachegrind reference exactly
+// like UMI's prediction set.
+
+// CvURow is one sampling configuration.
+type CvURow struct {
+	Label       string
+	SampleSize  uint64
+	OverheadPct float64
+	Recall      float64
+	FalsePos    float64
+	SetSize     int
+}
+
+// CvUResult compares PMU sampling against UMI on one benchmark.
+type CvUResult struct {
+	Benchmark string
+	Rows      []CvURow
+}
+
+// CountersVsUMIRun runs the comparison for the named benchmarks (default:
+// mcf, the paper's Table 1 subject).
+func CountersVsUMIRun(benchNames []string) ([]*CvUResult, error) {
+	if benchNames == nil {
+		// One heavy misser (PMU-friendly), one moderate, one light: the
+		// lighter the benchmark, the finer (and costlier) the sampling a
+		// PMU needs before it sees anything at all.
+		benchNames = []string{"181.mcf", "171.swim", "168.wupwise"}
+	}
+	model := counters.DefaultSamplingModel
+	var out []*CvUResult
+	for _, name := range benchNames {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		cg, err := RunCachegrind(w, P4)
+		if err != nil {
+			return nil, err
+		}
+		truth := cg.DelinquentSet(0.90)
+		native, err := RunNative(w, P4, false)
+		if err != nil {
+			return nil, err
+		}
+
+		res := &CvUResult{Benchmark: name}
+		for _, size := range []uint64{10, 100, 1_000, 10_000, 100_000} {
+			prof := counters.NewSampledProfiler(P4.L2, size)
+			m := vm.New(w.Program(), nil)
+			m.RefHook = prof.Ref
+			if err := m.Run(MaxInstrs); err != nil {
+				return nil, err
+			}
+			pred := prof.DelinquentSet(0.90)
+			res.Rows = append(res.Rows, CvURow{
+				Label:       fmt.Sprintf("PMU@%d", size),
+				SampleSize:  size,
+				OverheadPct: 100 * float64(prof.OverheadCycles(model)) / float64(native.Cycles),
+				Recall:      stats.Recall(pred, truth),
+				FalsePos:    stats.FalsePositiveRatio(pred, truth),
+				SetSize:     len(pred),
+			})
+		}
+
+		umiRun, err := RunUMI(w, P4, UMIParams(P4), false, false)
+		if err != nil {
+			return nil, err
+		}
+		pred := umiRun.Report.Delinquent
+		res.Rows = append(res.Rows, CvURow{
+			Label:       "UMI",
+			OverheadPct: 100 * (float64(umiRun.TotalCycles())/float64(native.Cycles) - 1),
+			Recall:      stats.Recall(pred, truth),
+			FalsePos:    stats.FalsePositiveRatio(pred, truth),
+			SetSize:     len(pred),
+		})
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderCvU renders the comparison.
+func RenderCvU(results []*CvUResult) string {
+	var s string
+	for _, r := range results {
+		t := stats.NewTable(
+			fmt.Sprintf("Counter sampling vs UMI on %s (§1.2): quality per overhead", r.Benchmark),
+			"Profiler", "Overhead", "Recall", "False Pos", "|set|")
+		for _, row := range r.Rows {
+			t.AddRow(row.Label, fmt.Sprintf("%.2f%%", row.OverheadPct),
+				stats.Pct(row.Recall), stats.Pct(row.FalsePos), fmt.Sprint(row.SetSize))
+		}
+		s += t.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+
+	"umi/internal/stats"
+	"umi/internal/workloads"
+)
+
+// ---------------------------------------------------------------------
+// Figure 2 — runtime overhead of the substrate and UMI.
+// ---------------------------------------------------------------------
+
+// Fig2Row is one benchmark's overhead bars, as ratios to native time.
+type Fig2Row struct {
+	Name        string
+	RIO         float64 // substrate only ("DynamoRIO" bar)
+	UMINoSamp   float64 // UMI without sampling reinforcement
+	UMISampling float64 // UMI with sampling
+}
+
+// Fig2Result reproduces Figure 2.
+type Fig2Result struct {
+	Rows    []Fig2Row
+	GeoRIO  float64
+	GeoNoS  float64
+	GeoSamp float64
+}
+
+// Fig2 measures runtime overhead on the Pentium 4 with hardware
+// prefetching enabled, as the paper's Figure 2 does (nil = the 32 core
+// benchmarks).
+func Fig2(names []string) (*Fig2Result, error) {
+	ws, err := selectWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{}
+	var rs, ns, ss []float64
+	for _, w := range ws {
+		native, err := RunNative(w, P4, true)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := RunRIO(w, P4, true)
+		if err != nil {
+			return nil, err
+		}
+		cfgNo := UMIParams(P4)
+		cfgNo.UseSampling = false
+		noSamp, err := RunUMI(w, P4, cfgNo, true, false)
+		if err != nil {
+			return nil, err
+		}
+		samp, err := RunUMI(w, P4, UMIParams(P4), true, false)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{
+			Name:        w.Name,
+			RIO:         float64(rt.TotalCycles()) / float64(native.Cycles),
+			UMINoSamp:   float64(noSamp.TotalCycles()) / float64(native.Cycles),
+			UMISampling: float64(samp.TotalCycles()) / float64(native.Cycles),
+		}
+		rs = append(rs, row.RIO)
+		ns = append(ns, row.UMINoSamp)
+		ss = append(ss, row.UMISampling)
+		res.Rows = append(res.Rows, row)
+	}
+	res.GeoRIO = stats.GeoMean(rs)
+	res.GeoNoS = stats.GeoMean(ns)
+	res.GeoSamp = stats.GeoMean(ss)
+	return res, nil
+}
+
+func (r *Fig2Result) String() string {
+	t := stats.NewTable("Figure 2: runtime overhead on Pentium 4 (ratios to native; 1.00 = no overhead)",
+		"Benchmark", "DynamoRIO", "UMI no-sampling", "UMI sampling")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%.3f", row.RIO),
+			fmt.Sprintf("%.3f", row.UMINoSamp), fmt.Sprintf("%.3f", row.UMISampling))
+	}
+	t.AddRow("geomean", fmt.Sprintf("%.3f", r.GeoRIO),
+		fmt.Sprintf("%.3f", r.GeoNoS), fmt.Sprintf("%.3f", r.GeoSamp))
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figures 3-5 — running time with software prefetching.
+// ---------------------------------------------------------------------
+
+// PrefetchRow is one benchmark's normalized running times for a
+// prefetching figure. Fields not used by a given figure are zero.
+type PrefetchRow struct {
+	Name     string
+	Inserted int     // prefetches the optimizer injected
+	UMIOnly  float64 // introspection, no optimization
+	UMISW    float64 // introspection + software prefetching
+	HWOnly   float64 // native with hardware prefetch (Fig 5)
+	UMISWHW  float64 // software + hardware combined (Fig 5)
+	// Figure 6 companions: L2 misses normalized to native-no-prefetch.
+	MissSW   float64
+	MissHW   float64
+	MissBoth float64
+}
+
+// PrefetchResult covers Figures 3, 4, 5 and 6.
+type PrefetchResult struct {
+	Title   string
+	Rows    []PrefetchRow
+	GeoUMI  float64
+	GeoSW   float64
+	GeoHW   float64
+	GeoBoth float64
+}
+
+// prefetchCandidates runs the selected benchmarks with the optimizer
+// attached on the given platform and keeps those where it found
+// opportunities (the paper found 11 of 32).
+func prefetchCandidates(names []string, p *Platform) ([]*workloads.Workload, error) {
+	ws, err := selectWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	var out []*workloads.Workload
+	for _, w := range ws {
+		run, err := RunUMI(w, p, UMIParams(p), false, true)
+		if err != nil {
+			return nil, err
+		}
+		if run.Opt != nil && len(run.Opt.Insertions) > 0 {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// Fig3 reproduces Figure 3: running time on the Pentium 4 with hardware
+// prefetching disabled, normalized to native, for the benchmarks with
+// prefetching opportunities.
+func Fig3(names []string) (*PrefetchResult, error) {
+	return prefetchFigure("Figure 3: running time on Pentium 4, HW prefetch disabled (normalized to native)",
+		names, P4)
+}
+
+// Fig4 reproduces Figure 4: the same experiment on the AMD K7.
+func Fig4(names []string) (*PrefetchResult, error) {
+	return prefetchFigure("Figure 4: running time on AMD K7 (normalized to native)", names, K7)
+}
+
+func prefetchFigure(title string, names []string, p *Platform) (*PrefetchResult, error) {
+	cands, err := prefetchCandidates(names, p)
+	if err != nil {
+		return nil, err
+	}
+	res := &PrefetchResult{Title: title}
+	var umiOnly, umiSW []float64
+	for _, w := range cands {
+		native, err := RunNative(w, p, false)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := RunUMI(w, p, UMIParams(p), false, false)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := RunUMI(w, p, UMIParams(p), false, true)
+		if err != nil {
+			return nil, err
+		}
+		row := PrefetchRow{
+			Name:     w.Name,
+			Inserted: len(sw.Opt.Insertions),
+			UMIOnly:  float64(plain.TotalCycles()) / float64(native.Cycles),
+			UMISW:    float64(sw.TotalCycles()) / float64(native.Cycles),
+		}
+		umiOnly = append(umiOnly, row.UMIOnly)
+		umiSW = append(umiSW, row.UMISW)
+		res.Rows = append(res.Rows, row)
+	}
+	res.GeoUMI = stats.GeoMean(umiOnly)
+	res.GeoSW = stats.GeoMean(umiSW)
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: Pentium 4 with hardware prefetchers enabled;
+// bars normalized to native execution with no prefetching.
+func Fig5(names []string) (*PrefetchResult, error) {
+	cands, err := prefetchCandidates(names, P4)
+	if err != nil {
+		return nil, err
+	}
+	res := &PrefetchResult{
+		Title: "Figure 5: running time on Pentium 4, HW prefetch enabled (normalized to native, no prefetching)",
+	}
+	var sws, hws, boths []float64
+	for _, w := range cands {
+		base, err := RunNative(w, P4, false) // native, no prefetching
+		if err != nil {
+			return nil, err
+		}
+		sw, err := RunUMI(w, P4, UMIParams(P4), false, true) // SW only
+		if err != nil {
+			return nil, err
+		}
+		hw, err := RunNative(w, P4, true) // HW only
+		if err != nil {
+			return nil, err
+		}
+		both, err := RunUMI(w, P4, UMIParams(P4), true, true) // SW + HW
+		if err != nil {
+			return nil, err
+		}
+		row := PrefetchRow{
+			Name:     w.Name,
+			Inserted: len(sw.Opt.Insertions),
+			UMISW:    float64(sw.TotalCycles()) / float64(base.Cycles),
+			HWOnly:   float64(hw.Cycles) / float64(base.Cycles),
+			UMISWHW:  float64(both.TotalCycles()) / float64(base.Cycles),
+		}
+		sws = append(sws, row.UMISW)
+		hws = append(hws, row.HWOnly)
+		boths = append(boths, row.UMISWHW)
+		res.Rows = append(res.Rows, row)
+	}
+	res.GeoSW = stats.GeoMean(sws)
+	res.GeoHW = stats.GeoMean(hws)
+	res.GeoBoth = stats.GeoMean(boths)
+	return res, nil
+}
+
+// Fig6 reproduces Figure 6: L2 misses on the Pentium 4 under software,
+// hardware, and combined prefetching, normalized to native execution with
+// no prefetching. Lower is better; the combination should reduce misses
+// more than either scheme alone (the paper's cumulative-coverage finding).
+func Fig6(names []string) (*PrefetchResult, error) {
+	cands, err := prefetchCandidates(names, P4)
+	if err != nil {
+		return nil, err
+	}
+	res := &PrefetchResult{
+		Title: "Figure 6: L2 misses on Pentium 4 (normalized to native, no prefetching)",
+	}
+	var sws, hws, boths []float64
+	for _, w := range cands {
+		base, err := RunNative(w, P4, false)
+		if err != nil {
+			return nil, err
+		}
+		baseMiss := float64(base.H.L2Stats.Misses)
+		if baseMiss == 0 {
+			continue
+		}
+		sw, err := RunUMI(w, P4, UMIParams(P4), false, true)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := RunNative(w, P4, true)
+		if err != nil {
+			return nil, err
+		}
+		both, err := RunUMI(w, P4, UMIParams(P4), true, true)
+		if err != nil {
+			return nil, err
+		}
+		row := PrefetchRow{
+			Name:     w.Name,
+			MissSW:   float64(sw.H.L2Stats.Misses) / baseMiss,
+			MissHW:   float64(hw.H.L2Stats.Misses) / baseMiss,
+			MissBoth: float64(both.H.L2Stats.Misses) / baseMiss,
+		}
+		sws = append(sws, row.MissSW)
+		hws = append(hws, row.MissHW)
+		boths = append(boths, row.MissBoth)
+		res.Rows = append(res.Rows, row)
+	}
+	res.GeoSW = stats.GeoMean(sws)
+	res.GeoHW = stats.GeoMean(hws)
+	res.GeoBoth = stats.GeoMean(boths)
+	return res, nil
+}
+
+func (r *PrefetchResult) String() string {
+	switch {
+	case len(r.Rows) > 0 && r.Rows[0].MissSW > 0:
+		t := stats.NewTable(r.Title, "Benchmark", "SW misses", "HW misses", "SW+HW misses")
+		for _, row := range r.Rows {
+			t.AddRow(row.Name, fmt.Sprintf("%.3f", row.MissSW),
+				fmt.Sprintf("%.3f", row.MissHW), fmt.Sprintf("%.3f", row.MissBoth))
+		}
+		t.AddRow("geomean", fmt.Sprintf("%.3f", r.GeoSW),
+			fmt.Sprintf("%.3f", r.GeoHW), fmt.Sprintf("%.3f", r.GeoBoth))
+		return t.String()
+	case len(r.Rows) > 0 && r.Rows[0].HWOnly > 0:
+		t := stats.NewTable(r.Title, "Benchmark", "#pf", "UMI+SW", "HW only", "SW+HW")
+		for _, row := range r.Rows {
+			t.AddRow(row.Name, fmt.Sprint(row.Inserted), fmt.Sprintf("%.3f", row.UMISW),
+				fmt.Sprintf("%.3f", row.HWOnly), fmt.Sprintf("%.3f", row.UMISWHW))
+		}
+		t.AddRow("geomean", "", fmt.Sprintf("%.3f", r.GeoSW),
+			fmt.Sprintf("%.3f", r.GeoHW), fmt.Sprintf("%.3f", r.GeoBoth))
+		return t.String()
+	default:
+		t := stats.NewTable(r.Title, "Benchmark", "#pf", "UMI only", "UMI+SW prefetch")
+		for _, row := range r.Rows {
+			t.AddRow(row.Name, fmt.Sprint(row.Inserted),
+				fmt.Sprintf("%.3f", row.UMIOnly), fmt.Sprintf("%.3f", row.UMISW))
+		}
+		t.AddRow("geomean", "", fmt.Sprintf("%.3f", r.GeoUMI), fmt.Sprintf("%.3f", r.GeoSW))
+		return t.String()
+	}
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"fmt"
+
+	"umi/internal/stats"
+	"umi/internal/workloads"
+)
+
+// Sensitivity studies from §7.2: the frequency threshold sweep and the
+// address-profile length sweep, both on 181.mcf (memory intensive, stable
+// loops) and 197.parser (low miss ratio, short dynamic loops) — the
+// paper's two representative benchmarks.
+
+// SensPoint is one configuration's prediction quality.
+type SensPoint struct {
+	Value          int // threshold or profile rows
+	Recall         float64
+	FalsePositives float64
+	OverheadPct    float64
+	PredSize       int
+}
+
+// SensResult is one benchmark's sweep.
+type SensResult struct {
+	Benchmark string
+	Param     string
+	Points    []SensPoint
+}
+
+// SensitivityThreshold sweeps the sampling frequency threshold in powers
+// of two from 1 to 1024 (§7.2).
+func SensitivityThreshold(benchNames []string) ([]*SensResult, error) {
+	if benchNames == nil {
+		benchNames = []string{"181.mcf", "197.parser"}
+	}
+	var out []*SensResult
+	for _, name := range benchNames {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		cg, err := RunCachegrind(w, P4)
+		if err != nil {
+			return nil, err
+		}
+		truth := cg.DelinquentSet(0.90)
+		native, err := RunNative(w, P4, false)
+		if err != nil {
+			return nil, err
+		}
+		res := &SensResult{Benchmark: name, Param: "frequency threshold"}
+		for th := 1; th <= 1024; th *= 2 {
+			cfg := UMIParams(P4)
+			cfg.FrequencyThreshold = th
+			run, err := RunUMI(w, P4, cfg, false, false)
+			if err != nil {
+				return nil, err
+			}
+			p := run.Report.Delinquent
+			res.Points = append(res.Points, SensPoint{
+				Value:          th,
+				Recall:         stats.Recall(p, truth),
+				FalsePositives: stats.FalsePositiveRatio(p, truth),
+				OverheadPct:    100 * (float64(run.TotalCycles())/float64(native.Cycles) - 1),
+				PredSize:       len(p),
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SensitivityProfileLen sweeps the address-profile length (executions
+// recorded per trace) in powers of two from 64 to 32K (§7.2).
+func SensitivityProfileLen(benchNames []string) ([]*SensResult, error) {
+	if benchNames == nil {
+		benchNames = []string{"181.mcf", "197.parser"}
+	}
+	var out []*SensResult
+	for _, name := range benchNames {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		cg, err := RunCachegrind(w, P4)
+		if err != nil {
+			return nil, err
+		}
+		truth := cg.DelinquentSet(0.90)
+		native, err := RunNative(w, P4, false)
+		if err != nil {
+			return nil, err
+		}
+		res := &SensResult{Benchmark: name, Param: "address profile rows"}
+		for rows := 64; rows <= 32768; rows *= 2 {
+			cfg := UMIParams(P4)
+			cfg.AddressProfileRows = rows
+			// Keep the global trace-profile trigger from firing before
+			// a single profile fills, as in the paper's setup.
+			if cfg.TraceProfileLen < rows {
+				cfg.TraceProfileLen = rows * 4
+			}
+			run, err := RunUMI(w, P4, cfg, false, false)
+			if err != nil {
+				return nil, err
+			}
+			p := run.Report.Delinquent
+			res.Points = append(res.Points, SensPoint{
+				Value:          rows,
+				Recall:         stats.Recall(p, truth),
+				FalsePositives: stats.FalsePositiveRatio(p, truth),
+				OverheadPct:    100 * (float64(run.TotalCycles())/float64(native.Cycles) - 1),
+				PredSize:       len(p),
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderSens renders a sweep result set.
+func RenderSens(results []*SensResult) string {
+	var s string
+	for _, r := range results {
+		t := stats.NewTable(fmt.Sprintf("Sensitivity: %s vs %s", r.Benchmark, r.Param),
+			r.Param, "Recall", "False Pos", "Overhead", "|P|")
+		for _, pt := range r.Points {
+			t.AddRow(fmt.Sprint(pt.Value), stats.Pct(pt.Recall), stats.Pct(pt.FalsePositives),
+				fmt.Sprintf("%.1f%%", pt.OverheadPct), fmt.Sprint(pt.PredSize))
+		}
+		s += t.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary instruction encoding.
+//
+// Each instruction occupies exactly InstrBytes (16) bytes, little endian:
+//
+//	byte  0     opcode
+//	byte  1     Rd
+//	byte  2     Rs1
+//	byte  3     Rs2
+//	byte  4     Cond
+//	byte  5     Size
+//	byte  6     Mem.Base
+//	byte  7     Mem.Index<<4 | hasIndexBit | scaleCode (scaleCode: 0..3 for 1,2,4,8)
+//	bytes 8-15  primary immediate (Imm) OR Mem.Disp for memory ops
+//
+// Memory instructions have no room for both a 64-bit displacement and a
+// 64-bit immediate; they use none of Imm. OpBrI packs its compare value
+// (Imm2) into bytes 2..3 being registers is unaffected; Imm2 is stored as a
+// 16-bit signed value in bytes 4..5 would clash with Cond/Size, so instead
+// OpBrI restricts Imm2 to a 32-bit signed value stored in bytes 4..7 of a
+// second layout selected by the opcode. See encodeBrI/decodeBrI.
+
+const (
+	scaleShift  = 4
+	hasIndexBit = 0x04
+	ntBit       = 0x80 // non-temporal flag, stored in the Cond byte of memory ops
+)
+
+func scaleCode(s uint8) (uint8, error) {
+	switch s {
+	case 0, 1:
+		return 0, nil
+	case 2:
+		return 1, nil
+	case 4:
+		return 2, nil
+	case 8:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("isa: invalid scale %d", s)
+}
+
+func scaleFromCode(c uint8) uint8 { return 1 << c }
+
+// Encode writes the instruction into dst, which must be at least InstrBytes
+// long. It returns an error for malformed instructions.
+func (in *Instr) Encode(dst []byte) error {
+	if len(dst) < InstrBytes {
+		return fmt.Errorf("isa: encode buffer too short: %d", len(dst))
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < InstrBytes; i++ {
+		dst[i] = 0
+	}
+	dst[0] = byte(in.Op)
+	dst[1] = byte(in.Rd)
+	dst[2] = byte(in.Rs1)
+	dst[3] = byte(in.Rs2)
+	if in.Op == OpBrI {
+		return in.encodeBrI(dst)
+	}
+	dst[4] = byte(in.Cond)
+	if in.Op.IsMemory() && in.NT {
+		dst[4] |= ntBit // Cond is unused by memory ops
+	}
+	dst[5] = in.Size
+	if in.Op.IsMemory() {
+		dst[6] = byte(in.Mem.Base)
+		if in.Mem.Index == NoReg {
+			dst[7] = 0 // hasIndex bit clear
+		} else {
+			sc, err := scaleCode(in.Mem.Scale)
+			if err != nil {
+				return err
+			}
+			dst[7] = byte(in.Mem.Index)<<scaleShift | hasIndexBit | sc
+		}
+		binary.LittleEndian.PutUint64(dst[8:], uint64(in.Mem.Disp))
+		return nil
+	}
+	dst[6] = 0xFF // NoReg base marks "no memory operand"
+	binary.LittleEndian.PutUint64(dst[8:], uint64(in.Imm))
+	return nil
+}
+
+// encodeBrI uses bytes 4..7 for the 32-bit compare immediate and 8..15 for
+// the branch target.
+func (in *Instr) encodeBrI(dst []byte) error {
+	if in.Imm2 < -(1<<31) || in.Imm2 >= 1<<31 {
+		return fmt.Errorf("isa: bri compare immediate %d out of 32-bit range", in.Imm2)
+	}
+	dst[3] = byte(in.Cond) // Rs2 slot is free for OpBrI
+	binary.LittleEndian.PutUint32(dst[4:], uint32(int32(in.Imm2)))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(in.Imm))
+	return nil
+}
+
+// Decode reads one instruction from src, which must hold at least
+// InstrBytes bytes.
+func Decode(src []byte) (Instr, error) {
+	if len(src) < InstrBytes {
+		return Instr{}, fmt.Errorf("isa: decode buffer too short: %d", len(src))
+	}
+	var in Instr
+	in.Op = Op(src[0])
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode byte %d", src[0])
+	}
+	in.Rd = Reg(src[1])
+	in.Rs1 = Reg(src[2])
+	if in.Op == OpBrI {
+		in.Cond = Cond(src[3])
+		in.Imm2 = int64(int32(binary.LittleEndian.Uint32(src[4:])))
+		in.Imm = int64(binary.LittleEndian.Uint64(src[8:]))
+		in.Mem = NoMem
+		in.Rs2 = 0
+		if err := in.Validate(); err != nil {
+			return Instr{}, err
+		}
+		return in, nil
+	}
+	in.Rs2 = Reg(src[3])
+	in.Cond = Cond(src[4])
+	in.Size = src[5]
+	if in.Op.IsMemory() {
+		if src[4]&ntBit != 0 {
+			in.NT = true
+			in.Cond = Cond(src[4] &^ ntBit)
+		}
+		in.Mem.Base = Reg(src[6])
+		if src[7]&hasIndexBit == 0 {
+			in.Mem.Index = NoReg
+			in.Mem.Scale = 0
+		} else {
+			in.Mem.Index = Reg(src[7] >> scaleShift)
+			in.Mem.Scale = scaleFromCode(src[7] & 0x03)
+		}
+		in.Mem.Disp = int64(binary.LittleEndian.Uint64(src[8:]))
+	} else {
+		in.Mem = NoMem
+		in.Imm = int64(binary.LittleEndian.Uint64(src[8:]))
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// EncodeAll encodes a sequence of instructions into a flat image.
+func EncodeAll(ins []Instr) ([]byte, error) {
+	buf := make([]byte, len(ins)*InstrBytes)
+	for i := range ins {
+		if err := ins[i].Encode(buf[i*InstrBytes:]); err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeAll decodes a flat image back into instructions. The image length
+// must be a multiple of InstrBytes.
+func DecodeAll(img []byte) ([]Instr, error) {
+	if len(img)%InstrBytes != 0 {
+		return nil, fmt.Errorf("isa: image length %d not a multiple of %d", len(img), InstrBytes)
+	}
+	out := make([]Instr, 0, len(img)/InstrBytes)
+	for off := 0; off < len(img); off += InstrBytes {
+		in, err := Decode(img[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: offset %d: %w", off, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"}, {R12, "r12"}, {SP, "sp"}, {BP, "bp"}, {LR, "lr"}, {NoReg, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(c.r), got, c.want)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpLoad.IsMemory() || !OpStore.IsMemory() || !OpPrefetch.IsMemory() {
+		t.Error("load/store/prefetch must be memory ops")
+	}
+	if OpAdd.IsMemory() {
+		t.Error("add is not a memory op")
+	}
+	if !OpLoad.IsLoad() || OpStore.IsLoad() || OpPrefetch.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpStore.IsStore() || OpLoad.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	for _, op := range []Op{OpJmp, OpBr, OpBrI, OpCall, OpRet, OpJmpInd, OpHalt} {
+		if !op.IsBranch() {
+			t.Errorf("%v must be a branch", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLoad, OpMovI} {
+		if op.IsBranch() {
+			t.Errorf("%v must not be a branch", op)
+		}
+	}
+	if !OpBr.IsConditional() || !OpBrI.IsConditional() || OpJmp.IsConditional() {
+		t.Error("IsConditional misclassifies")
+	}
+	if !OpRet.IsIndirect() || !OpJmpInd.IsIndirect() || OpJmp.IsIndirect() {
+		t.Error("IsIndirect misclassifies")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondLT, ^uint64(0), 1, true}, // -1 < 1 signed
+		{CondLTU, ^uint64(0), 1, false},
+		{CondGE, 7, 7, true},
+		{CondGT, 8, 7, true},
+		{CondGT, 7, 7, false},
+		{CondLE, 7, 7, true},
+		{CondGEU, ^uint64(0), 1, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d, %d) = %v, want %v", c.c, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMemRefClassification(t *testing.T) {
+	if !(MemRef{Base: NoReg, Index: NoReg, Disp: 0x1000}).IsStatic() {
+		t.Error("absolute reference must be static")
+	}
+	if (MemRef{Base: R1, Index: NoReg}).IsStatic() {
+		t.Error("based reference must not be static")
+	}
+	if !(MemRef{Base: SP, Index: NoReg}).IsStackRelative() {
+		t.Error("sp-based reference must be stack relative")
+	}
+	if !(MemRef{Base: BP, Index: NoReg}).IsStackRelative() {
+		t.Error("bp-based reference must be stack relative")
+	}
+	if (MemRef{Base: R3, Index: NoReg}).IsStackRelative() {
+		t.Error("r3-based reference must not be stack relative")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpLoad, Rd: R1, Size: 8, Mem: MemRef{Base: R2, Index: R3, Scale: 8, Disp: 16}}
+	s := in.String()
+	for _, want := range []string{"load8", "r1", "r2", "r3*8", "+16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestTarget(t *testing.T) {
+	in := Instr{Op: OpBr, Cond: CondLT, Rs1: R0, Rs2: R1, Imm: 0x400}
+	tgt, ok := in.Target()
+	if !ok || tgt != 0x400 {
+		t.Errorf("Target() = %#x, %v; want 0x400, true", tgt, ok)
+	}
+	if _, ok := (&Instr{Op: OpRet}).Target(); ok {
+		t.Error("ret must not report a static target")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Instr{
+		{Op: numOps},
+		{Op: OpAdd, Rd: 99, Rs1: R0, Rs2: R0},
+		{Op: OpLoad, Rd: R0, Size: 3, Mem: MemRef{Base: R1, Index: NoReg}},
+		{Op: OpLoad, Rd: R0, Size: 8, Mem: MemRef{Base: R1, Index: R2, Scale: 5}},
+		{Op: OpBr, Cond: numConds, Rs1: R0, Rs2: R1},
+		{Op: OpJmpInd, Rs1: 200},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate() accepted invalid instruction", i, in)
+		}
+	}
+}
+
+func TestEncodeDecodeFixed(t *testing.T) {
+	cases := []Instr{
+		{Op: OpNop, Mem: NoMem},
+		{Op: OpHalt, Mem: NoMem},
+		{Op: OpAdd, Rd: R1, Rs1: R2, Rs2: R3, Mem: NoMem},
+		{Op: OpMovI, Rd: R5, Imm: -123456789, Mem: NoMem},
+		{Op: OpLoad, Rd: R1, Size: 8, Mem: MemRef{Base: R2, Index: R3, Scale: 4, Disp: -64}},
+		{Op: OpStore, Rs1: R7, Size: 4, Mem: MemRef{Base: SP, Index: NoReg, Disp: 24}},
+		{Op: OpPrefetch, Mem: MemRef{Base: R9, Index: NoReg, Disp: 512}},
+		{Op: OpLoad, Rd: R0, Size: 1, Mem: MemRef{Base: NoReg, Index: NoReg, Disp: 0x100000}},
+		{Op: OpJmp, Imm: 0x12340, Mem: NoMem},
+		{Op: OpBr, Cond: CondGE, Rs1: R4, Rs2: R5, Imm: 0x80, Mem: NoMem},
+		{Op: OpBrI, Cond: CondLT, Rs1: R4, Imm2: -7, Imm: 0x80, Mem: NoMem},
+		{Op: OpCall, Imm: 0x9990, Mem: NoMem},
+		{Op: OpRet, Mem: NoMem},
+		{Op: OpJmpInd, Rs1: R11, Mem: NoMem},
+	}
+	var buf [InstrBytes]byte
+	for i, in := range cases {
+		if err := in.Encode(buf[:]); err != nil {
+			t.Fatalf("case %d: Encode: %v", i, err)
+		}
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if got != in {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, in)
+		}
+	}
+}
+
+func TestEncodeRejectsShortBuffer(t *testing.T) {
+	in := Instr{Op: OpNop, Mem: NoMem}
+	if err := in.Encode(make([]byte, InstrBytes-1)); err == nil {
+		t.Error("Encode accepted short buffer")
+	}
+	if _, err := Decode(make([]byte, InstrBytes-1)); err == nil {
+		t.Error("Decode accepted short buffer")
+	}
+}
+
+func TestBrIImmediateRange(t *testing.T) {
+	in := Instr{Op: OpBrI, Cond: CondEQ, Rs1: R0, Imm2: 1 << 40, Imm: 0, Mem: NoMem}
+	var buf [InstrBytes]byte
+	if err := in.Encode(buf[:]); err == nil {
+		t.Error("Encode accepted out-of-range bri immediate")
+	}
+}
+
+// randInstr generates a canonical random instruction: one whose unused
+// fields are zeroed the way Decode leaves them, so encode/decode must be an
+// exact identity.
+func randInstr(r *rand.Rand) Instr {
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	size := func() uint8 { return uint8(1 << r.Intn(4)) }
+	mem := func() MemRef {
+		m := MemRef{Base: NoReg, Index: NoReg}
+		if r.Intn(4) != 0 {
+			m.Base = reg()
+		}
+		if r.Intn(2) == 0 {
+			m.Index = reg()
+			m.Scale = uint8(1 << r.Intn(4))
+		}
+		m.Disp = int64(r.Intn(1<<20)) - 1<<19
+		return m
+	}
+	switch r.Intn(10) {
+	case 0:
+		return Instr{Op: OpAdd, Rd: reg(), Rs1: reg(), Rs2: reg(), Mem: NoMem}
+	case 1:
+		return Instr{Op: OpAddI, Rd: reg(), Rs1: reg(), Imm: int64(r.Int31()), Mem: NoMem}
+	case 2:
+		return Instr{Op: OpMovI, Rd: reg(), Imm: int64(int32(r.Uint32())), Mem: NoMem}
+	case 3:
+		return Instr{Op: OpLoad, Rd: reg(), Size: size(), Mem: mem()}
+	case 4:
+		return Instr{Op: OpStore, Rs1: reg(), Size: size(), Mem: mem()}
+	case 5:
+		return Instr{Op: OpPrefetch, Mem: mem()}
+	case 6:
+		return Instr{Op: OpJmp, Imm: int64(r.Intn(1 << 30)), Mem: NoMem}
+	case 7:
+		return Instr{Op: OpBr, Cond: Cond(r.Intn(int(numConds))), Rs1: reg(), Rs2: reg(),
+			Imm: int64(r.Intn(1 << 30)), Mem: NoMem}
+	case 8:
+		return Instr{Op: OpBrI, Cond: Cond(r.Intn(int(numConds))), Rs1: reg(),
+			Imm2: int64(int32(r.Uint32())), Imm: int64(r.Intn(1 << 30)), Mem: NoMem}
+	default:
+		return Instr{Op: OpMul, Rd: reg(), Rs1: reg(), Rs2: reg(), Mem: NoMem}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		_ = seed
+		in := randInstr(r)
+		var buf [InstrBytes]byte
+		if err := in.Encode(buf[:]); err != nil {
+			t.Logf("Encode(%+v): %v", in, err)
+			return false
+		}
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Logf("Decode: %v", err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ins := make([]Instr, 100)
+	for i := range ins {
+		ins[i] = randInstr(r)
+	}
+	img, err := EncodeAll(ins)
+	if err != nil {
+		t.Fatalf("EncodeAll: %v", err)
+	}
+	if len(img) != 100*InstrBytes {
+		t.Fatalf("image length = %d, want %d", len(img), 100*InstrBytes)
+	}
+	back, err := DecodeAll(img)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	for i := range ins {
+		if back[i] != ins[i] {
+			t.Fatalf("instruction %d mismatch: got %+v want %+v", i, back[i], ins[i])
+		}
+	}
+	if _, err := DecodeAll(img[:InstrBytes+1]); err == nil {
+		t.Error("DecodeAll accepted misaligned image")
+	}
+}
+
+func TestBaseCostPositive(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		in := Instr{Op: op}
+		if in.BaseCost() == 0 {
+			t.Errorf("%v: base cost must be positive", op)
+		}
+	}
+	div := Instr{Op: OpDiv}
+	add := Instr{Op: OpAdd}
+	if div.BaseCost() <= add.BaseCost() {
+		t.Error("div must cost more than add")
+	}
+}
+
+func TestNTEncodeDecode(t *testing.T) {
+	cases := []Instr{
+		{Op: OpLoad, Rd: R1, Size: 8, NT: true, Mem: MemRef{Base: R2, Index: NoReg}},
+		{Op: OpStore, Rs1: R1, Size: 4, NT: true, Mem: MemRef{Base: R2, Index: R3, Scale: 8, Disp: 8}},
+		{Op: OpLoad, Rd: R1, Size: 8, NT: false, Mem: MemRef{Base: R2, Index: NoReg}},
+	}
+	var buf [InstrBytes]byte
+	for i, in := range cases {
+		if err := in.Encode(buf[:]); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != in {
+			t.Errorf("case %d: %+v -> %+v", i, in, got)
+		}
+	}
+	in := Instr{Op: OpLoad, Rd: R1, Size: 8, NT: true, Mem: MemRef{Base: R2, Index: NoReg}}
+	if s := in.String(); !strings.Contains(s, "load8.nt") {
+		t.Errorf("String = %q, want .nt suffix", s)
+	}
+}
+
+func TestStringAllOps(t *testing.T) {
+	// Every opcode must render without the fallback formatter.
+	ins := []Instr{
+		{Op: OpNop}, {Op: OpHalt}, {Op: OpRet},
+		{Op: OpAdd, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpSub, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpMul, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpDiv, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpAnd, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpOr, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpXor, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpShl, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpShr, Rd: R0, Rs1: R1, Rs2: R2},
+		{Op: OpAddI, Rd: R0, Rs1: R1, Imm: 1},
+		{Op: OpMulI, Rd: R0, Rs1: R1, Imm: 2},
+		{Op: OpAndI, Rd: R0, Rs1: R1, Imm: 3},
+		{Op: OpShrI, Rd: R0, Rs1: R1, Imm: 4},
+		{Op: OpMov, Rd: R0, Rs1: R1},
+		{Op: OpMovI, Rd: R0, Imm: 5},
+		{Op: OpLoad, Rd: R0, Size: 8, Mem: Mem(R1, 0)},
+		{Op: OpStore, Rs1: R0, Size: 8, Mem: Mem(R1, 0)},
+		{Op: OpPrefetch, Mem: Mem(R1, 0)},
+		{Op: OpJmp, Imm: 0x400000},
+		{Op: OpBr, Cond: CondEQ, Rs1: R0, Rs2: R1, Imm: 0x400000},
+		{Op: OpBrI, Cond: CondNE, Rs1: R0, Imm2: 7, Imm: 0x400000},
+		{Op: OpCall, Imm: 0x400000},
+		{Op: OpJmpInd, Rs1: R0},
+	}
+	for _, in := range ins {
+		s := in.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("%v renders as %q", in.Op, s)
+		}
+	}
+	if Op(200).String() == "" || Cond(200).String() == "" || Reg(200).String() == "" {
+		t.Error("fallback formatters must render")
+	}
+}
+
+func TestMemRefStringForms(t *testing.T) {
+	cases := []struct {
+		m    MemRef
+		want string
+	}{
+		{Mem(R2, 0), "[r2]"},
+		{Mem(R2, 16), "[r2+16]"},
+		{Mem(R2, -8), "[r2-8]"},
+		{MemIdx(R2, R3, 8, 0), "[r2+r3*8]"},
+		{MemIdx(R2, R3, 4, -4), "[r2+r3*4-4]"},
+		{MemRef{Base: NoReg, Index: R3, Scale: 2, Disp: 64}, "[r3*2+64]"},
+		{MemAbs(4096), "[+4096]"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("MemRef %+v = %q, want %q", c.m, got, c.want)
+		}
+	}
+}

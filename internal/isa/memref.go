@@ -1,0 +1,16 @@
+package isa
+
+// Mem returns a base+displacement memory operand.
+func Mem(base Reg, disp int64) MemRef {
+	return MemRef{Base: base, Index: NoReg, Disp: disp}
+}
+
+// MemIdx returns a base+index*scale+displacement memory operand.
+func MemIdx(base, index Reg, scale uint8, disp int64) MemRef {
+	return MemRef{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// MemAbs returns an absolute (static) memory operand.
+func MemAbs(addr uint64) MemRef {
+	return MemRef{Base: NoReg, Index: NoReg, Disp: int64(addr)}
+}

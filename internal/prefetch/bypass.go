@@ -1,0 +1,87 @@
+package prefetch
+
+import (
+	"umi/internal/rio"
+	"umi/internal/umi"
+)
+
+// NTOptimizer is a second online optimization built on UMI's profiles (the
+// paper's conclusion: optimizations using UMI "can replace or enhance
+// hardware techniques such as prefetchers and cache replacement policies").
+// It marks streaming delinquent loads non-temporal, so their lines bypass
+// the L2 and stop evicting the resident working set — an online
+// cache-replacement enhancement.
+//
+// Selection rule: a load qualifies when the mini-simulator labelled it
+// delinquent AND its reference pattern is a confident stride (streaming
+// data with no reuse; pointer chases have no stride and irregular gathers
+// no confidence, and both might be re-referenced, so they keep normal
+// caching).
+type NTOptimizer struct {
+	// MinConfidence gates the stride evidence (default 0.60).
+	MinConfidence float64
+	done          map[uint64]bool
+	// Rewritten records the loads marked non-temporal.
+	Rewritten []uint64
+}
+
+// NewNTOptimizer returns an optimizer with default thresholds.
+func NewNTOptimizer() *NTOptimizer {
+	return &NTOptimizer{MinConfidence: 0.60, done: make(map[uint64]bool)}
+}
+
+// Hook returns the umi.System OnAnalyzed callback performing the rewrite.
+func (o *NTOptimizer) Hook() func(*rio.Fragment, *umi.Analyzer) *rio.Fragment {
+	return func(clean *rio.Fragment, an *umi.Analyzer) *rio.Fragment {
+		return o.Apply(clean, an.Delinquent(), an.Strides())
+	}
+}
+
+// Apply returns a rewritten fragment with qualifying loads marked
+// non-temporal, or nil when nothing qualifies.
+func (o *NTOptimizer) Apply(f *rio.Fragment, delinquent map[uint64]bool,
+	strides map[uint64]umi.StrideInfo) *rio.Fragment {
+	var hits []int
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if !in.Op.IsLoad() || in.NT {
+			continue
+		}
+		pc := f.PCs[i]
+		if o.done[pc] || !delinquent[pc] {
+			continue
+		}
+		si, ok := strides[pc]
+		if !ok || si.Confidence < o.MinConfidence || si.Stride == 0 {
+			continue
+		}
+		hits = append(hits, i)
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	nf := f.Clone()
+	for _, i := range hits {
+		nf.Instrs[i].NT = true
+		o.done[nf.PCs[i]] = true
+		o.Rewritten = append(o.Rewritten, nf.PCs[i])
+	}
+	return nf
+}
+
+// Chain composes OnAnalyzed hooks: each receives the previous rewrite (or
+// the original fragment) and may refine it further, so the prefetcher and
+// the bypass optimizer can run together.
+func Chain(hooks ...func(*rio.Fragment, *umi.Analyzer) *rio.Fragment) func(*rio.Fragment, *umi.Analyzer) *rio.Fragment {
+	return func(clean *rio.Fragment, an *umi.Analyzer) *rio.Fragment {
+		var out *rio.Fragment
+		cur := clean
+		for _, h := range hooks {
+			if nf := h(cur, an); nf != nil {
+				cur = nf
+				out = nf
+			}
+		}
+		return out
+	}
+}

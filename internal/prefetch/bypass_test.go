@@ -1,0 +1,215 @@
+package prefetch
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/rio"
+	"umi/internal/umi"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+func TestNTApplySelectsStreamingLoads(t *testing.T) {
+	f := fragWithLoads()
+	o := NewNTOptimizer()
+	delinq := map[uint64]bool{f.PCs[0]: true, f.PCs[2]: true}
+	strides := map[uint64]umi.StrideInfo{
+		f.PCs[0]: {Stride: 64, Confidence: 0.95}, // qualifies
+		f.PCs[2]: {Stride: 64, Confidence: 0.10}, // low confidence: no
+	}
+	nf := o.Apply(f, delinq, strides)
+	if nf == nil {
+		t.Fatal("no rewrite")
+	}
+	if !nf.Instrs[0].NT {
+		t.Error("streaming load must be marked NT")
+	}
+	if nf.Instrs[2].NT {
+		t.Error("low-confidence load must not be marked NT")
+	}
+	if f.Instrs[0].NT {
+		t.Error("original fragment must be untouched")
+	}
+	if len(o.Rewritten) != 1 {
+		t.Errorf("Rewritten = %v", o.Rewritten)
+	}
+	// Idempotent: second call finds nothing new.
+	if again := o.Apply(nf, delinq, strides); again != nil {
+		t.Error("second Apply must be a no-op")
+	}
+}
+
+func TestHierarchyAccessNTDoesNotPolluteL2(t *testing.T) {
+	h := cache.NewP4(false)
+	// Fill part of the L2 with a resident set.
+	for i := uint64(0); i < 1024; i++ {
+		h.Access(0x2000_0000+i*64, 8, false)
+	}
+	// Stream 8 MiB with NT accesses: none may be installed into L2.
+	for addr := uint64(0x4000_0000); addr < 0x4080_0000; addr += 64 {
+		h.AccessNT(addr, 8, false)
+	}
+	// Every resident line must still be in L2 (L1 may have churned).
+	for i := uint64(0); i < 1024; i++ {
+		if !h.L2.Probe(0x2000_0000 + i*64) {
+			t.Fatalf("resident line %d evicted by NT stream", i)
+		}
+	}
+	// The stream itself counted as misses.
+	if h.L2Stats.Misses == 0 {
+		t.Error("NT misses must be counted")
+	}
+}
+
+func TestAccessNTHitsResidentLines(t *testing.T) {
+	h := cache.NewP4(false)
+	h.Access(0x1000_0000, 8, false) // install normally
+	// Evict from L1 via conflicting lines.
+	for i := uint64(1); i <= 8; i++ {
+		h.Access(0x1000_0000+i*8192, 8, false)
+	}
+	before := h.L2Stats.Misses
+	if stall := h.AccessNT(0x1000_0000, 8, false); stall != h.Lat.L2Hit {
+		t.Errorf("NT access to resident line stalls %d, want L2 hit %d", stall, h.Lat.L2Hit)
+	}
+	if h.L2Stats.Misses != before {
+		t.Error("NT hit must not count as a miss")
+	}
+}
+
+// End to end: a program that streams 8 MiB while cycling a 384 KiB
+// resident set. Without the bypass, the stream thrashes the resident set
+// out of the 512 KiB L2; with UMI's online NT rewrite, the resident set
+// stays and total misses drop.
+func bypassWorkload(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("bypass")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))          // stream base
+	e.MovI(isa.R5, int64(program.HeapBase+(64<<20))) // resident base
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 1_000_000)
+	l := b.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0)) // stream: 1 line/iter
+	l.Add(isa.R7, isa.R7, isa.R1)
+	// Six resident loads per iteration, line-strided, wrapping in 384 KiB.
+	for j := 0; j < 6; j++ {
+		l.AddI(isa.R12, isa.R0, int64(j)*1024)
+		l.AndI(isa.R12, isa.R12, (48<<10)-1) // 48K elems = 384 KiB
+		l.Load(isa.R4, 8, isa.MemIdx(isa.R5, isa.R12, 8, 0))
+		l.Add(isa.R7, isa.R7, isa.R4)
+	}
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	b.Block("done").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestEndToEndBypassReducesMisses(t *testing.T) {
+	p := bypassWorkload(t)
+	run := func(withNT bool) (uint64, uint64, *NTOptimizer) {
+		h := cache.NewP4(false)
+		m := vm.New(p, h)
+		rt := rio.NewRuntime(m)
+		cfg := umi.DefaultConfig(cache.P4L2)
+		cfg.SamplePeriod = 500
+		cfg.FrequencyThreshold = 4
+		cfg.ReinstrumentGap = 100_000
+		s := umi.Attach(rt, cfg)
+		var o *NTOptimizer
+		if withNT {
+			o = NewNTOptimizer()
+			s.OnAnalyzed = o.Hook()
+		}
+		if err := rt.Run(100_000_000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		s.Finish()
+		return h.L2Stats.Misses, rt.TotalCycles(), o
+	}
+	baseMiss, baseCycles, _ := run(false)
+	ntMiss, ntCycles, o := run(true)
+	if o == nil || len(o.Rewritten) == 0 {
+		t.Fatal("no loads rewritten to NT")
+	}
+	if ntMiss >= baseMiss {
+		t.Errorf("NT bypass must cut L2 misses: %d >= %d", ntMiss, baseMiss)
+	}
+	if ntCycles >= baseCycles {
+		t.Errorf("NT bypass must speed the program up: %d >= %d cycles", ntCycles, baseCycles)
+	}
+	t.Logf("misses %d -> %d (%.0f%%), cycles %d -> %d (%.1f%% faster)",
+		baseMiss, ntMiss, 100*float64(ntMiss)/float64(baseMiss),
+		baseCycles, ntCycles, 100*(1-float64(ntCycles)/float64(baseCycles)))
+}
+
+func TestChainComposesOptimizers(t *testing.T) {
+	p := bypassWorkload(t)
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	rt := rio.NewRuntime(m)
+	cfg := umi.DefaultConfig(cache.P4L2)
+	cfg.SamplePeriod = 500
+	cfg.FrequencyThreshold = 4
+	cfg.ReinstrumentGap = 100_000
+	s := umi.Attach(rt, cfg)
+	pf := NewOptimizer(DefaultConfig)
+	nt := NewNTOptimizer()
+	s.OnAnalyzed = Chain(pf.Hook(), nt.Hook())
+	if err := rt.Run(100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Finish()
+	if len(pf.Insertions) == 0 && len(nt.Rewritten) == 0 {
+		t.Error("chained optimizers did nothing")
+	}
+}
+
+// TestOptimizersPreserveSemantics runs bundled workloads under the full
+// UMI stack with both online optimizers chained and requires the final
+// architectural state to match native execution — runtime rewriting must
+// be invisible to the program.
+func TestOptimizersPreserveSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several workloads twice")
+	}
+	for _, name := range []string{"171.swim", "181.mcf", "ft", "164.gzip", "treeadd"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatal("workload missing")
+			}
+			p := w.Program()
+			native := vm.New(p, nil)
+			if err := native.Run(100_000_000); err != nil {
+				t.Fatalf("native: %v", err)
+			}
+
+			h := cache.NewP4(false)
+			m := vm.New(p, h)
+			rt := rio.NewRuntime(m)
+			cfg := umi.DefaultConfig(cache.P4L2)
+			cfg.SamplePeriod = 1000
+			cfg.FrequencyThreshold = 4
+			cfg.ReinstrumentGap = 100_000
+			s := umi.Attach(rt, cfg)
+			s.OnAnalyzed = Chain(NewOptimizer(DefaultConfig).Hook(), NewNTOptimizer().Hook())
+			if err := rt.Run(100_000_000); err != nil {
+				t.Fatalf("umi: %v", err)
+			}
+			s.Finish()
+			if m.Regs != native.Regs {
+				t.Errorf("registers diverged under online optimization:\nnative %v\numi    %v",
+					native.Regs, m.Regs)
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+// Package prefetch implements the paper's example runtime optimization
+// (§8): a software stride prefetcher driven by UMI's online profiling. For
+// every load the mini-simulator labelled delinquent and for which it
+// discovered a dominant stride, the optimizer rewrites the load's trace to
+// issue a prefetch ahead of the access stream. The rewrite happens at the
+// analysis boundary, while the application runs.
+package prefetch
+
+import (
+	"fmt"
+
+	"umi/internal/isa"
+	"umi/internal/rio"
+	"umi/internal/umi"
+)
+
+// Config tunes the prefetch planner.
+type Config struct {
+	// MinConfidence is the minimum fraction of successive-address deltas
+	// the dominant stride must explain before it is trusted.
+	MinConfidence float64
+	// LookaheadLines is how many cache lines ahead of the access stream
+	// the prefetch should land. The distance in iterations is derived
+	// per load from its stride — this is the per-reference tuning that
+	// let UMI beat the hardware prefetcher on ft.
+	LookaheadLines int
+	// MaxDistance caps the derived iteration distance.
+	MaxDistance int64
+	// LineSize of the target cache.
+	LineSize int64
+	// MaxStride: strides larger than this (in bytes, absolute) are not
+	// prefetched; a huge stride usually means pointer chasing noise.
+	MaxStride int64
+}
+
+// DefaultConfig matches the evaluation setup.
+var DefaultConfig = Config{
+	MinConfidence:  0.60,
+	LookaheadLines: 4,
+	MaxDistance:    64,
+	LineSize:       64,
+	MaxStride:      4096,
+}
+
+// Insertion describes one planned prefetch: before the load at Index in
+// the fragment, prefetch its address displaced by Stride*Distance bytes.
+type Insertion struct {
+	Index    int
+	PC       uint64
+	Stride   int64
+	Distance int64 // iterations ahead
+}
+
+// AheadBytes is the displacement the prefetch adds to the load's address.
+func (in Insertion) AheadBytes() int64 { return in.Stride * in.Distance }
+
+func (in Insertion) String() string {
+	return fmt.Sprintf("prefetch@%#x stride=%d dist=%d (+%d bytes)",
+		in.PC, in.Stride, in.Distance, in.AheadBytes())
+}
+
+// Optimizer plans and applies prefetch rewrites, remembering which loads
+// it has already handled so repeated analyses do not stack prefetches.
+type Optimizer struct {
+	Cfg Config
+	// Tune configures history-driven distance selection; AutoDistance
+	// enables it (§8's "closer to the optimal prefetching distance").
+	Tune         TuneConfig
+	AutoDistance bool
+	done         map[uint64]bool
+	// Insertions records every applied insertion, for reporting.
+	Insertions []Insertion
+}
+
+// NewOptimizer returns an optimizer with the given planner config.
+func NewOptimizer(cfg Config) *Optimizer {
+	return &Optimizer{Cfg: cfg, Tune: DefaultTune, done: make(map[uint64]bool)}
+}
+
+// Hook returns the umi.System OnAnalyzed callback that rewrites traces as
+// their profiles are analyzed.
+func (o *Optimizer) Hook() func(*rio.Fragment, *umi.Analyzer) *rio.Fragment {
+	return func(clean *rio.Fragment, an *umi.Analyzer) *rio.Fragment {
+		plan := o.Plan(clean, an.Delinquent(), an.Strides())
+		if len(plan) == 0 {
+			return nil
+		}
+		if o.AutoDistance {
+			// Approximate cycles per trace iteration from base costs.
+			var cyclesPerIter uint64
+			for i := range clean.Instrs {
+				cyclesPerIter += clean.Instrs[i].BaseCost()
+			}
+			for i := range plan {
+				o.planTuned(&plan[i], an, cyclesPerIter)
+			}
+		}
+		return o.Apply(clean, plan)
+	}
+}
+
+// Plan computes the insertions for a fragment given the delinquent set and
+// stride table.
+func (o *Optimizer) Plan(f *rio.Fragment, delinquent map[uint64]bool, strides map[uint64]umi.StrideInfo) []Insertion {
+	var plan []Insertion
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if !in.Op.IsLoad() {
+			continue
+		}
+		pc := f.PCs[i]
+		if o.done[pc] || !delinquent[pc] {
+			continue
+		}
+		si, ok := strides[pc]
+		if !ok || si.Confidence < o.Cfg.MinConfidence || si.Stride == 0 {
+			continue
+		}
+		stride := si.Stride
+		if stride > o.Cfg.MaxStride || stride < -o.Cfg.MaxStride {
+			continue
+		}
+		dist := o.distance(stride)
+		plan = append(plan, Insertion{Index: i, PC: pc, Stride: stride, Distance: dist})
+	}
+	return plan
+}
+
+// distance derives the iteration distance so the prefetch lands about
+// LookaheadLines cache lines ahead.
+func (o *Optimizer) distance(stride int64) int64 {
+	abs := stride
+	if abs < 0 {
+		abs = -abs
+	}
+	target := int64(o.Cfg.LookaheadLines) * o.Cfg.LineSize
+	d := (target + abs - 1) / abs
+	if d < 1 {
+		d = 1
+	}
+	if d > o.Cfg.MaxDistance {
+		d = o.Cfg.MaxDistance
+	}
+	return d
+}
+
+// Apply returns a new fragment with the planned prefetches inserted
+// immediately before their loads. The prefetch reuses the load's memory
+// operand with the lookahead folded into the displacement, and inherits
+// the load's application PC (it is runtime-injected code with no
+// application address of its own).
+func (o *Optimizer) Apply(f *rio.Fragment, plan []Insertion) *rio.Fragment {
+	nf := &rio.Fragment{
+		ID:      f.ID,
+		Start:   f.Start,
+		IsTrace: f.IsTrace,
+	}
+	next := 0
+	for i := range f.Instrs {
+		if next < len(plan) && plan[next].Index == i {
+			ins := plan[next]
+			next++
+			ld := &f.Instrs[i]
+			ref := ld.Mem
+			ref.Disp += ins.AheadBytes()
+			nf.Instrs = append(nf.Instrs, isa.Instr{Op: isa.OpPrefetch, Mem: ref})
+			nf.PCs = append(nf.PCs, f.PCs[i])
+			o.done[ins.PC] = true
+			o.Insertions = append(o.Insertions, ins)
+		}
+		nf.Instrs = append(nf.Instrs, f.Instrs[i])
+		nf.PCs = append(nf.PCs, f.PCs[i])
+	}
+	return nf
+}

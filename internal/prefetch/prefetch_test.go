@@ -1,0 +1,272 @@
+package prefetch
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/rio"
+	"umi/internal/umi"
+	"umi/internal/vm"
+)
+
+func fragWithLoads() *rio.Fragment {
+	instrs := []isa.Instr{
+		{Op: isa.OpLoad, Rd: isa.R1, Size: 8, Mem: isa.MemIdx(isa.R2, isa.R0, 8, 0)},
+		{Op: isa.OpAdd, Rd: isa.R3, Rs1: isa.R3, Rs2: isa.R1, Mem: isa.NoMem},
+		{Op: isa.OpLoad, Rd: isa.R4, Size: 8, Mem: isa.Mem(isa.R5, 0)},
+		{Op: isa.OpAddI, Rd: isa.R0, Rs1: isa.R0, Imm: 8, Mem: isa.NoMem},
+		{Op: isa.OpBr, Cond: isa.CondLT, Rs1: isa.R0, Rs2: isa.R6, Imm: 0x400000, Mem: isa.NoMem},
+	}
+	pcs := make([]uint64, len(instrs))
+	for i := range pcs {
+		pcs[i] = 0x400000 + uint64(i)*isa.InstrBytes
+	}
+	return &rio.Fragment{Start: pcs[0], Instrs: instrs, PCs: pcs, IsTrace: true}
+}
+
+func TestPlanSelectsDelinquentStridedLoads(t *testing.T) {
+	f := fragWithLoads()
+	o := NewOptimizer(DefaultConfig)
+	delinq := map[uint64]bool{f.PCs[0]: true}
+	strides := map[uint64]umi.StrideInfo{
+		f.PCs[0]: {Stride: 64, Confidence: 0.95},
+		f.PCs[2]: {Stride: 64, Confidence: 0.95}, // not delinquent
+	}
+	plan := o.Plan(f, delinq, strides)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v, want 1 insertion", plan)
+	}
+	if plan[0].Index != 0 || plan[0].Stride != 64 {
+		t.Errorf("insertion = %+v", plan[0])
+	}
+	// Lookahead 4 lines at stride 64 = 4 iterations ahead.
+	if plan[0].Distance != 4 {
+		t.Errorf("distance = %d, want 4", plan[0].Distance)
+	}
+}
+
+func TestPlanRejectsLowConfidenceAndHugeStrides(t *testing.T) {
+	f := fragWithLoads()
+	o := NewOptimizer(DefaultConfig)
+	delinq := map[uint64]bool{f.PCs[0]: true, f.PCs[2]: true}
+	strides := map[uint64]umi.StrideInfo{
+		f.PCs[0]: {Stride: 64, Confidence: 0.3},      // low confidence
+		f.PCs[2]: {Stride: 1 << 20, Confidence: 0.9}, // huge stride
+	}
+	if plan := o.Plan(f, delinq, strides); len(plan) != 0 {
+		t.Errorf("plan = %v, want empty", plan)
+	}
+}
+
+func TestDistanceDerivation(t *testing.T) {
+	o := NewOptimizer(DefaultConfig)
+	cases := []struct {
+		stride int64
+		want   int64
+	}{
+		{8, 32},  // small stride: far ahead in iterations
+		{64, 4},  // line stride: lookahead lines
+		{256, 1}, // big stride: single iteration
+		{-64, 4}, // negative stride: same magnitude
+		{1, 64},  // capped at MaxDistance (256/1 > 64)
+	}
+	for _, c := range cases {
+		if got := o.distance(c.stride); got != c.want {
+			t.Errorf("distance(%d) = %d, want %d", c.stride, got, c.want)
+		}
+	}
+}
+
+func TestApplyInsertsPrefetchBeforeLoad(t *testing.T) {
+	f := fragWithLoads()
+	o := NewOptimizer(DefaultConfig)
+	plan := []Insertion{{Index: 0, PC: f.PCs[0], Stride: 64, Distance: 4}}
+	nf := o.Apply(f, plan)
+	if len(nf.Instrs) != len(f.Instrs)+1 {
+		t.Fatalf("rewritten length = %d, want %d", len(nf.Instrs), len(f.Instrs)+1)
+	}
+	if nf.Instrs[0].Op != isa.OpPrefetch {
+		t.Fatalf("first instr = %v, want prefetch", nf.Instrs[0])
+	}
+	if nf.Instrs[1].Op != isa.OpLoad {
+		t.Fatalf("second instr = %v, want the original load", nf.Instrs[1])
+	}
+	want := f.Instrs[0].Mem
+	want.Disp += 256
+	if nf.Instrs[0].Mem != want {
+		t.Errorf("prefetch operand = %v, want %v", nf.Instrs[0].Mem, want)
+	}
+	if nf.PCs[0] != f.PCs[0] {
+		t.Error("prefetch must inherit the load's application PC")
+	}
+	// Idempotence: the load is marked done, a second plan is empty.
+	if plan2 := o.Plan(nf, map[uint64]bool{f.PCs[0]: true},
+		map[uint64]umi.StrideInfo{f.PCs[0]: {Stride: 64, Confidence: 1}}); len(plan2) != 0 {
+		t.Errorf("second plan = %v, want empty (already prefetched)", plan2)
+	}
+}
+
+// streamProgram walks a large array with 64-byte stride; its single load
+// is highly delinquent and perfectly strided.
+func streamProgram(t *testing.T, elems int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("stream")
+	e := b.Block("entry")
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, elems)
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.MovI(isa.R3, 0)
+	l := b.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.Add(isa.R3, isa.R3, isa.R1)
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	b.Block("done").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// runWithUMI executes the program under UMI, optionally with the software
+// prefetcher attached, and returns total modelled cycles and the hierarchy.
+func runWithUMI(t *testing.T, p *program.Program, withPrefetch bool) (uint64, *cache.Hierarchy, *Optimizer) {
+	t.Helper()
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	rt := rio.NewRuntime(m)
+	cfg := umi.DefaultConfig(cache.P4L2)
+	cfg.SamplePeriod = 500
+	cfg.FrequencyThreshold = 4
+	cfg.ReinstrumentGap = 100_000
+	s := umi.Attach(rt, cfg)
+	var o *Optimizer
+	if withPrefetch {
+		o = NewOptimizer(DefaultConfig)
+		s.OnAnalyzed = o.Hook()
+	}
+	if err := rt.Run(100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Finish()
+	return rt.TotalCycles(), h, o
+}
+
+func TestEndToEndPrefetchingSpeedsUpStream(t *testing.T) {
+	p := streamProgram(t, 1_000_000)
+	base, hBase, _ := runWithUMI(t, p, false)
+	opt, hOpt, o := runWithUMI(t, p, true)
+	if o == nil || len(o.Insertions) == 0 {
+		t.Fatal("optimizer inserted no prefetches")
+	}
+	if hOpt.L2Stats.PrefetchedHits == 0 {
+		t.Fatal("no useful prefetches at the hierarchy")
+	}
+	if opt >= base {
+		t.Errorf("prefetching must speed up the stream: %d >= %d cycles", opt, base)
+	}
+	speedup := float64(base) / float64(opt)
+	if speedup < 1.05 {
+		t.Errorf("speedup = %.3f, want >= 1.05 on a pure stream", speedup)
+	}
+	if hOpt.L2Stats.Misses >= hBase.L2Stats.Misses {
+		t.Errorf("L2 misses with prefetch %d >= without %d",
+			hOpt.L2Stats.Misses, hBase.L2Stats.Misses)
+	}
+}
+
+func TestDistanceAccuracy(t *testing.T) {
+	// Pure stride-64 column: any distance is perfectly accurate.
+	col := make([]uint64, 64)
+	for i := range col {
+		col[i] = uint64(i) * 64
+	}
+	for _, d := range []int64{1, 4, 16} {
+		if acc := DistanceAccuracy(col, 64, d, 64); acc != 1.0 {
+			t.Errorf("pure stride accuracy(d=%d) = %.2f, want 1.0", d, acc)
+		}
+	}
+	// A column that restarts every 8 iterations (inner loop re-entry):
+	// large distances cross the restart and lose accuracy.
+	restart := make([]uint64, 64)
+	for i := range restart {
+		restart[i] = uint64(i%8) * 64
+	}
+	small := DistanceAccuracy(restart, 64, 1, 64)
+	large := DistanceAccuracy(restart, 64, 16, 64)
+	if small <= large {
+		t.Errorf("restarting column: accuracy(1)=%.2f must exceed accuracy(16)=%.2f",
+			small, large)
+	}
+	if DistanceAccuracy(col, 64, 0, 64) != 0 || DistanceAccuracy(col, 64, 100, 64) != 0 {
+		t.Error("degenerate distances must report 0")
+	}
+}
+
+func TestTuneDistancePrefersSmallestTimely(t *testing.T) {
+	col := make([]uint64, 64)
+	for i := range col {
+		col[i] = uint64(i) * 64
+	}
+	cfg := DefaultTune
+	// Slow iterations: even distance 1 hides the latency.
+	d, ok := TuneDistance(cfg, col, 64, 300)
+	if !ok || d != 1 {
+		t.Errorf("slow loop: d=%d ok=%v, want 1 true", d, ok)
+	}
+	// Fast iterations (20 cycles): need d >= ceil(210/20) = 11 -> 16.
+	d, ok = TuneDistance(cfg, col, 64, 20)
+	if !ok || d != 16 {
+		t.Errorf("fast loop: d=%d ok=%v, want 16 true", d, ok)
+	}
+	// Restarting column with fast iterations: no distance is both timely
+	// and accurate; the tuner still returns its best timely guess.
+	restart := make([]uint64, 64)
+	for i := range restart {
+		restart[i] = uint64(i%4) * 64
+	}
+	_, ok = TuneDistance(cfg, restart, 64, 20)
+	if ok {
+		t.Error("restarting fast loop must report no accurate distance")
+	}
+	// Ultra-fast loop where nothing is timely: falls back to largest.
+	tiny := TuneConfig{Candidates: []int64{1, 2}, MinAccuracy: 0.7,
+		LatencyCycles: 1000, LineSize: 64}
+	d, _ = TuneDistance(tiny, col, 64, 1)
+	if d != 2 {
+		t.Errorf("untimely fallback d=%d, want largest candidate 2", d)
+	}
+}
+
+func TestAutoDistanceEndToEnd(t *testing.T) {
+	// The stream loop is short (fast iterations): the tuner must choose a
+	// larger distance than the static lookahead heuristic's 4.
+	p := streamProgram(t, 1_000_000)
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	rt := rio.NewRuntime(m)
+	cfg := umi.DefaultConfig(cache.P4L2)
+	cfg.SamplePeriod = 500
+	cfg.FrequencyThreshold = 4
+	cfg.ReinstrumentGap = 100_000
+	s := umi.Attach(rt, cfg)
+	o := NewOptimizer(DefaultConfig)
+	o.AutoDistance = true
+	s.OnAnalyzed = o.Hook()
+	if err := rt.Run(100_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Finish()
+	if len(o.Insertions) == 0 {
+		t.Fatal("no insertions")
+	}
+	ins := o.Insertions[0]
+	// Loop body ~7 instructions => ~10 cycles/iter: timely needs d >= 16
+	// (in DefaultTune's candidate ladder) against the 210-cycle latency.
+	if ins.Distance < 16 {
+		t.Errorf("tuned distance = %d, want >= 16 for a fast loop", ins.Distance)
+	}
+}

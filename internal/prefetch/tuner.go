@@ -1,0 +1,109 @@
+package prefetch
+
+import "umi/internal/umi"
+
+// Prefetch-distance tuning from recorded history (§8: "UMI was able to
+// pick a prefetch distance that is closer to the optimal prefetching
+// distance compared to the hardware prefetcher. This highlights an
+// important advantage of UMI, namely that a more detailed analysis of the
+// access patterns is possible in software").
+//
+// For a delinquent load with recorded address column addr[0..n), a
+// prefetch at distance d issued during iteration i targets
+// addr[i] + stride*d and is useful for iteration i+d when that target
+// shares a cache line with addr[i+d] — the *accuracy* of distance d, which
+// the recorded history answers exactly. Timeliness requires the prefetch
+// to be issued at least latency cycles before use: d * cyclesPerIter >=
+// latency. The tuner picks the smallest candidate distance that is both
+// timely and accurate, minimizing the prefetch's cache-residency window
+// (too-large distances let prefetched lines get evicted before use).
+
+// TuneConfig parameterizes distance selection.
+type TuneConfig struct {
+	// Candidates are the distances evaluated, ascending.
+	Candidates []int64
+	// MinAccuracy is the required fraction of iterations whose reference
+	// the prefetch would have covered.
+	MinAccuracy float64
+	// LatencyCycles is the fill latency a timely prefetch must hide.
+	LatencyCycles uint64
+	// LineSize of the target cache.
+	LineSize int64
+}
+
+// DefaultTune matches the modelled Pentium 4 memory latency.
+var DefaultTune = TuneConfig{
+	Candidates:    []int64{1, 2, 4, 8, 16, 32},
+	MinAccuracy:   0.7,
+	LatencyCycles: 210,
+	LineSize:      64,
+}
+
+// DistanceAccuracy returns the fraction of iterations d..n-1 whose
+// recorded address lands in the line a distance-d prefetch (issued at
+// iteration i-d with the given stride) would have fetched.
+func DistanceAccuracy(column []uint64, stride, d, lineSize int64) float64 {
+	if d <= 0 || int(d) >= len(column) {
+		return 0
+	}
+	covered, total := 0, 0
+	mask := ^uint64(lineSize - 1)
+	for i := int(d); i < len(column); i++ {
+		total++
+		target := column[i-int(d)] + uint64(stride*d)
+		if target&mask == column[i]&mask {
+			covered++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// TuneDistance picks the smallest candidate distance that is timely (d *
+// cyclesPerIter >= latency) and accurate against the recorded column. When
+// no candidate is both, it returns the most accurate timely candidate;
+// with no timely candidate at all it returns the largest. ok reports
+// whether the returned distance met MinAccuracy.
+func TuneDistance(cfg TuneConfig, column []uint64, stride int64, cyclesPerIter uint64) (int64, bool) {
+	if cyclesPerIter == 0 {
+		cyclesPerIter = 1
+	}
+	bestD, bestAcc := int64(0), -1.0
+	for _, d := range cfg.Candidates {
+		timely := uint64(d)*cyclesPerIter >= cfg.LatencyCycles
+		if !timely {
+			continue
+		}
+		acc := DistanceAccuracy(column, stride, d, cfg.LineSize)
+		if acc >= cfg.MinAccuracy {
+			return d, true
+		}
+		if acc > bestAcc {
+			bestD, bestAcc = d, acc
+		}
+	}
+	if bestD != 0 {
+		return bestD, bestAcc >= cfg.MinAccuracy
+	}
+	// Nothing timely: fall back to the largest candidate.
+	if n := len(cfg.Candidates); n > 0 {
+		d := cfg.Candidates[n-1]
+		return d, DistanceAccuracy(column, stride, d, cfg.LineSize) >= cfg.MinAccuracy
+	}
+	return 1, false
+}
+
+// planTuned augments Plan with history-driven distances when the analyzer
+// retained a column for the load. cyclesPerIter comes from the fragment
+// length (base cost approximation).
+func (o *Optimizer) planTuned(ins *Insertion, an *umi.Analyzer, cyclesPerIter uint64) {
+	col, ok := an.Column(ins.PC)
+	if !ok || len(col) < 8 {
+		return
+	}
+	if d, good := TuneDistance(o.Tune, col, ins.Stride, cyclesPerIter); good {
+		ins.Distance = d
+	}
+}

@@ -1,0 +1,327 @@
+package program
+
+import (
+	"fmt"
+
+	"umi/internal/isa"
+)
+
+// Builder constructs a Program from labelled basic blocks. Blocks are laid
+// out in definition order starting at CodeBase. Branch targets are symbolic
+// labels resolved during Assemble. A block that does not end in a
+// terminator falls through: Assemble appends an explicit jump to the next
+// block, so every assembled block ends with a branch (the property the
+// runtime's block discovery relies on).
+type Builder struct {
+	name   string
+	blocks []*BlockBuilder
+	byName map[string]*BlockBuilder
+	entry  string
+	data   []DataSegment
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]*BlockBuilder)}
+}
+
+// SetEntry selects the entry block by label. If never called, the first
+// defined block is the entry.
+func (b *Builder) SetEntry(label string) { b.entry = label }
+
+// Block starts (or retrieves, if already started) the block with the given
+// label. Revisiting a block appends to it.
+func (b *Builder) Block(label string) *BlockBuilder {
+	if blk, ok := b.byName[label]; ok {
+		return blk
+	}
+	blk := &BlockBuilder{b: b, label: label}
+	b.blocks = append(b.blocks, blk)
+	b.byName[label] = blk
+	return blk
+}
+
+// AddData registers a host-initialized data segment.
+func (b *Builder) AddData(addr uint64, bytes []byte) {
+	b.data = append(b.data, DataSegment{Addr: addr, Bytes: bytes})
+}
+
+// AddWords installs 8-byte little-endian words starting at addr.
+func (b *Builder) AddWords(addr uint64, words []uint64) {
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	b.AddData(addr, buf)
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Assemble lays out the blocks, resolves labels, validates and returns the
+// Program.
+func (b *Builder) Assemble() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.blocks) == 0 {
+		return nil, fmt.Errorf("program %s: no blocks", b.name)
+	}
+	// Lay out blocks and assign addresses.
+	symbols := make(map[string]uint64, len(b.blocks))
+	total := 0
+	for i, blk := range b.blocks {
+		symbols[blk.label] = CodeBase + uint64(total)*isa.InstrBytes
+		n := len(blk.instrs)
+		if !blk.terminated() && i < len(b.blocks)-1 {
+			n++ // room for the fall-through jump
+		}
+		if !blk.terminated() && i == len(b.blocks)-1 {
+			n++ // final block falls off the end: append halt
+		}
+		total += n
+	}
+	instrs := make([]isa.Instr, 0, total)
+	fixups := make([]fixup, 0)
+	for i, blk := range b.blocks {
+		for j, in := range blk.instrs {
+			if lbl, ok := blk.targets[j]; ok {
+				fixups = append(fixups, fixup{index: len(instrs), label: lbl})
+				_ = in
+			}
+			instrs = append(instrs, in)
+		}
+		if !blk.terminated() {
+			if i < len(b.blocks)-1 {
+				fixups = append(fixups, fixup{index: len(instrs), label: b.blocks[i+1].label})
+				instrs = append(instrs, isa.Instr{Op: isa.OpJmp, Mem: isa.NoMem})
+			} else {
+				instrs = append(instrs, isa.Instr{Op: isa.OpHalt, Mem: isa.NoMem})
+			}
+		}
+	}
+	for _, f := range fixups {
+		addr, ok := symbols[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %s: undefined label %q", b.name, f.label)
+		}
+		instrs[f.index].Imm = int64(addr)
+	}
+	entry := b.blocks[0].label
+	if b.entry != "" {
+		entry = b.entry
+	}
+	entryAddr, ok := symbols[entry]
+	if !ok {
+		return nil, fmt.Errorf("program %s: undefined entry label %q", b.name, entry)
+	}
+	p := &Program{
+		Name:    b.name,
+		Entry:   entryAddr,
+		Base:    CodeBase,
+		Instrs:  instrs,
+		Symbols: symbols,
+		Data:    b.data,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for use by workload
+// constructors whose programs are fixed at build time.
+func (b *Builder) MustAssemble() *Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// BlockBuilder appends instructions to one basic block.
+type BlockBuilder struct {
+	b       *Builder
+	label   string
+	instrs  []isa.Instr
+	targets map[int]string // instruction index -> target label
+	done    bool
+}
+
+// Label returns the block's label.
+func (blk *BlockBuilder) Label() string { return blk.label }
+
+func (blk *BlockBuilder) terminated() bool { return blk.done }
+
+func (blk *BlockBuilder) add(in isa.Instr) *BlockBuilder {
+	if blk.done {
+		blk.b.errorf("program %s: block %q: instruction after terminator", blk.b.name, blk.label)
+		return blk
+	}
+	blk.instrs = append(blk.instrs, in)
+	return blk
+}
+
+func (blk *BlockBuilder) addBranch(in isa.Instr, target string) *BlockBuilder {
+	if blk.done {
+		blk.b.errorf("program %s: block %q: instruction after terminator", blk.b.name, blk.label)
+		return blk
+	}
+	if blk.targets == nil {
+		blk.targets = make(map[int]string)
+	}
+	blk.targets[len(blk.instrs)] = target
+	blk.instrs = append(blk.instrs, in)
+	return blk
+}
+
+// --- ALU ---
+
+// Add appends rd = rs1 + rs2.
+func (blk *BlockBuilder) Add(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Sub appends rd = rs1 - rs2.
+func (blk *BlockBuilder) Sub(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpSub, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Mul appends rd = rs1 * rs2.
+func (blk *BlockBuilder) Mul(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpMul, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Div appends rd = rs1 / rs2 (signed; division by zero halts the machine).
+func (blk *BlockBuilder) Div(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// And appends rd = rs1 & rs2.
+func (blk *BlockBuilder) And(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Or appends rd = rs1 | rs2.
+func (blk *BlockBuilder) Or(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpOr, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Xor appends rd = rs1 ^ rs2.
+func (blk *BlockBuilder) Xor(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpXor, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// Shl appends rd = rs1 << rs2.
+func (blk *BlockBuilder) Shl(rd, rs1, rs2 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpShl, Rd: rd, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem})
+}
+
+// AddI appends rd = rs1 + imm.
+func (blk *BlockBuilder) AddI(rd, rs1 isa.Reg, imm int64) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpAddI, Rd: rd, Rs1: rs1, Imm: imm, Mem: isa.NoMem})
+}
+
+// MulI appends rd = rs1 * imm.
+func (blk *BlockBuilder) MulI(rd, rs1 isa.Reg, imm int64) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpMulI, Rd: rd, Rs1: rs1, Imm: imm, Mem: isa.NoMem})
+}
+
+// AndI appends rd = rs1 & imm.
+func (blk *BlockBuilder) AndI(rd, rs1 isa.Reg, imm int64) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpAndI, Rd: rd, Rs1: rs1, Imm: imm, Mem: isa.NoMem})
+}
+
+// ShrI appends rd = rs1 >> imm (logical).
+func (blk *BlockBuilder) ShrI(rd, rs1 isa.Reg, imm int64) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpShrI, Rd: rd, Rs1: rs1, Imm: imm, Mem: isa.NoMem})
+}
+
+// Mov appends rd = rs1.
+func (blk *BlockBuilder) Mov(rd, rs1 isa.Reg) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpMov, Rd: rd, Rs1: rs1, Mem: isa.NoMem})
+}
+
+// MovI appends rd = imm.
+func (blk *BlockBuilder) MovI(rd isa.Reg, imm int64) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpMovI, Rd: rd, Imm: imm, Mem: isa.NoMem})
+}
+
+// --- memory ---
+
+// Load appends rd = mem[ref] with the given access size.
+func (blk *BlockBuilder) Load(rd isa.Reg, size uint8, ref isa.MemRef) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpLoad, Rd: rd, Size: size, Mem: ref})
+}
+
+// Store appends mem[ref] = rs with the given access size.
+func (blk *BlockBuilder) Store(rs isa.Reg, size uint8, ref isa.MemRef) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpStore, Rs1: rs, Size: size, Mem: ref})
+}
+
+// Prefetch appends a software prefetch of the line containing ref.
+func (blk *BlockBuilder) Prefetch(ref isa.MemRef) *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpPrefetch, Mem: ref})
+}
+
+// --- control flow (terminators) ---
+
+// Jmp ends the block with an unconditional jump to the labelled block.
+func (blk *BlockBuilder) Jmp(target string) *BlockBuilder {
+	blk.addBranch(isa.Instr{Op: isa.OpJmp, Mem: isa.NoMem}, target)
+	blk.done = true
+	return blk
+}
+
+// Br appends a conditional branch to the labelled block; execution falls
+// through to the following instruction when the condition is false. Br does
+// not terminate the block unless it is the last instruction appended.
+func (blk *BlockBuilder) Br(cond isa.Cond, rs1, rs2 isa.Reg, target string) *BlockBuilder {
+	return blk.addBranch(isa.Instr{Op: isa.OpBr, Cond: cond, Rs1: rs1, Rs2: rs2, Mem: isa.NoMem}, target)
+}
+
+// BrI appends a conditional branch comparing rs1 against an immediate.
+func (blk *BlockBuilder) BrI(cond isa.Cond, rs1 isa.Reg, imm int64, target string) *BlockBuilder {
+	return blk.addBranch(isa.Instr{Op: isa.OpBrI, Cond: cond, Rs1: rs1, Imm2: imm, Mem: isa.NoMem}, target)
+}
+
+// Call ends nothing: call is not a block terminator in this DSL because
+// control returns; the trace builder still treats it as a block boundary.
+func (blk *BlockBuilder) Call(target string) *BlockBuilder {
+	return blk.addBranch(isa.Instr{Op: isa.OpCall, Mem: isa.NoMem}, target)
+}
+
+// Ret ends the block, returning through the link register.
+func (blk *BlockBuilder) Ret() *BlockBuilder {
+	blk.add(isa.Instr{Op: isa.OpRet, Mem: isa.NoMem})
+	blk.done = true
+	return blk
+}
+
+// JmpInd ends the block with an indirect jump through rs1.
+func (blk *BlockBuilder) JmpInd(rs1 isa.Reg) *BlockBuilder {
+	blk.add(isa.Instr{Op: isa.OpJmpInd, Rs1: rs1, Mem: isa.NoMem})
+	blk.done = true
+	return blk
+}
+
+// Halt ends the block and the program.
+func (blk *BlockBuilder) Halt() *BlockBuilder {
+	blk.add(isa.Instr{Op: isa.OpHalt, Mem: isa.NoMem})
+	blk.done = true
+	return blk
+}
+
+// Nop appends a no-op.
+func (blk *BlockBuilder) Nop() *BlockBuilder {
+	return blk.add(isa.Instr{Op: isa.OpNop, Mem: isa.NoMem})
+}

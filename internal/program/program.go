@@ -1,0 +1,140 @@
+// Package program represents guest programs: basic blocks of ISA
+// instructions assembled into a flat code image, plus initialized data
+// segments. A Builder DSL constructs programs with symbolic labels; Assemble
+// lays out blocks, resolves labels to absolute instruction addresses, and
+// produces an immutable Program the virtual machine executes.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"umi/internal/isa"
+)
+
+// Memory layout constants for assembled programs. Code, stack, globals and
+// heap live in one flat address space, mirroring a conventional process
+// image. Workloads allocate their arrays from HeapBase upward.
+const (
+	CodeBase   uint64 = 0x0040_0000
+	GlobalBase uint64 = 0x0800_0000
+	HeapBase   uint64 = 0x1000_0000
+	StackBase  uint64 = 0x7FFF_F000 // initial SP; stack grows down
+)
+
+// DataSegment is a host-initialized region of guest memory, installed
+// before execution begins. It stands in for a binary's initialized data
+// sections and for the setup phases of workloads that would otherwise
+// dominate simulation time.
+type DataSegment struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// Program is an assembled guest program.
+type Program struct {
+	Name    string
+	Entry   uint64
+	Base    uint64
+	Instrs  []isa.Instr
+	Symbols map[string]uint64 // block label -> address
+	Data    []DataSegment
+}
+
+// PCOf converts an instruction index to its address.
+func (p *Program) PCOf(index int) uint64 { return p.Base + uint64(index)*isa.InstrBytes }
+
+// IndexOf converts an instruction address to its index, reporting whether
+// the address falls on an instruction boundary inside the image.
+func (p *Program) IndexOf(pc uint64) (int, bool) {
+	if pc < p.Base {
+		return 0, false
+	}
+	off := pc - p.Base
+	if off%isa.InstrBytes != 0 {
+		return 0, false
+	}
+	i := int(off / isa.InstrBytes)
+	if i >= len(p.Instrs) {
+		return 0, false
+	}
+	return i, true
+}
+
+// InstrAt fetches the instruction at pc.
+func (p *Program) InstrAt(pc uint64) (*isa.Instr, bool) {
+	i, ok := p.IndexOf(pc)
+	if !ok {
+		return nil, false
+	}
+	return &p.Instrs[i], true
+}
+
+// End returns the first address past the code image.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Instrs))*isa.InstrBytes }
+
+// StaticLoads counts load instructions in the image.
+func (p *Program) StaticLoads() int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op.IsLoad() {
+			n++
+		}
+	}
+	return n
+}
+
+// StaticStores counts store instructions in the image.
+func (p *Program) StaticStores() int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op.IsStore() {
+			n++
+		}
+	}
+	return n
+}
+
+// Disassemble renders the program as text, one instruction per line, with
+// block labels interleaved.
+func (p *Program) Disassemble() string {
+	byAddr := make(map[uint64][]string)
+	for sym, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], sym)
+	}
+	var sb strings.Builder
+	for i := range p.Instrs {
+		pc := p.PCOf(i)
+		if syms := byAddr[pc]; len(syms) > 0 {
+			sort.Strings(syms)
+			for _, s := range syms {
+				fmt.Fprintf(&sb, "%s:\n", s)
+			}
+		}
+		fmt.Fprintf(&sb, "  %#08x  %v\n", pc, p.Instrs[i])
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants: every instruction well formed,
+// every direct branch targeting an instruction boundary inside the image,
+// and the entry point valid.
+func (p *Program) Validate() error {
+	if _, ok := p.IndexOf(p.Entry); !ok {
+		return fmt.Errorf("program %s: entry %#x not inside image", p.Name, p.Entry)
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("program %s: instr %d: %w", p.Name, i, err)
+		}
+		if tgt, ok := in.Target(); ok {
+			if _, ok := p.IndexOf(tgt); !ok {
+				return fmt.Errorf("program %s: instr %d (%v): branch target %#x outside image",
+					p.Name, i, in, tgt)
+			}
+		}
+	}
+	return nil
+}

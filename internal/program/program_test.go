@@ -1,0 +1,288 @@
+package program
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"umi/internal/isa"
+)
+
+func buildLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("loop")
+	entry := b.Block("entry")
+	entry.MovI(isa.R0, 0)
+	entry.MovI(isa.R1, 10)
+	loop := b.Block("loop")
+	loop.Load(isa.R2, 8, isa.MemIdx(isa.R3, isa.R0, 8, 0))
+	loop.AddI(isa.R0, isa.R0, 1)
+	loop.Br(isa.CondLT, isa.R0, isa.R1, "loop")
+	b.Block("exit").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleLayout(t *testing.T) {
+	p := buildLoop(t)
+	if p.Base != CodeBase {
+		t.Errorf("Base = %#x, want %#x", p.Base, CodeBase)
+	}
+	if p.Entry != p.Symbols["entry"] {
+		t.Errorf("Entry = %#x, want symbol entry %#x", p.Entry, p.Symbols["entry"])
+	}
+	// entry: movi, movi, fallthrough jmp = 3 instrs; loop: load, addi, br,
+	// fallthrough jmp = 4; exit: halt = 1.
+	if len(p.Instrs) != 8 {
+		t.Fatalf("len(Instrs) = %d, want 8", len(p.Instrs))
+	}
+	if p.Symbols["loop"] != CodeBase+3*isa.InstrBytes {
+		t.Errorf("loop at %#x, want %#x", p.Symbols["loop"], CodeBase+3*isa.InstrBytes)
+	}
+	// The fall-through jump at the end of entry must target loop.
+	j := p.Instrs[2]
+	if j.Op != isa.OpJmp || uint64(j.Imm) != p.Symbols["loop"] {
+		t.Errorf("fall-through = %v, want jmp to loop %#x", j, p.Symbols["loop"])
+	}
+	// The conditional branch inside loop must target loop.
+	br := p.Instrs[5]
+	if br.Op != isa.OpBr || uint64(br.Imm) != p.Symbols["loop"] {
+		t.Errorf("branch = %v, want br to %#x", br, p.Symbols["loop"])
+	}
+}
+
+func TestPCIndexRoundTrip(t *testing.T) {
+	p := buildLoop(t)
+	for i := range p.Instrs {
+		pc := p.PCOf(i)
+		j, ok := p.IndexOf(pc)
+		if !ok || j != i {
+			t.Fatalf("IndexOf(PCOf(%d)) = %d, %v", i, j, ok)
+		}
+		in, ok := p.InstrAt(pc)
+		if !ok || in != &p.Instrs[i] {
+			t.Fatalf("InstrAt(%#x) mismatch", pc)
+		}
+	}
+	if _, ok := p.IndexOf(p.Base - isa.InstrBytes); ok {
+		t.Error("IndexOf accepted address below base")
+	}
+	if _, ok := p.IndexOf(p.Base + 1); ok {
+		t.Error("IndexOf accepted misaligned address")
+	}
+	if _, ok := p.IndexOf(p.End()); ok {
+		t.Error("IndexOf accepted address past end")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Block("entry").Jmp("nowhere")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Assemble accepted undefined label")
+	}
+}
+
+func TestUndefinedEntry(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Block("entry").Halt()
+	b.SetEntry("missing")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Assemble accepted undefined entry")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("empty").Assemble(); err == nil {
+		t.Error("Assemble accepted empty program")
+	}
+}
+
+func TestInstrAfterTerminator(t *testing.T) {
+	b := NewBuilder("bad")
+	blk := b.Block("entry")
+	blk.Halt()
+	blk.Nop()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Assemble accepted instruction after terminator")
+	}
+}
+
+func TestFinalBlockGetsHalt(t *testing.T) {
+	b := NewBuilder("p")
+	b.Block("entry").MovI(isa.R0, 1)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != isa.OpHalt {
+		t.Errorf("final instruction = %v, want halt", last)
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	b := NewBuilder("p")
+	blk := b.Block("entry")
+	blk.Load(isa.R0, 8, isa.Mem(isa.R1, 0))
+	blk.Load(isa.R0, 8, isa.Mem(isa.R1, 8))
+	blk.Store(isa.R0, 8, isa.Mem(isa.R2, 0))
+	blk.Prefetch(isa.Mem(isa.R1, 64))
+	blk.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if got := p.StaticLoads(); got != 2 {
+		t.Errorf("StaticLoads = %d, want 2", got)
+	}
+	if got := p.StaticStores(); got != 1 {
+		t.Errorf("StaticStores = %d, want 1", got)
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := buildLoop(t)
+	dis := p.Disassemble()
+	for _, want := range []string{"entry:", "loop:", "exit:", "load8", "br.lt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("Disassemble missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAddWords(t *testing.T) {
+	b := NewBuilder("p")
+	b.Block("entry").Halt()
+	b.AddWords(HeapBase, []uint64{0x1122334455667788, 42})
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Data) != 1 {
+		t.Fatalf("len(Data) = %d, want 1", len(p.Data))
+	}
+	seg := p.Data[0]
+	if seg.Addr != HeapBase || len(seg.Bytes) != 16 {
+		t.Fatalf("segment = %#x len %d", seg.Addr, len(seg.Bytes))
+	}
+	if seg.Bytes[0] != 0x88 || seg.Bytes[7] != 0x11 || seg.Bytes[8] != 42 {
+		t.Errorf("little-endian encoding wrong: % x", seg.Bytes)
+	}
+}
+
+func TestBlockReopen(t *testing.T) {
+	b := NewBuilder("p")
+	blk := b.Block("entry")
+	blk.MovI(isa.R0, 1)
+	same := b.Block("entry")
+	if same != blk {
+		t.Fatal("Block with same label must return the same builder")
+	}
+	same.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Instrs) != 2 {
+		t.Errorf("len(Instrs) = %d, want 2", len(p.Instrs))
+	}
+}
+
+// Property: for any chain length, assembling N sequential blocks produces
+// symbols in strictly increasing address order and a valid program.
+func TestChainedBlocksQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%20) + 2
+		b := NewBuilder("chain")
+		for i := 0; i < k; i++ {
+			blk := b.Block(blockName(i))
+			blk.AddI(isa.R0, isa.R0, 1)
+			if i == k-1 {
+				blk.Halt()
+			}
+		}
+		p, err := b.Assemble()
+		if err != nil {
+			return false
+		}
+		prev := uint64(0)
+		for i := 0; i < k; i++ {
+			addr := p.Symbols[blockName(i)]
+			if i > 0 && addr <= prev {
+				return false
+			}
+			prev = addr
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func blockName(i int) string { return "b" + string(rune('a'+i)) }
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble must panic on invalid programs")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Block("entry").Jmp("nowhere")
+	b.MustAssemble()
+}
+
+func TestMustAssembleOK(t *testing.T) {
+	b := NewBuilder("ok")
+	b.Block("entry").Halt()
+	if p := b.MustAssemble(); p == nil || len(p.Instrs) != 1 {
+		t.Error("MustAssemble must return the program")
+	}
+}
+
+func TestBuilderFullALUCoverage(t *testing.T) {
+	b := NewBuilder("alu")
+	blk := b.Block("entry")
+	blk.Div(isa.R0, isa.R1, isa.R2)
+	blk.And(isa.R0, isa.R1, isa.R2)
+	blk.Or(isa.R0, isa.R1, isa.R2)
+	blk.Xor(isa.R0, isa.R1, isa.R2)
+	blk.Shl(isa.R0, isa.R1, isa.R2)
+	blk.Mul(isa.R0, isa.R1, isa.R2)
+	blk.Sub(isa.R0, isa.R1, isa.R2)
+	blk.Mov(isa.R0, isa.R1)
+	blk.MulI(isa.R0, isa.R1, 3)
+	blk.ShrI(isa.R0, isa.R1, 2)
+	blk.AndI(isa.R0, isa.R1, 0xF)
+	blk.Nop()
+	blk.JmpInd(isa.R3)
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	wantOps := []isa.Op{isa.OpDiv, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpMul, isa.OpSub, isa.OpMov, isa.OpMulI, isa.OpShrI, isa.OpAndI,
+		isa.OpNop, isa.OpJmpInd}
+	for i, op := range wantOps {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instr %d = %v, want %v", i, p.Instrs[i].Op, op)
+		}
+	}
+	if blk.Label() != "entry" {
+		t.Errorf("Label = %q", blk.Label())
+	}
+}
+
+func TestProgramEnd(t *testing.T) {
+	b := NewBuilder("p")
+	b.Block("entry").Halt()
+	p, _ := b.Assemble()
+	if p.End() != p.Base+isa.InstrBytes {
+		t.Errorf("End = %#x", p.End())
+	}
+}

@@ -1,0 +1,164 @@
+package rio
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/vm"
+)
+
+// Differential testing: random structured programs must execute to the
+// same architectural state natively, under the code cache, and under the
+// code cache with every trace instrumented. This is the strongest
+// statement we can make about dispatcher and instrumentation transparency.
+
+// genProgram builds a random but guaranteed-terminating program: a
+// sequence of bounded counted loops with random ALU/memory bodies,
+// optional helper calls, and nested inner loops.
+func genProgram(r *rand.Rand) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("diff%d", r.Int63()))
+	e := b.Block("entry")
+	e.AddI(isa.SP, isa.SP, -128)
+	e.Mov(isa.BP, isa.SP)
+	e.MovI(isa.R2, int64(program.HeapBase))
+	nLoops := 1 + r.Intn(4)
+	for li := 0; li < nLoops; li++ {
+		pre := b.Block(fmt.Sprintf("pre%d", li))
+		pre.MovI(isa.R0, 0)
+		trip := int64(50 + r.Intn(300))
+		l := b.Block(fmt.Sprintf("loop%d", li))
+		emitRandomBody(r, b, l, li)
+		l.AddI(isa.R0, isa.R0, 1)
+		l.BrI(isa.CondLT, isa.R0, trip, fmt.Sprintf("loop%d", li))
+	}
+	b.Block("done").Halt()
+
+	// Helper functions with stack traffic, targets of random calls.
+	for h := 0; h < 3; h++ {
+		f := b.Block(fmt.Sprintf("helper%d", h))
+		f.AddI(isa.SP, isa.SP, -16)
+		f.Store(isa.R7, 8, isa.Mem(isa.SP, 0))
+		f.AddI(isa.R7, isa.R7, int64(h+1))
+		f.Load(isa.R10, 8, isa.Mem(isa.SP, 0))
+		f.AddI(isa.SP, isa.SP, 16)
+		f.Ret()
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// emitRandomBody appends 3-10 random instructions to a loop body. Memory
+// addresses stay inside a 1 MiB heap window via masking.
+func emitRandomBody(r *rand.Rand, b *program.Builder, blk *program.BlockBuilder, loopIdx int) {
+	n := 3 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		rd := isa.Reg(3 + r.Intn(9)) // r3..r11: avoid loop/base registers
+		rs := isa.Reg(3 + r.Intn(9))
+		switch r.Intn(9) {
+		case 0:
+			blk.Add(rd, rd, rs)
+		case 1:
+			blk.Sub(rd, rd, rs)
+		case 2:
+			blk.MulI(rd, rs, int64(r.Intn(7))+1)
+		case 3:
+			blk.Xor(rd, rd, rs)
+		case 4:
+			blk.MovI(rd, r.Int63n(1<<20))
+		case 5: // masked heap load
+			blk.AndI(isa.R12, rs, (1<<17)-1)
+			blk.Load(rd, 8, isa.MemIdx(isa.R2, isa.R12, 8, 0))
+		case 6: // masked heap store
+			blk.AndI(isa.R12, rs, (1<<17)-1)
+			blk.Store(rd, 8, isa.MemIdx(isa.R2, isa.R12, 8, 0))
+		case 7: // stack spill/fill
+			blk.Store(rd, 8, isa.Mem(isa.BP, int64(8*(r.Intn(8)))))
+			blk.Load(rd, 8, isa.Mem(isa.BP, int64(8*(r.Intn(8)))))
+		case 8:
+			blk.Call(fmt.Sprintf("helper%d", r.Intn(3)))
+		}
+	}
+}
+
+// memChecksum folds the touched heap window into one value.
+func memChecksum(m *vm.Machine) uint64 {
+	var sum uint64
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		// One word per page is enough to catch divergent stores given
+		// random addresses (pages materialize identically).
+		sum = sum*1099511628211 + m.Mem.Read(program.HeapBase+off, 8)
+	}
+	return sum
+}
+
+type execResult struct {
+	regs   [isa.NumRegs]uint64
+	instrs uint64
+	mem    uint64
+}
+
+func runNativeDiff(t *testing.T, p *program.Program) execResult {
+	t.Helper()
+	m := vm.New(p, nil)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	return execResult{regs: m.Regs, instrs: m.Instrs, mem: memChecksum(m)}
+}
+
+func runRIODiff(t *testing.T, p *program.Program, instrument bool, blockCap int) execResult {
+	t.Helper()
+	m := vm.New(p, nil)
+	rt := NewRuntime(m)
+	rt.BlockCacheCap = blockCap
+	if instrument {
+		rt.OnTrace = func(f *Fragment) {
+			hooks := make(map[uint64]MemHook)
+			for _, i := range f.MemOps() {
+				hooks[f.PCs[i]] = func(pc, addr uint64, size uint8, write bool) {}
+			}
+			f.Instr = &Instrumentation{
+				Prolog:     func() bool { return true },
+				Hooks:      hooks,
+				PerRefCost: 5,
+				PrologCost: 3,
+			}
+		}
+		rt.SamplePeriod = 500
+		rt.OnSample = func(*Fragment) {}
+	}
+	if err := rt.Run(10_000_000); err != nil {
+		t.Fatalf("rio (instrument=%v): %v", instrument, err)
+	}
+	return execResult{regs: m.Regs, instrs: m.Instrs, mem: memChecksum(m)}
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	const trials = 40
+	for seed := int64(0); seed < trials; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			p := genProgram(r)
+			want := runNativeDiff(t, p)
+			plain := runRIODiff(t, p, false, 0)
+			if plain != want {
+				t.Fatalf("code-cache execution diverged:\nnative %+v\nrio    %+v", want, plain)
+			}
+			inst := runRIODiff(t, p, true, 0)
+			if inst != want {
+				t.Fatalf("instrumented execution diverged:\nnative %+v\nrio    %+v", want, inst)
+			}
+			tiny := runRIODiff(t, p, false, 24) // constant block-cache churn
+			if tiny != want {
+				t.Fatalf("capacity-flushing execution diverged:\nnative %+v\nrio    %+v", want, tiny)
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+package rio
+
+import (
+	"errors"
+	"fmt"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/internal/vm"
+)
+
+// Costs is the runtime-system overhead model, in cycles. The defaults are
+// tuned so that the substrate alone shows the behaviour Figure 2 reports
+// for DynamoRIO: near-zero to ~15% slowdown for loop codes (occasionally a
+// small speedup from trace layout), and larger slowdowns for
+// control-intensive codes that keep leaving the trace cache.
+type Costs struct {
+	BlockBuild    uint64 // per new basic block fragment
+	BlockPerInstr uint64 // per instruction copied into a block
+	TraceBuild    uint64 // per new trace fragment
+	TracePerInstr uint64 // per instruction inlined into a trace
+	Dispatch      uint64 // per unlinked fragment transition
+	IndirectLook  uint64 // per indirect-branch lookup
+	SampleEvent   uint64 // per PC sample taken
+	BlockFlush    uint64 // per block-cache flush (cache-full eviction)
+	// TraceCreditShift: every (1<<shift) instructions executed from a
+	// trace earn one cycle of layout credit, letting loopy programs run
+	// slightly faster than native, as DynamoRIO does.
+	TraceCreditShift uint
+}
+
+// DefaultCosts is the standard overhead model.
+var DefaultCosts = Costs{
+	BlockBuild:       80,
+	BlockPerInstr:    10,
+	TraceBuild:       160,
+	TracePerInstr:    14,
+	Dispatch:         45,
+	IndirectLook:     18,
+	SampleEvent:      180,
+	BlockFlush:       2000,
+	TraceCreditShift: 5, // ~3% credit on trace instructions
+}
+
+// HotThreshold is the default block execution count that promotes a trace
+// head into a trace (DynamoRIO's default region-promotion threshold).
+const HotThreshold = 52
+
+// MaxTraceInstrs caps trace length.
+const MaxTraceInstrs = 256
+
+// SamplePeriod is the default PC-sampling period in retired instructions.
+// It stands in for the paper's 10 ms timer on a 3 GHz machine scaled down
+// to our workload sizes: frequent enough to catch hot traces, rare enough
+// to cost little.
+const SamplePeriod = 50_000
+
+// ErrNotHalted mirrors vm.ErrNotHalted for runs under the code cache.
+var ErrNotHalted = errors.New("rio: instruction budget exhausted before halt")
+
+// TraceObserver is notified when a new trace is installed; UMI's region
+// selector hangs off this callback.
+type TraceObserver func(*Fragment)
+
+// SampleObserver is notified at every PC sample with the fragment the
+// sample landed in (nil when sampling hits non-trace code).
+type SampleObserver func(*Fragment)
+
+// Runtime executes a program through a basic-block cache and trace cache.
+type Runtime struct {
+	M    *vm.Machine
+	Prog *program.Program
+	Cost Costs
+
+	HotThreshold uint64
+	MaxTraceLen  int
+	SamplePeriod uint64 // 0 disables sampling
+	// BlockCacheCap bounds the basic-block cache in instructions; when a
+	// build would exceed it the whole block cache is flushed and rebuilt
+	// on demand, as DynamoRIO does when its cache fills. 0 = unbounded.
+	BlockCacheCap int
+	OnTrace       TraceObserver
+	OnSample      SampleObserver
+
+	blocks map[uint64]*Fragment
+	traces map[uint64]*Fragment
+	// headCount tracks candidate trace-head execution counts.
+	headCount map[uint64]uint64
+
+	// Overhead accumulates runtime-system cycles; Credit accumulates
+	// trace-layout savings.
+	Overhead uint64
+	Credit   uint64
+
+	// statistics
+	BlocksBuilt  int
+	TracesBuilt  int
+	BlockFlushes int
+	Dispatches   uint64
+	IndirectLks  uint64
+	Samples      uint64
+	blockInstrs  int
+	traceInstrs  uint64
+	nextSample   uint64
+	nextFragID   int
+	recording    bool
+	recordHead   uint64
+	recordInstrs []isa.Instr
+	recordPCs    []uint64
+	recordBlocks []uint64
+}
+
+// NewRuntime wraps a machine (already positioned at the program entry).
+func NewRuntime(m *vm.Machine) *Runtime {
+	return &Runtime{
+		M:            m,
+		Prog:         m.Prog,
+		Cost:         DefaultCosts,
+		HotThreshold: HotThreshold,
+		MaxTraceLen:  MaxTraceInstrs,
+		SamplePeriod: 0,
+		blocks:       make(map[uint64]*Fragment),
+		traces:       make(map[uint64]*Fragment),
+		headCount:    make(map[uint64]uint64),
+	}
+}
+
+// TotalCycles returns the modelled running time under the code cache:
+// guest cycles plus runtime overhead minus trace-layout credit.
+func (rt *Runtime) TotalCycles() uint64 {
+	t := rt.M.Cycles + rt.Overhead
+	if rt.Credit >= t {
+		return 0
+	}
+	return t - rt.Credit
+}
+
+// AddOverhead charges extra runtime-system cycles (used by the UMI layer
+// for analyzer invocations).
+func (rt *Runtime) AddOverhead(cycles uint64) { rt.Overhead += cycles }
+
+// TraceAt returns the installed trace starting at pc, if any.
+func (rt *Runtime) TraceAt(pc uint64) (*Fragment, bool) {
+	f, ok := rt.traces[pc]
+	return f, ok
+}
+
+// Traces returns the trace cache contents (live map; callers must not
+// mutate).
+func (rt *Runtime) Traces() map[uint64]*Fragment { return rt.traces }
+
+// ReplaceTrace installs frag as the trace for its start PC, dropping links
+// into the old fragment. This is the paper's T <-> T_c swap and the
+// prefetcher's rewrite point.
+func (rt *Runtime) ReplaceTrace(frag *Fragment) {
+	old, ok := rt.traces[frag.Start]
+	if ok {
+		old.unlinkAll()
+	}
+	// Links into the replaced fragment are modelled implicitly: linking
+	// is by target PC, so successors are unaffected.
+	rt.traces[frag.Start] = frag
+}
+
+// Run executes until the program halts or maxInstrs guest instructions
+// retire.
+func (rt *Runtime) Run(maxInstrs uint64) error {
+	pc := rt.M.PC
+	start := rt.M.Instrs
+	if rt.SamplePeriod > 0 && rt.nextSample == 0 {
+		rt.nextSample = rt.M.Instrs + rt.SamplePeriod
+	}
+	var prev *Fragment
+	var prevIndirect bool
+	for !rt.M.Halted {
+		if rt.M.Instrs-start >= maxInstrs {
+			return fmt.Errorf("%w (%d instructions)", ErrNotHalted, maxInstrs)
+		}
+		frag, rebuilt := rt.lookup(pc)
+		// Transition cost: linked direct exits are free; indirect exits
+		// pay the hash lookup; everything else pays a full dispatch.
+		switch {
+		case prev == nil || rebuilt:
+			rt.Overhead += rt.Cost.Dispatch
+			rt.Dispatches++
+		case prevIndirect:
+			rt.Overhead += rt.Cost.IndirectLook
+			rt.IndirectLks++
+		case prev.Linked(pc):
+			// free
+		default:
+			rt.Overhead += rt.Cost.Dispatch
+			rt.Dispatches++
+			prev.link(pc)
+		}
+		next, indirect, err := rt.execFragment(frag)
+		if err != nil {
+			return err
+		}
+		prev, prevIndirect = frag, indirect
+		pc = next
+	}
+	rt.M.PC = pc
+	return nil
+}
+
+// lookup finds or builds the fragment for pc. rebuilt reports that a build
+// occurred (forcing a dispatch charge).
+func (rt *Runtime) lookup(pc uint64) (*Fragment, bool) {
+	if f, ok := rt.traces[pc]; ok {
+		return f, false
+	}
+	if f, ok := rt.blocks[pc]; ok {
+		return f, false
+	}
+	f := rt.buildBlock(pc)
+	return f, true
+}
+
+// buildBlock discovers the dynamic basic block at pc: instructions up to
+// and including the first branch.
+func (rt *Runtime) buildBlock(pc uint64) *Fragment {
+	f := &Fragment{ID: rt.nextFragID, Start: pc}
+	rt.nextFragID++
+	for {
+		in, ok := rt.Prog.InstrAt(pc)
+		if !ok {
+			break // dispatcher will fault on execution
+		}
+		f.Instrs = append(f.Instrs, *in)
+		f.PCs = append(f.PCs, pc)
+		if in.Op.IsBranch() {
+			break
+		}
+		pc += isa.InstrBytes
+	}
+	if rt.BlockCacheCap > 0 && rt.blockInstrs+len(f.Instrs) > rt.BlockCacheCap {
+		// Cache full: flush everything and start over (DynamoRIO's
+		// all-at-once eviction). Links into flushed blocks resolve by
+		// target PC, so traces are unaffected.
+		rt.blocks = make(map[uint64]*Fragment)
+		rt.blockInstrs = 0
+		rt.BlockFlushes++
+		rt.Overhead += rt.Cost.BlockFlush
+	}
+	rt.blocks[f.Start] = f
+	rt.blockInstrs += len(f.Instrs)
+	rt.BlocksBuilt++
+	rt.Overhead += rt.Cost.BlockBuild + rt.Cost.BlockPerInstr*uint64(len(f.Instrs))
+	return f
+}
+
+// execFragment runs the fragment to one of its exits. It returns the next
+// application PC and whether the exit was through an indirect branch.
+func (rt *Runtime) execFragment(f *Fragment) (uint64, bool, error) {
+	f.ExecCount++
+	m := rt.M
+	if f.Instr != nil {
+		rt.Overhead += f.Instr.PrologCost
+		if !f.Instr.Prolog() {
+			// Fragment asked to be replaced (analysis finished).
+			nf, _ := rt.lookup(f.Start)
+			if nf != f {
+				return rt.execFragment(nf)
+			}
+		}
+		savedHook := m.RefHook
+		hooks := f.Instr.Hooks
+		perRef := f.Instr.PerRefCost
+		m.RefHook = func(pc, addr uint64, size uint8, write bool) {
+			if savedHook != nil {
+				savedHook(pc, addr, size, write)
+			}
+			if h, ok := hooks[pc]; ok {
+				h(pc, addr, size, write)
+				rt.Overhead += perRef
+			}
+		}
+		defer func() { m.RefHook = savedHook }()
+	}
+
+	for i := 0; i < len(f.Instrs); i++ {
+		in := &f.Instrs[i]
+		pc := f.PCs[i]
+		next, err := m.ExecInstr(in, pc)
+		if err != nil {
+			return 0, false, err
+		}
+		if f.IsTrace {
+			rt.traceInstrs++
+			if rt.traceInstrs&(1<<rt.Cost.TraceCreditShift-1) == 0 {
+				rt.Credit++
+			}
+		}
+		if rt.SamplePeriod > 0 && m.Instrs >= rt.nextSample {
+			rt.nextSample = m.Instrs + rt.SamplePeriod
+			rt.Samples++
+			rt.Overhead += rt.Cost.SampleEvent
+			if rt.OnSample != nil {
+				if f.IsTrace {
+					rt.OnSample(f)
+				} else {
+					rt.OnSample(nil)
+				}
+			}
+		}
+		if m.Halted {
+			return 0, false, nil
+		}
+		if !in.Op.IsBranch() && i+1 < len(f.Instrs) {
+			// Straight-line code always continues inside the fragment
+			// (runtime-injected instructions may share their neighbour's
+			// application PC, so PC comparison is reserved for branches).
+			continue
+		}
+		if i+1 < len(f.Instrs) && next == f.PCs[i+1] {
+			continue // untaken or fall-through branch stays inside
+		}
+		// Fragment exit.
+		indirect := in.Op.IsIndirect()
+		rt.observeExit(f, pc, next)
+		return next, indirect, nil
+	}
+	// Fragments always end with a branch, so execution cannot fall off
+	// the end; defend anyway.
+	return f.PCs[len(f.PCs)-1] + isa.InstrBytes, false, nil
+}
+
+// observeExit feeds the trace builder: backward branches identify trace
+// heads; hot heads trigger trace recording; recording appends the blocks
+// executed next until a stop condition.
+func (rt *Runtime) observeExit(f *Fragment, branchPC, target uint64) {
+	if rt.recording {
+		rt.appendToRecording(f)
+		stop := false
+		switch {
+		case target == rt.recordHead: // loop closed
+			stop = true
+		case len(rt.recordInstrs) >= rt.MaxTraceLen:
+			stop = true
+		case rt.traces[target] != nil: // reached another trace
+			stop = true
+		case len(f.Instrs) > 0 && f.Instrs[len(f.Instrs)-1].Op.IsIndirect():
+			stop = true // indirect branches end traces
+		}
+		if stop {
+			rt.finishRecording()
+		}
+		return
+	}
+	// Trace-head candidates, as in NET: targets of taken backward
+	// branches, and exits of existing traces (side paths of a hot loop
+	// get promoted too — without this, a conditional body inside a hot
+	// loop would never be profiled).
+	if target <= branchPC || f.IsTrace {
+		rt.headCount[target]++
+		if rt.headCount[target] >= rt.HotThreshold && rt.traces[target] == nil {
+			rt.recording = true
+			rt.recordHead = target
+			rt.recordInstrs = nil
+			rt.recordPCs = nil
+			rt.recordBlocks = nil
+		}
+	}
+}
+
+func (rt *Runtime) appendToRecording(f *Fragment) {
+	if len(rt.recordBlocks) == 0 && f.Start != rt.recordHead {
+		// The first recorded block must be the head; we are called at
+		// the exit of the block that *branched to* the head, so skip
+		// until the head block itself executes.
+		return
+	}
+	rt.recordBlocks = append(rt.recordBlocks, f.Start)
+	rt.recordInstrs = append(rt.recordInstrs, f.Instrs...)
+	rt.recordPCs = append(rt.recordPCs, f.PCs...)
+}
+
+func (rt *Runtime) finishRecording() {
+	rt.recording = false
+	if len(rt.recordInstrs) == 0 {
+		return
+	}
+	f := &Fragment{
+		ID:      rt.nextFragID,
+		Start:   rt.recordHead,
+		Instrs:  rt.recordInstrs,
+		PCs:     rt.recordPCs,
+		IsTrace: true,
+		blocks:  rt.recordBlocks,
+	}
+	rt.nextFragID++
+	rt.recordInstrs, rt.recordPCs, rt.recordBlocks = nil, nil, nil
+	rt.traces[f.Start] = f
+	rt.TracesBuilt++
+	rt.Overhead += rt.Cost.TraceBuild + rt.Cost.TracePerInstr*uint64(len(f.Instrs))
+	if rt.OnTrace != nil {
+		rt.OnTrace(f)
+	}
+}
+
+// CodeCacheInstrs reports the instructions resident in both caches.
+func (rt *Runtime) CodeCacheInstrs() (blocks, traces int) {
+	for _, f := range rt.blocks {
+		blocks += len(f.Instrs)
+	}
+	for _, f := range rt.traces {
+		traces += len(f.Instrs)
+	}
+	return
+}

@@ -1,0 +1,180 @@
+// Package stats provides the statistical helpers the evaluation harness
+// uses: the coefficient of correlation from §6.2, aggregation, and plain
+// text table rendering for reproducing the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Correlation returns the Pearson coefficient of correlation C(s, h)
+// between two equal-length samples (§6.2). It returns 0 when either sample
+// has zero variance or fewer than two points.
+func Correlation(s, h []float64) float64 {
+	if len(s) != len(h) || len(s) < 2 {
+		return 0
+	}
+	ms, mh := Mean(s), Mean(h)
+	var num, ds, dh float64
+	for i := range s {
+		a, b := s[i]-ms, h[i]-mh
+		num += a * b
+		ds += a * a
+		dh += b * b
+	}
+	if ds == 0 || dh == 0 {
+		return 0
+	}
+	return num / math.Sqrt(ds*dh)
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive samples (0 if any sample
+// is non-positive or the slice is empty). Running-time ratios are averaged
+// geometrically.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Recall returns |P ∩ C| / |C|: the fraction of true delinquent loads that
+// the prediction found (§7.1).
+func Recall(predicted, truth map[uint64]bool) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	hit := 0
+	for pc := range truth {
+		if predicted[pc] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// FalsePositiveRatio returns |P - C| / |P|: the fraction of predictions
+// that were wrong (§7.1).
+func FalsePositiveRatio(predicted, truth map[uint64]bool) float64 {
+	if len(predicted) == 0 {
+		return 0
+	}
+	wrong := 0
+	for pc := range predicted {
+		if !truth[pc] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(predicted))
+}
+
+// Intersection returns P ∩ C.
+func Intersection(a, b map[uint64]bool) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Table renders rows of cells as an aligned plain-text table. The first
+// row is the header, separated by a rule.
+type Table struct {
+	Title string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and header cells.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title}
+	t.rows = append(t.rows, header)
+	return t
+}
+
+// AddRow appends one data row.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row formatting each value with its verb.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.3f", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, out)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return t.Title + "\n"
+	}
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.rows[0])
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows[1:] {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

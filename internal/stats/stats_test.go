@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCorrelationPerfect(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	h := []float64{10, 20, 30, 40}
+	if c := Correlation(s, h); !almostEq(c, 1) {
+		t.Errorf("Correlation = %v, want 1", c)
+	}
+	inv := []float64{40, 30, 20, 10}
+	if c := Correlation(s, inv); !almostEq(c, -1) {
+		t.Errorf("anti-correlation = %v, want -1", c)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if Correlation([]float64{1}, []float64{2}) != 0 {
+		t.Error("single point must yield 0")
+	}
+	if Correlation([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("length mismatch must yield 0")
+	}
+	if Correlation([]float64{5, 5, 5}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance must yield 0")
+	}
+}
+
+// Property: correlation is bounded in [-1, 1] and invariant under positive
+// affine transformation of either argument.
+func TestCorrelationQuick(t *testing.T) {
+	f := func(xs []float64, a float64, b float64) bool {
+		if len(xs) < 3 {
+			return true
+		}
+		if len(xs) > 16 {
+			xs = xs[:16]
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		scale := math.Mod(math.Abs(a), 10) + 0.5
+		off := math.Mod(b, 100)
+		for i, x := range xs {
+			ys[i] = scale*x + off
+		}
+		c := Correlation(xs, ys)
+		if c < -1.0000001 || c > 1.0000001 {
+			return false
+		}
+		// Positive affine transform of itself: correlation 1 unless
+		// degenerate.
+		allSame := true
+		for _, x := range xs[1:] {
+			if x != xs[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			return c == 0
+		}
+		return almostEq(c, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) must be 0")
+	}
+	if m := Mean([]float64{2, 4, 6}); !almostEq(m, 4) {
+		t.Errorf("Mean = %v", m)
+	}
+	if g := GeoMean([]float64{1, 4, 16}); !almostEq(g, 4) {
+		t.Errorf("GeoMean = %v", g)
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Error("GeoMean with non-positive input must be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) must be 0")
+	}
+}
+
+func set(pcs ...uint64) map[uint64]bool {
+	m := make(map[uint64]bool)
+	for _, pc := range pcs {
+		m[pc] = true
+	}
+	return m
+}
+
+func TestRecallAndFalsePositives(t *testing.T) {
+	truth := set(1, 2, 3, 4)
+	pred := set(2, 3, 9)
+	if r := Recall(pred, truth); !almostEq(r, 0.5) {
+		t.Errorf("Recall = %v, want 0.5", r)
+	}
+	if f := FalsePositiveRatio(pred, truth); !almostEq(f, 1.0/3) {
+		t.Errorf("FP ratio = %v, want 1/3", f)
+	}
+	if Recall(pred, set()) != 0 {
+		t.Error("empty truth must yield 0 recall")
+	}
+	if FalsePositiveRatio(set(), truth) != 0 {
+		t.Error("empty prediction must yield 0 FP ratio")
+	}
+	inter := Intersection(pred, truth)
+	if len(inter) != 2 || !inter[2] || !inter[3] {
+		t.Errorf("Intersection = %v", inter)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Benchmark", "Value")
+	tb.AddRow("mcf", "20.10%")
+	tb.AddRowf("parser", 0.5)
+	out := tb.String()
+	for _, want := range []string{"Table X", "Benchmark", "mcf", "20.10%", "parser", "0.500", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.8815); got != "88.15%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

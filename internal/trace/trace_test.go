@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"umi/internal/cachegrind"
+	"umi/internal/vm"
+	"umi/internal/workloads"
+)
+
+func roundTrip(t *testing.T, recs []Record) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		w.Add(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	recs := []Record{
+		{PC: 0x400000, Addr: 0x10000000, Size: 8, Write: false},
+		{PC: 0x400000, Addr: 0x10000008, Size: 8, Write: false}, // same pc
+		{PC: 0x400010, Addr: 0x10000000, Size: 1, Write: true},  // addr goes back
+		{PC: 0x3FFFF0, Addr: 0x00000001, Size: 4, Write: false}, // negative deltas
+		{PC: 0x400000, Addr: ^uint64(0), Size: 2, Write: true},  // extremes
+	}
+	got := roundTrip(t, recs)
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nSel)%200 + 1
+		recs := make([]Record, n)
+		pc := uint64(0x400000)
+		for i := range recs {
+			if r.Intn(3) == 0 {
+				pc = uint64(r.Intn(1 << 24))
+			}
+			recs[i] = Record{
+				PC:    pc,
+				Addr:  uint64(r.Int63()),
+				Size:  uint8(1 << r.Intn(4)),
+				Write: r.Intn(2) == 0,
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, rec := range recs {
+			w.Add(rec)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			got, err := rd.Next()
+			if err != nil || got != recs[i] {
+				return false
+			}
+		}
+		_, err = rd.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("err = %v, want ErrBadHeader", err)
+	}
+	bad := append(append([]byte{}, 'U', 'M', 'I', 'T', 'R', 'A', 'C', 'E'), 9, 0, 0, 0)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("wrong version: err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Add(Record{PC: 0x400000, Addr: 0x1000, Size: 8})
+	w.Add(Record{PC: 0x400010, Addr: 0x2000, Size: 8})
+	_ = w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record must decode: %v", err)
+	}
+	if _, err := r.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated record: err = %v, want decode error", err)
+	}
+}
+
+// Record a real workload, replay into cachegrind, and require identical
+// statistics to a live-hooked run: the offline pipeline is lossless.
+func TestRecordReplayMatchesLive(t *testing.T) {
+	w, ok := workloads.ByName("181.mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	live := cachegrind.NewP4()
+	m := vm.New(w.Program(), nil)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	hook := tw.Hook()
+	m.RefHook = func(pc, addr uint64, size uint8, write bool) {
+		live.Ref(pc, addr, size, write)
+		hook(pc, addr, size, write)
+	}
+	if err := m.Run(60_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	t.Logf("trace: %d refs in %d bytes (%.1f bytes/ref)",
+		tw.Count(), buf.Len(), float64(buf.Len())/float64(tw.Count()))
+	if perRef := float64(buf.Len()) / float64(tw.Count()); perRef > 8 {
+		t.Errorf("encoding too fat: %.1f bytes/ref", perRef)
+	}
+
+	replayed := cachegrind.NewP4()
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	n, err := rd.Replay(replayed.Ref)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != tw.Count() {
+		t.Fatalf("replayed %d of %d records", n, tw.Count())
+	}
+	if replayed.L2Misses != live.L2Misses || replayed.L2Accesses != live.L2Accesses {
+		t.Errorf("replayed L2 %d/%d != live %d/%d",
+			replayed.L2Misses, replayed.L2Accesses, live.L2Misses, live.L2Accesses)
+	}
+	if len(replayed.Stats()) != len(live.Stats()) {
+		t.Errorf("per-PC tables differ: %d vs %d", len(replayed.Stats()), len(live.Stats()))
+	}
+}

@@ -1,0 +1,205 @@
+package umi
+
+import (
+	"fmt"
+	"sort"
+
+	"umi/internal/cache"
+)
+
+// OpStat accumulates the mini-simulated behaviour of one memory operation
+// across all analyzer invocations (post-warmup accesses only).
+type OpStat struct {
+	PC       uint64
+	IsLoad   bool
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRatio is the operation's simulated miss ratio.
+func (s *OpStat) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// StrideInfo is the dominant stride discovered for an operation and the
+// fraction of successive-reference deltas it accounts for.
+type StrideInfo struct {
+	Stride     int64
+	Confidence float64
+}
+
+// Analyzer is the paper's profile analyzer: a fast cache simulator over
+// recorded address profiles. A single logical cache is shared across
+// invocations and flushed when the gap since the last invocation exceeds
+// the configured limit (§5).
+type Analyzer struct {
+	cfg   *Config
+	cache *cache.Cache
+
+	lastRun   uint64 // guest cycles at last invocation
+	ranBefore bool
+
+	// Cumulative results.
+	Invocations   int
+	SimulatedRefs uint64
+	Flushes       int
+	opStats       map[uint64]*OpStat
+	delinquent    map[uint64]bool
+	strides       map[uint64]StrideInfo
+	columns       map[uint64][]uint64 // last recorded column per delinquent load
+	totalAcc      uint64
+	totalMiss     uint64
+
+	// Per-invocation scratch, keyed by column, reused across profiles.
+	invAcc  []uint64
+	invMiss []uint64
+}
+
+// NewAnalyzer builds an analyzer for the config.
+func NewAnalyzer(cfg *Config) *Analyzer {
+	return &Analyzer{
+		cfg:        cfg,
+		cache:      cache.New(cfg.MiniSimCache),
+		opStats:    make(map[uint64]*OpStat),
+		delinquent: make(map[uint64]bool),
+		strides:    make(map[uint64]StrideInfo),
+		columns:    make(map[uint64][]uint64),
+	}
+}
+
+// BeginInvocation starts one analyzer invocation at the given guest cycle
+// count, flushing the logical cache if the configured gap has elapsed.
+func (a *Analyzer) BeginInvocation(nowCycles uint64) {
+	a.Invocations++
+	if a.ranBefore && nowCycles-a.lastRun > a.cfg.FlushCycleGap {
+		a.cache.Flush()
+		a.Flushes++
+	}
+	a.lastRun = nowCycles
+	a.ranBefore = true
+}
+
+// AnalyzeProfile mini-simulates one address profile: rows in recording
+// order, operations in trace order, skipping the warm-up rows for miss
+// accounting. Loads whose miss ratio in this profile exceeds alpha are
+// labelled delinquent. It returns the modelled analysis cost in cycles.
+func (a *Analyzer) AnalyzeProfile(p *AddressProfile, alpha float64) uint64 {
+	nOps := len(p.Ops)
+	if nOps == 0 || p.Rows() == 0 {
+		return 0
+	}
+	if cap(a.invAcc) < nOps {
+		a.invAcc = make([]uint64, nOps)
+		a.invMiss = make([]uint64, nOps)
+	}
+	a.invAcc = a.invAcc[:nOps]
+	a.invMiss = a.invMiss[:nOps]
+	for i := 0; i < nOps; i++ {
+		a.invAcc[i], a.invMiss[i] = 0, 0
+	}
+
+	refs := uint64(0)
+	for r := 0; r < p.Rows(); r++ {
+		warm := r >= a.cfg.WarmupRows
+		for c := 0; c < nOps; c++ {
+			addr, ok := p.At(r, c)
+			if !ok {
+				continue
+			}
+			refs++
+			res := a.cache.Access(addr)
+			if !warm {
+				continue
+			}
+			a.invAcc[c]++
+			a.totalAcc++
+			if !res.Hit {
+				a.invMiss[c]++
+				a.totalMiss++
+			}
+		}
+	}
+	a.SimulatedRefs += refs
+
+	for c := 0; c < nOps; c++ {
+		pc := p.Ops[c]
+		st := a.opStats[pc]
+		if st == nil {
+			st = &OpStat{PC: pc, IsLoad: p.IsLoadOp[c]}
+			a.opStats[pc] = st
+		}
+		st.Accesses += a.invAcc[c]
+		st.Misses += a.invMiss[c]
+		if p.IsLoadOp[c] && a.invAcc[c] > 0 {
+			ratio := float64(a.invMiss[c]) / float64(a.invAcc[c])
+			if ratio > alpha {
+				a.delinquent[pc] = true
+				// Keep the raw column so optimizers can tune against the
+				// recorded history (e.g. prefetch distance selection).
+				a.columns[pc] = p.Column(c)
+			}
+		}
+		// Stride discovery feeds the prefetcher (§8).
+		if p.IsLoadOp[c] {
+			if stride, frac := DominantStride(p.Column(c)); frac >= 0.5 && stride != 0 {
+				if prev, ok := a.strides[pc]; !ok || frac >= prev.Confidence {
+					a.strides[pc] = StrideInfo{Stride: stride, Confidence: frac}
+				}
+			}
+		}
+	}
+	return a.cfg.AnalyzerPerRef * refs
+}
+
+// Delinquent returns the predicted delinquent load set P (live map; do not
+// mutate).
+func (a *Analyzer) Delinquent() map[uint64]bool { return a.delinquent }
+
+// Strides returns discovered per-load dominant strides.
+func (a *Analyzer) Strides() map[uint64]StrideInfo { return a.strides }
+
+// Column returns the most recent recorded address column for a delinquent
+// load, if any — the raw history optimizers tune against.
+func (a *Analyzer) Column(pc uint64) ([]uint64, bool) {
+	col, ok := a.columns[pc]
+	return col, ok
+}
+
+// OpStats returns cumulative per-operation simulation statistics.
+func (a *Analyzer) OpStats() map[uint64]*OpStat { return a.opStats }
+
+// MissRatio is the overall simulated (post-warmup) miss ratio, the UMI
+// quantity correlated against hardware counters in Table 4.
+func (a *Analyzer) MissRatio() float64 {
+	if a.totalAcc == 0 {
+		return 0
+	}
+	return float64(a.totalMiss) / float64(a.totalAcc)
+}
+
+// TopMissers returns operations ordered by simulated miss count, most
+// first (for reports).
+func (a *Analyzer) TopMissers(n int) []*OpStat {
+	out := make([]*OpStat, 0, len(a.opStats))
+	for _, s := range a.opStats {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func (a *Analyzer) String() string {
+	return fmt.Sprintf("umi.Analyzer{%d invocations, %d refs, %d flushes, miss ratio %.4f}",
+		a.Invocations, a.SimulatedRefs, a.Flushes, a.MissRatio())
+}

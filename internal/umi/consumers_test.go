@@ -1,0 +1,183 @@
+package umi
+
+import (
+	"strings"
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/rio"
+	"umi/internal/vm"
+)
+
+func fillProfile(ops int, rows int, addr func(r, c int) uint64) *AddressProfile {
+	pcs := make([]uint64, ops)
+	isLoad := make([]bool, ops)
+	for i := range pcs {
+		pcs[i] = 0x400000 + uint64(i)*16
+		isLoad[i] = true
+	}
+	p := NewAddressProfile(pcs, isLoad, rows)
+	for r := 0; r < rows; r++ {
+		row, _ := p.OpenRow()
+		for c := 0; c < ops; c++ {
+			p.Record(row, c, addr(r, c))
+		}
+	}
+	return p
+}
+
+func TestWorkingSetDistinctLines(t *testing.T) {
+	ws := NewWorkingSet(64)
+	// One op cycling 4 lines, another streaming fresh lines.
+	p := fillProfile(2, 64, func(r, c int) uint64 {
+		if c == 0 {
+			return uint64(r%4) * 64
+		}
+		return 0x100000 + uint64(r)*64
+	})
+	ws.Consume(p)
+	if got := ws.DistinctLines(); got != 4+64 {
+		t.Errorf("DistinctLines = %d, want 68", got)
+	}
+	if ws.Refs != 128 {
+		t.Errorf("Refs = %d, want 128", ws.Refs)
+	}
+	// The cycling op reuses; the stream is all cold.
+	if ws.Cold != 68 {
+		t.Errorf("Cold = %d, want 68", ws.Cold)
+	}
+	if _, ok := ws.ReuseMedianBucket(); !ok {
+		t.Error("reuse histogram must be non-empty")
+	}
+	if !strings.Contains(ws.String(), "distinct") {
+		t.Error("String must summarize")
+	}
+}
+
+func TestWorkingSetReuseDistances(t *testing.T) {
+	ws := NewWorkingSet(64)
+	// Immediate reuse: distance 0 bucket.
+	p := fillProfile(2, 32, func(r, c int) uint64 { return 0x1000 })
+	ws.Consume(p)
+	if ws.Hist[0] == 0 {
+		t.Error("immediate reuse must land in bucket 0")
+	}
+	if ws.Cold != 1 {
+		t.Errorf("Cold = %d, want 1", ws.Cold)
+	}
+}
+
+func TestWhatIfOrdersGeometries(t *testing.T) {
+	small := cache.Config{Name: "64K", Size: 64 << 10, Assoc: 8, LineSize: 64}
+	big := cache.Config{Name: "1M", Size: 1 << 20, Assoc: 8, LineSize: 64}
+	w := NewWhatIf(2, small, big)
+	// Cycle a 256 KiB footprint: misses in the small cache, resident in
+	// the big one after warm-up.
+	p := fillProfile(1, 256, func(r, c int) uint64 { return uint64(r%64) * 4096 })
+	for i := 0; i < 4; i++ {
+		w.Consume(p)
+	}
+	res := w.Results()
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].MissRatio <= res[1].MissRatio {
+		t.Errorf("small cache ratio %.3f must exceed big cache %.3f",
+			res[0].MissRatio, res[1].MissRatio)
+	}
+	if res[1].Accesses == 0 {
+		t.Error("warm accesses must be counted")
+	}
+}
+
+func TestClassifyColumn(t *testing.T) {
+	cases := []struct {
+		name  string
+		addrs []uint64
+		want  Pattern
+	}{
+		{"short", []uint64{1, 2}, PatternUnknown},
+		{"constant", []uint64{5, 5, 5, 5}, PatternConstant},
+		{"strided", []uint64{0, 64, 128, 192, 256}, PatternStrided},
+		{"irregular", []uint64{10, 99999, 7, 123456, 42, 777777}, PatternIrregular},
+	}
+	for _, c := range cases {
+		if got := ClassifyColumn(c.addrs); got != c.want {
+			t.Errorf("%s: ClassifyColumn = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPatternCensus(t *testing.T) {
+	pc := NewPatternCensus()
+	p := fillProfile(3, 16, func(r, c int) uint64 {
+		switch c {
+		case 0:
+			return 0x1000 // constant
+		case 1:
+			return uint64(r) * 64 // strided
+		default:
+			return uint64(r*r*977+r) * 8 // irregular: every delta distinct
+		}
+	})
+	pc.Consume(p)
+	if pc.Of(0x400000) != PatternConstant {
+		t.Errorf("op0 = %v, want constant", pc.Of(0x400000))
+	}
+	if pc.Of(0x400010) != PatternStrided {
+		t.Errorf("op1 = %v, want strided", pc.Of(0x400010))
+	}
+	if pc.Of(0x400020) != PatternIrregular {
+		t.Errorf("op2 = %v, want irregular", pc.Of(0x400020))
+	}
+	sum := pc.Summary()
+	for _, want := range []string{"constant=1", "strided=1", "irregular=1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary = %q missing %q", sum, want)
+		}
+	}
+}
+
+// End to end: consumers attached to a running System receive the same
+// profiles the analyzer sees.
+func TestConsumersEndToEnd(t *testing.T) {
+	p := strideWorkload(t, 400_000)
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	rt := rio.NewRuntime(m)
+	cfg := testConfig()
+	s := Attach(rt, cfg)
+	ws := NewWorkingSet(64)
+	census := NewPatternCensus()
+	wi := NewWhatIf(cfg.WarmupRows,
+		cache.Config{Name: "half", Size: 256 << 10, Assoc: 8, LineSize: 64},
+		cache.P4L2)
+	s.AddConsumer(ws)
+	s.AddConsumer(census)
+	s.AddConsumer(wi)
+	if err := rt.Run(50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Finish()
+	if ws.Refs == 0 {
+		t.Fatal("working-set consumer saw no references")
+	}
+	if ws.DistinctLines() == 0 {
+		t.Error("no distinct lines recorded")
+	}
+	loopPC := p.Symbols["loop"]
+	if census.Of(loopPC) != PatternStrided {
+		t.Errorf("strided load classified as %v", census.Of(loopPC))
+	}
+	res := wi.Results()
+	if res[0].Accesses == 0 || res[1].Accesses == 0 {
+		t.Fatal("what-if explorer saw no accesses")
+	}
+	// §5's claim: the mini-simulation is insensitive to geometry — the
+	// two geometries must agree closely on this workload.
+	d := res[0].MissRatio - res[1].MissRatio
+	if d < -0.1 || d > 0.1 {
+		t.Errorf("geometry sensitivity too high: %.3f vs %.3f",
+			res[0].MissRatio, res[1].MissRatio)
+	}
+}

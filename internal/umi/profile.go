@@ -1,0 +1,149 @@
+package umi
+
+import (
+	"fmt"
+
+	"umi/internal/rio"
+)
+
+// noAddr marks an address-profile cell with no recorded reference (the
+// trace exited before the operation executed in that iteration).
+const noAddr = ^uint64(0)
+
+// AddressProfile is the paper's two-dimensional profile for one code
+// trace: rows are trace executions, columns are profiled operations in
+// trace order, cells are effective addresses. Reading a column gives the
+// address sequence of a single instruction across executions; reading row
+// by row gives the reference stream the mini-simulator consumes.
+type AddressProfile struct {
+	// Ops holds the application PCs of the profiled operations, in trace
+	// order. IsLoadOp marks which are loads.
+	Ops      []uint64
+	IsLoadOp []bool
+
+	cells   []uint64 // rowCount x len(Ops), flat
+	rowCap  int
+	rowUsed int
+}
+
+// NewAddressProfile allocates a profile for the given operations.
+func NewAddressProfile(ops []uint64, isLoad []bool, rows int) *AddressProfile {
+	p := &AddressProfile{Ops: ops, IsLoadOp: isLoad, rowCap: rows}
+	p.cells = make([]uint64, rows*len(ops))
+	for i := range p.cells {
+		p.cells[i] = noAddr
+	}
+	return p
+}
+
+// Rows reports the number of recorded rows.
+func (p *AddressProfile) Rows() int { return p.rowUsed }
+
+// Full reports whether another row can be opened.
+func (p *AddressProfile) Full() bool { return p.rowUsed >= p.rowCap }
+
+// OpenRow starts recording a new trace execution and returns its row
+// index, or false when the profile is full.
+func (p *AddressProfile) OpenRow() (int, bool) {
+	if p.Full() {
+		return 0, false
+	}
+	p.rowUsed++
+	return p.rowUsed - 1, true
+}
+
+// Record stores the address referenced by operation col during row.
+func (p *AddressProfile) Record(row, col int, addr uint64) {
+	p.cells[row*len(p.Ops)+col] = addr
+}
+
+// At returns the recorded address for (row, col) and whether one exists.
+func (p *AddressProfile) At(row, col int) (uint64, bool) {
+	a := p.cells[row*len(p.Ops)+col]
+	return a, a != noAddr
+}
+
+// Reset discards all recorded rows.
+func (p *AddressProfile) Reset() {
+	for i := 0; i < p.rowUsed*len(p.Ops); i++ {
+		p.cells[i] = noAddr
+	}
+	p.rowUsed = 0
+}
+
+// Column returns the recorded address sequence of one operation across
+// executions, skipping unrecorded cells.
+func (p *AddressProfile) Column(col int) []uint64 {
+	out := make([]uint64, 0, p.rowUsed)
+	for r := 0; r < p.rowUsed; r++ {
+		if a, ok := p.At(r, col); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (p *AddressProfile) String() string {
+	return fmt.Sprintf("AddressProfile{%d ops, %d/%d rows}", len(p.Ops), p.rowUsed, p.rowCap)
+}
+
+// selectOps applies the instrumentor's operation filtering (§4.1) to a
+// trace: loads and stores survive unless they are stack-relative or
+// static, mirroring the esp/ebp heuristic. With filtering disabled every
+// load/store is selected. Duplicate PCs (a trace can inline the same block
+// twice) are profiled once. maxOps caps the selection (§4.2: 256).
+func selectOps(f *rio.Fragment, filter bool, maxOps int) (pcs []uint64, isLoad []bool, candidates int) {
+	seen := make(map[uint64]bool)
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if !in.Op.IsLoad() && !in.Op.IsStore() {
+			continue
+		}
+		pc := f.PCs[i]
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		candidates++
+		if filter && (in.Mem.IsStackRelative() || in.Mem.IsStatic()) {
+			continue
+		}
+		if len(pcs) >= maxOps {
+			continue
+		}
+		pcs = append(pcs, pc)
+		isLoad = append(isLoad, in.Op.IsLoad())
+	}
+	return pcs, isLoad, candidates
+}
+
+// DominantStride returns the most frequent successive-address delta in a
+// column and its occurrence fraction. Used by the prefetching optimization
+// (§8: "calculate the stride distance between successive memory references
+// for individual loads").
+func DominantStride(addrs []uint64) (stride int64, frac float64) {
+	if len(addrs) < 3 {
+		return 0, 0
+	}
+	counts := make(map[int64]int)
+	total := 0
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i] - addrs[i-1])
+		counts[d]++
+		total++
+	}
+	best, bestN := int64(0), 0
+	for d, n := range counts {
+		if n > bestN || (n == bestN && abs64(d) < abs64(best)) {
+			best, bestN = d, n
+		}
+	}
+	return best, float64(bestN) / float64(total)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,316 @@
+package umi
+
+import (
+	"fmt"
+
+	"umi/internal/rio"
+)
+
+// traceState tracks one code trace through the UMI lifecycle.
+type traceState struct {
+	clean *rio.Fragment // uninstrumented code (the clone T_c)
+	// instr is the currently installed instrumented fragment, nil when
+	// the trace runs clean.
+	instr   *rio.Fragment
+	profile *AddressProfile
+	curRow  int
+	rowOpen bool
+
+	samples      int
+	freqThresh   int // per-trace frequency threshold (AdaptiveFrequency)
+	alpha        float64
+	lastAnalyzed uint64 // guest instrs at last analysis (cooldown base)
+	everAnalyzed bool
+	analyses     int
+	// barren marks traces with no profilable operations after filtering.
+	barren bool
+}
+
+// System wires the three UMI components (region selector, instrumentor,
+// profile analyzer) into a rio runtime.
+type System struct {
+	cfg Config
+	rt  *rio.Runtime
+	an  *Analyzer
+
+	// OnAnalyzed, when set, runs after each trace's profile is analyzed,
+	// at the natural optimization boundary the paper describes ("before
+	// replacing T with T_c, one can perform optimizations on T_c based
+	// on the mini-simulation results"). It receives the trace's clean
+	// code and the analyzer; returning a non-nil fragment installs it as
+	// the trace's code from then on. The software prefetcher hangs here.
+	OnAnalyzed func(clean *rio.Fragment, an *Analyzer) *rio.Fragment
+
+	traces     map[uint64]*traceState
+	globalRows int
+	consumers  []ProfileConsumer
+
+	// statistics
+	profilesCollected int
+	profiledPCs       map[uint64]bool
+	candidatePCs      map[uint64]bool
+	instrumentEvents  int
+}
+
+// Attach installs UMI onto the runtime. It must be called before the
+// runtime starts executing. The runtime's sampler is always enabled (it is
+// UMI's clock); cfg.UseSampling chooses whether it also gates region
+// selection.
+func Attach(rt *rio.Runtime, cfg Config) *System {
+	s := &System{
+		cfg:          cfg,
+		rt:           rt,
+		traces:       make(map[uint64]*traceState),
+		profiledPCs:  make(map[uint64]bool),
+		candidatePCs: make(map[uint64]bool),
+	}
+	s.an = NewAnalyzer(&s.cfg)
+	rt.SamplePeriod = cfg.SamplePeriod
+	rt.OnTrace = s.onTrace
+	rt.OnSample = s.onSample
+	return s
+}
+
+// Analyzer exposes the profile analyzer and its cumulative results.
+func (s *System) Analyzer() *Analyzer { return s.an }
+
+// onTrace is the region selector's trace-creation hook.
+func (s *System) onTrace(f *rio.Fragment) {
+	ts := &traceState{clean: f, alpha: s.cfg.DelinquencyInit,
+		freqThresh: s.cfg.FrequencyThreshold}
+	s.traces[f.Start] = ts
+	// Record candidate operations for Table 3 accounting even if the
+	// trace is never instrumented.
+	_, _, _ = s.noteCandidates(f)
+	if !s.cfg.UseSampling {
+		s.instrument(ts)
+	}
+}
+
+func (s *System) noteCandidates(f *rio.Fragment) (loads, stores, total int) {
+	for i := range f.Instrs {
+		op := f.Instrs[i].Op
+		if op.IsLoad() || op.IsStore() {
+			s.candidatePCs[f.PCs[i]] = true
+			total++
+		}
+	}
+	return 0, 0, total
+}
+
+// onSample is the region selector's sampling hook: it reinforces hot
+// traces (UseSampling) and re-arms traces whose cooldown has passed.
+func (s *System) onSample(f *rio.Fragment) {
+	if f == nil {
+		return
+	}
+	ts, ok := s.traces[f.Start]
+	if !ok || ts.barren || ts.instr != nil {
+		return
+	}
+	if ts.everAnalyzed && s.rt.M.Instrs-ts.lastAnalyzed < s.cfg.ReinstrumentGap {
+		return
+	}
+	if s.cfg.UseSampling {
+		threshold := s.cfg.FrequencyThreshold
+		if s.cfg.AdaptiveFrequency {
+			threshold = ts.freqThresh
+		}
+		ts.samples++
+		if ts.samples < threshold {
+			return
+		}
+		ts.samples = 0
+	}
+	s.instrument(ts)
+}
+
+// instrument builds and installs the instrumented version of a trace: the
+// paper's clone-and-patch step.
+func (s *System) instrument(ts *traceState) {
+	ops, isLoad, _ := selectOps(ts.clean, s.cfg.FilterOps, s.cfg.AddressProfileOps)
+	if len(ops) == 0 {
+		ts.barren = true
+		return
+	}
+	if ts.profile == nil || len(ts.profile.Ops) != len(ops) {
+		ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
+	} else {
+		ts.profile.Reset()
+	}
+	for _, pc := range ops {
+		s.profiledPCs[pc] = true
+	}
+
+	colOf := make(map[uint64]int, len(ops))
+	for i, pc := range ops {
+		colOf[pc] = i
+	}
+	hooks := make(map[uint64]rio.MemHook, len(ops))
+	for pc, col := range colOf {
+		col := col
+		hooks[pc] = func(hpc, addr uint64, size uint8, write bool) {
+			if ts.rowOpen {
+				ts.profile.Record(ts.curRow, col, addr)
+			}
+		}
+	}
+
+	inst := ts.clean.Clone()
+	inst.Instr = &rio.Instrumentation{
+		Prolog: func() bool {
+			if ts.profile.Full() || s.globalRows >= s.cfg.TraceProfileLen {
+				s.runAnalyzer(ts)
+				return false
+			}
+			row, _ := ts.profile.OpenRow()
+			ts.curRow = row
+			ts.rowOpen = true
+			s.globalRows++
+			return true
+		},
+		Hooks:      hooks,
+		PerRefCost: s.cfg.PerRefCost,
+		PrologCost: s.cfg.PrologCost,
+	}
+	ts.instr = inst
+	s.instrumentEvents++
+	s.rt.AddOverhead(s.cfg.InstrumentCost)
+	s.rt.ReplaceTrace(inst)
+}
+
+// runAnalyzer performs one profile-analyzer invocation: it mini-simulates
+// every live profile, labels delinquent loads, swaps every analyzed trace
+// back to its clean clone, and charges the modelled analysis cost.
+func (s *System) runAnalyzer(trigger *traceState) {
+	cost := s.cfg.AnalyzerFixed
+	s.an.BeginInvocation(s.rt.M.Cycles)
+	for _, ts := range s.traces {
+		if ts.instr == nil || ts.profile == nil || ts.profile.Rows() == 0 {
+			continue
+		}
+		cost += s.an.AnalyzeProfile(ts.profile, ts.alpha)
+		for _, c := range s.consumers {
+			c.Consume(ts.profile)
+		}
+		if s.cfg.AdaptiveFrequency {
+			s.tuneFrequency(ts)
+		}
+		s.profilesCollected++
+		s.deinstrument(ts)
+	}
+	if s.cfg.Adaptive {
+		trigger.alpha -= s.cfg.DelinquencyStep
+		if trigger.alpha < s.cfg.DelinquencyMin {
+			trigger.alpha = s.cfg.DelinquencyMin
+		}
+	}
+	s.globalRows = 0
+	s.rt.AddOverhead(cost)
+}
+
+// tuneFrequency adapts a trace's sampling threshold to what its analysis
+// just found (Config.AdaptiveFrequency).
+func (s *System) tuneFrequency(ts *traceState) {
+	interesting := false
+	for _, pc := range ts.profile.Ops {
+		if s.an.delinquent[pc] {
+			interesting = true
+			break
+		}
+	}
+	if interesting {
+		ts.freqThresh /= 2
+		if ts.freqThresh < 1 {
+			ts.freqThresh = 1
+		}
+	} else {
+		ts.freqThresh *= 2
+		if max := s.cfg.MaxFrequencyThreshold; max > 0 && ts.freqThresh > max {
+			ts.freqThresh = max
+		}
+	}
+}
+
+func (s *System) deinstrument(ts *traceState) {
+	ts.profile.Reset()
+	ts.instr = nil
+	ts.rowOpen = false
+	ts.everAnalyzed = true
+	ts.analyses++
+	ts.lastAnalyzed = s.rt.M.Instrs
+	if s.OnAnalyzed != nil {
+		if nf := s.OnAnalyzed(ts.clean, s.an); nf != nil {
+			ts.clean = nf
+		}
+	}
+	s.rt.AddOverhead(s.cfg.InstrumentCost) // swap back
+	s.rt.ReplaceTrace(ts.clean)
+}
+
+// Finish analyzes any profiles still live when execution ends, so short
+// runs report complete results.
+func (s *System) Finish() {
+	live := false
+	for _, ts := range s.traces {
+		if ts.instr != nil && ts.profile != nil && ts.profile.Rows() > 0 {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return
+	}
+	// Use any live trace as the nominal trigger.
+	for _, ts := range s.traces {
+		if ts.instr != nil && ts.profile != nil && ts.profile.Rows() > 0 {
+			s.runAnalyzer(ts)
+			return
+		}
+	}
+}
+
+// Report summarizes a UMI run.
+type Report struct {
+	// Delinquent is the predicted delinquent load set P (application PCs).
+	Delinquent map[uint64]bool
+	// Strides holds dominant strides for profiled loads.
+	Strides map[uint64]StrideInfo
+	// OpStats holds cumulative per-operation mini-simulation statistics.
+	OpStats map[uint64]*OpStat
+	// SimMissRatio is the overall mini-simulated L2 miss ratio.
+	SimMissRatio float64
+
+	ProfiledOps         int // unique instrumented operations
+	CandidateOps        int // unique load/store operations seen in traces
+	ProfilesCollected   int
+	AnalyzerInvocations int
+	InstrumentEvents    int
+	TracesSeen          int
+	SimulatedRefs       uint64
+	Flushes             int
+}
+
+// Report returns the run summary. Call Finish first for complete results.
+func (s *System) Report() *Report {
+	return &Report{
+		Delinquent:          s.an.Delinquent(),
+		Strides:             s.an.Strides(),
+		OpStats:             s.an.OpStats(),
+		SimMissRatio:        s.an.MissRatio(),
+		ProfiledOps:         len(s.profiledPCs),
+		CandidateOps:        len(s.candidatePCs),
+		ProfilesCollected:   s.profilesCollected,
+		AnalyzerInvocations: s.an.Invocations,
+		InstrumentEvents:    s.instrumentEvents,
+		TracesSeen:          len(s.traces),
+		SimulatedRefs:       s.an.SimulatedRefs,
+		Flushes:             s.an.Flushes,
+	}
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("umi.Report{traces %d, profiled %d/%d ops, %d profiles, %d invocations, sim miss %.4f, |P|=%d}",
+		r.TracesSeen, r.ProfiledOps, r.CandidateOps, r.ProfilesCollected,
+		r.AnalyzerInvocations, r.SimMissRatio, len(r.Delinquent))
+}

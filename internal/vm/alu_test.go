@@ -1,0 +1,191 @@
+package vm
+
+import (
+	"testing"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+)
+
+// execOne runs a single ALU instruction with preset register inputs and
+// returns the destination value.
+func execOne(t *testing.T, in isa.Instr, setup map[isa.Reg]uint64) uint64 {
+	t.Helper()
+	b := program.NewBuilder("one")
+	blk := b.Block("entry")
+	blk.Nop()
+	blk.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := New(p, nil)
+	for r, v := range setup {
+		m.Regs[r] = v
+	}
+	if _, err := m.ExecInstr(&in, p.Entry); err != nil {
+		t.Fatalf("ExecInstr(%v): %v", in, err)
+	}
+	return m.Regs[in.Rd]
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    isa.Instr
+		setup map[isa.Reg]uint64
+		want  uint64
+	}{
+		{"add", isa.Instr{Op: isa.OpAdd, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 7, isa.R2: 5}, 12},
+		{"add-wrap", isa.Instr{Op: isa.OpAdd, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: ^uint64(0), isa.R2: 1}, 0},
+		{"sub", isa.Instr{Op: isa.OpSub, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 5, isa.R2: 7}, ^uint64(1)}, // -2
+		{"mul", isa.Instr{Op: isa.OpMul, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 6, isa.R2: 7}, 42},
+		{"div-signed", isa.Instr{Op: isa.OpDiv, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: ^uint64(6), isa.R2: 2}, ^uint64(2)},
+		{"and", isa.Instr{Op: isa.OpAnd, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 0xFF00, isa.R2: 0x0FF0}, 0x0F00},
+		{"or", isa.Instr{Op: isa.OpOr, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 0xF0, isa.R2: 0x0F}, 0xFF},
+		{"xor", isa.Instr{Op: isa.OpXor, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 0xFF, isa.R2: 0x0F}, 0xF0},
+		{"shl", isa.Instr{Op: isa.OpShl, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 1, isa.R2: 12}, 4096},
+		{"shl-mask", isa.Instr{Op: isa.OpShl, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 1, isa.R2: 64}, 1}, // shift amount mod 64
+		{"shr", isa.Instr{Op: isa.OpShr, Rd: isa.R0, Rs1: isa.R1, Rs2: isa.R2},
+			map[isa.Reg]uint64{isa.R1: 4096, isa.R2: 12}, 1},
+		{"addi-neg", isa.Instr{Op: isa.OpAddI, Rd: isa.R0, Rs1: isa.R1, Imm: -3},
+			map[isa.Reg]uint64{isa.R1: 10}, 7},
+		{"muli", isa.Instr{Op: isa.OpMulI, Rd: isa.R0, Rs1: isa.R1, Imm: 9},
+			map[isa.Reg]uint64{isa.R1: 9}, 81},
+		{"andi", isa.Instr{Op: isa.OpAndI, Rd: isa.R0, Rs1: isa.R1, Imm: 0xFF},
+			map[isa.Reg]uint64{isa.R1: 0x1234}, 0x34},
+		{"shri", isa.Instr{Op: isa.OpShrI, Rd: isa.R0, Rs1: isa.R1, Imm: 4},
+			map[isa.Reg]uint64{isa.R1: 0x100}, 0x10},
+		{"mov", isa.Instr{Op: isa.OpMov, Rd: isa.R0, Rs1: isa.R1},
+			map[isa.Reg]uint64{isa.R1: 77}, 77},
+		{"movi-neg", isa.Instr{Op: isa.OpMovI, Rd: isa.R0, Imm: -1},
+			nil, ^uint64(0)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := execOne(t, c.in, c.setup); got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLoadSizesZeroExtend(t *testing.T) {
+	b := program.NewBuilder("sizes")
+	b.AddData(program.HeapBase, []byte{0xEF, 0xBE, 0xAD, 0xDE, 0x78, 0x56, 0x34, 0x12})
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.Load(isa.R0, 1, isa.Mem(isa.R2, 0))
+	e.Load(isa.R1, 2, isa.Mem(isa.R2, 0))
+	e.Load(isa.R3, 4, isa.Mem(isa.R2, 0))
+	e.Load(isa.R4, 8, isa.Mem(isa.R2, 0))
+	e.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := New(p, nil)
+	if err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, c := range []struct {
+		r    isa.Reg
+		want uint64
+	}{
+		{isa.R0, 0xEF},
+		{isa.R1, 0xBEEF},
+		{isa.R3, 0xDEADBEEF},
+		{isa.R4, 0x12345678DEADBEEF},
+	} {
+		if m.Regs[c.r] != c.want {
+			t.Errorf("%v = %#x, want %#x", c.r, m.Regs[c.r], c.want)
+		}
+	}
+}
+
+func TestStoreTruncates(t *testing.T) {
+	b := program.NewBuilder("trunc")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.MovI(isa.R0, -1) // all ones
+	e.Store(isa.R0, 8, isa.Mem(isa.R2, 0))
+	e.MovI(isa.R1, 0x42)
+	e.Store(isa.R1, 1, isa.Mem(isa.R2, 0)) // overwrite only the low byte
+	e.Load(isa.R3, 8, isa.Mem(isa.R2, 0))
+	e.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := New(p, nil)
+	if err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := uint64(0xFFFFFFFFFFFFFF42); m.Regs[isa.R3] != want {
+		t.Errorf("R3 = %#x, want %#x", m.Regs[isa.R3], want)
+	}
+}
+
+func TestIndexedAddressing(t *testing.T) {
+	b := program.NewBuilder("idx")
+	b.AddWords(program.HeapBase+3*8+16, []uint64{0xCAFE})
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.MovI(isa.R1, 3)
+	e.Load(isa.R0, 8, isa.MemIdx(isa.R2, isa.R1, 8, 16))
+	e.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := New(p, nil)
+	if err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Regs[isa.R0] != 0xCAFE {
+		t.Errorf("indexed load = %#x, want 0xCAFE", m.Regs[isa.R0])
+	}
+}
+
+func TestPrefetchIsArchitecturallyInvisible(t *testing.T) {
+	b := program.NewBuilder("pf")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.Prefetch(isa.Mem(isa.R2, 4096))
+	e.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	var refs int
+	m := New(p, nil)
+	m.RefHook = func(pc, addr uint64, size uint8, write bool) { refs++ }
+	before := m.Regs
+	if err := m.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if refs != 0 {
+		t.Error("prefetch must not invoke the reference hook")
+	}
+	after := m.Regs
+	after[isa.R2] = before[isa.R2] // R2 was set by the program
+	// No other register may change.
+	for i := range after {
+		if isa.Reg(i) == isa.R2 {
+			continue
+		}
+		if after[i] != before[i] {
+			t.Errorf("prefetch changed register %v", isa.Reg(i))
+		}
+	}
+}

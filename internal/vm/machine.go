@@ -1,0 +1,257 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+)
+
+// MemModel supplies memory-hierarchy latency for the machine's loads and
+// stores. Access reports the stall cycles beyond the instruction's base
+// cost. The model is the "hardware": a cache hierarchy with performance
+// counters implements this interface.
+type MemModel interface {
+	Access(addr uint64, size uint8, write bool) (stall uint64)
+}
+
+// PrefetchModel is implemented by memory models that accept software
+// prefetch hints.
+type PrefetchModel interface {
+	Prefetch(addr uint64)
+}
+
+// NTModel is implemented by memory models that honour non-temporal
+// access hints (isa.Instr.NT): the line should not be cached beyond the
+// first level.
+type NTModel interface {
+	AccessNT(addr uint64, size uint8, write bool) (stall uint64)
+}
+
+// InstrFetchModel is implemented by memory models that charge for
+// instruction fetches (an instruction cache). The machine consults it
+// once per executed instruction when attached.
+type InstrFetchModel interface {
+	FetchInstr(pc uint64) (stall uint64)
+}
+
+// RefHook observes one dynamic memory reference: the instruction's PC, the
+// effective address, the access size, and whether it is a write. Prefetch
+// instructions do not invoke the hook (they are hints, not references).
+type RefHook func(pc, addr uint64, size uint8, write bool)
+
+// Execution errors.
+var (
+	ErrDivideByZero = errors.New("vm: divide by zero")
+	ErrBadPC        = errors.New("vm: pc outside code image")
+	ErrNotHalted    = errors.New("vm: instruction budget exhausted before halt")
+)
+
+// Machine is one guest hardware context.
+type Machine struct {
+	Prog *program.Program
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Mem  *Memory
+
+	// Model provides load/store stall cycles. Nil means a perfect
+	// single-cycle memory.
+	Model MemModel
+
+	// fetch is Model's instruction-fetch view, cached at Reset time to
+	// avoid a type assertion per instruction.
+	fetch InstrFetchModel
+	// nt is Model's non-temporal view, if any.
+	nt NTModel
+
+	// RefHook, when non-nil, observes every load and store.
+	RefHook RefHook
+
+	// Cycles is the modelled execution time; Instrs counts retired guest
+	// instructions (both exclude any runtime-system overhead, which the
+	// rio layer accounts separately).
+	Cycles uint64
+	Instrs uint64
+	Halted bool
+}
+
+// New creates a machine for the program with data segments installed,
+// SP/BP initialized, and PC at the entry point.
+func New(p *program.Program, model MemModel) *Machine {
+	m := &Machine{Prog: p, Mem: NewMemory(), Model: model}
+	if f, ok := model.(InstrFetchModel); ok {
+		m.fetch = f
+	}
+	if n, ok := model.(NTModel); ok {
+		m.nt = n
+	}
+	m.Reset()
+	return m
+}
+
+// Reset rewinds the machine to the program's initial state, reinstalling
+// data segments into a fresh memory.
+func (m *Machine) Reset() {
+	m.Mem = NewMemory()
+	for _, seg := range m.Prog.Data {
+		m.Mem.WriteBytes(seg.Addr, seg.Bytes)
+	}
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.Regs[isa.SP] = program.StackBase
+	m.Regs[isa.BP] = program.StackBase
+	m.PC = m.Prog.Entry
+	m.Cycles = 0
+	m.Instrs = 0
+	m.Halted = false
+}
+
+// EA computes the effective address of a memory operand in the current
+// register state.
+func (m *Machine) EA(ref isa.MemRef) uint64 {
+	var ea uint64
+	if ref.Base != isa.NoReg {
+		ea = m.Regs[ref.Base]
+	}
+	if ref.Index != isa.NoReg {
+		ea += m.Regs[ref.Index] * uint64(ref.Scale)
+	}
+	return ea + uint64(ref.Disp)
+}
+
+// ExecInstr executes one instruction whose original application PC is pc,
+// updating registers, memory, cycle and instruction counters, and returns
+// the next PC. It does not touch m.PC: callers (Step, and the rio
+// dispatcher, which executes instructions out of code-cache fragments)
+// manage control flow themselves.
+func (m *Machine) ExecInstr(in *isa.Instr, pc uint64) (uint64, error) {
+	next := pc + isa.InstrBytes
+	cost := in.BaseCost()
+	if m.fetch != nil {
+		cost += m.fetch.FetchInstr(pc)
+	}
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		m.Halted = true
+	case isa.OpAdd:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] + m.Regs[in.Rs2]
+	case isa.OpSub:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] - m.Regs[in.Rs2]
+	case isa.OpMul:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] * m.Regs[in.Rs2]
+	case isa.OpDiv:
+		if m.Regs[in.Rs2] == 0 {
+			return pc, fmt.Errorf("%w at pc %#x", ErrDivideByZero, pc)
+		}
+		m.Regs[in.Rd] = uint64(int64(m.Regs[in.Rs1]) / int64(m.Regs[in.Rs2]))
+	case isa.OpAnd:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] & m.Regs[in.Rs2]
+	case isa.OpOr:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] | m.Regs[in.Rs2]
+	case isa.OpXor:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] ^ m.Regs[in.Rs2]
+	case isa.OpShl:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] << (m.Regs[in.Rs2] & 63)
+	case isa.OpShr:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] >> (m.Regs[in.Rs2] & 63)
+	case isa.OpAddI:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] + uint64(in.Imm)
+	case isa.OpMulI:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] * uint64(in.Imm)
+	case isa.OpAndI:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] & uint64(in.Imm)
+	case isa.OpShrI:
+		m.Regs[in.Rd] = m.Regs[in.Rs1] >> (uint64(in.Imm) & 63)
+	case isa.OpMov:
+		m.Regs[in.Rd] = m.Regs[in.Rs1]
+	case isa.OpMovI:
+		m.Regs[in.Rd] = uint64(in.Imm)
+	case isa.OpLoad:
+		ea := m.EA(in.Mem)
+		if m.RefHook != nil {
+			m.RefHook(pc, ea, in.Size, false)
+		}
+		if in.NT && m.nt != nil {
+			cost += m.nt.AccessNT(ea, in.Size, false)
+		} else if m.Model != nil {
+			cost += m.Model.Access(ea, in.Size, false)
+		}
+		m.Regs[in.Rd] = m.Mem.Read(ea, in.Size)
+	case isa.OpStore:
+		ea := m.EA(in.Mem)
+		if m.RefHook != nil {
+			m.RefHook(pc, ea, in.Size, true)
+		}
+		if in.NT && m.nt != nil {
+			cost += m.nt.AccessNT(ea, in.Size, true)
+		} else if m.Model != nil {
+			cost += m.Model.Access(ea, in.Size, true)
+		}
+		m.Mem.Write(ea, in.Size, m.Regs[in.Rs1])
+	case isa.OpPrefetch:
+		if pf, ok := m.Model.(PrefetchModel); ok {
+			pf.Prefetch(m.EA(in.Mem))
+		}
+	case isa.OpJmp:
+		next = uint64(in.Imm)
+	case isa.OpBr:
+		if in.Cond.Eval(m.Regs[in.Rs1], m.Regs[in.Rs2]) {
+			next = uint64(in.Imm)
+		}
+	case isa.OpBrI:
+		if in.Cond.Eval(m.Regs[in.Rs1], uint64(in.Imm2)) {
+			next = uint64(in.Imm)
+		}
+	case isa.OpCall:
+		m.Regs[isa.LR] = next
+		next = uint64(in.Imm)
+	case isa.OpRet:
+		next = m.Regs[isa.LR]
+	case isa.OpJmpInd:
+		next = m.Regs[in.Rs1]
+	default:
+		return pc, fmt.Errorf("vm: unimplemented opcode %v at pc %#x", in.Op, pc)
+	}
+	m.Cycles += cost
+	m.Instrs++
+	return next, nil
+}
+
+// Step fetches and executes the instruction at the current PC.
+func (m *Machine) Step() error {
+	in, ok := m.Prog.InstrAt(m.PC)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadPC, m.PC)
+	}
+	next, err := m.ExecInstr(in, m.PC)
+	if err != nil {
+		return err
+	}
+	m.PC = next
+	return nil
+}
+
+// Run executes until the program halts or maxInstrs instructions retire.
+// It returns ErrNotHalted if the budget is exhausted first.
+func (m *Machine) Run(maxInstrs uint64) error {
+	start := m.Instrs
+	for !m.Halted {
+		if m.Instrs-start >= maxInstrs {
+			return fmt.Errorf("%w (%d instructions)", ErrNotHalted, maxInstrs)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FixedLatency is a trivial MemModel charging the same stall for every
+// access; useful for tests and as a memory-only baseline.
+type FixedLatency uint64
+
+// Access implements MemModel.
+func (f FixedLatency) Access(addr uint64, size uint8, write bool) uint64 { return uint64(f) }

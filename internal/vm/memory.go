@@ -1,0 +1,116 @@
+// Package vm executes guest programs: a sparse paged memory, an interpreter
+// with a cycle cost model, and hooks that let higher layers (the runtime
+// code manipulator, the offline simulator, the counter model) observe every
+// memory reference. The machine is the reproduction's stand-in for the
+// physical processor the paper measures: "native execution" is the machine
+// running a program with a hardware cache model attached and nothing else.
+package vm
+
+import "fmt"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged, byte-addressed guest memory. Pages materialize
+// zero-filled on first touch. Multi-byte accesses are little endian and may
+// straddle page boundaries.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64) *[pageSize]byte {
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	pn := addr >> pageShift
+	p, ok := m.pages[pn]
+	if !ok {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.page(addr)[addr&pageMask] = b
+}
+
+// Read returns the little-endian value of the given size (1, 2, 4 or 8
+// bytes) at addr, zero extended.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		if p, ok := m.pages[addr>>pageShift]; ok {
+			var v uint64
+			for i := uint8(0); i < size; i++ {
+				v |= uint64(p[off+uint64(i)]) << (8 * i)
+			}
+			return v
+		}
+		return 0
+	}
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little endian.
+func (m *Memory) Write(addr uint64, size uint8, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr)
+		for i := uint8(0); i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies a byte slice into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		off := addr & pageMask
+		n := copy(m.page(addr)[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// PageCount reports the number of materialized pages (for tests and memory
+// footprint accounting).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// String summarizes the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("vm.Memory{%d pages, %d KiB resident}", len(m.pages), len(m.pages)*pageSize/1024)
+}

@@ -1,0 +1,31 @@
+package workloads
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/vm"
+)
+
+// TestCalibrationReport prints ground-truth statistics for every workload
+// when run with -v; it asserts only that every workload halts within its
+// instruction budget. Band assertions live in workloads_test.go.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs the full suite")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			h := cache.NewP4(false)
+			m := vm.New(w.Program(), h)
+			if err := m.Run(60_000_000); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			t.Logf("%-16s %-8s instrs=%9d cycles=%11d L1acc=%9d L2acc=%8d L2miss=%8d ratio=%6.2f%% (paper %.2f%%)",
+				w.Name, w.Suite, m.Instrs, m.Cycles,
+				h.L1Stats.Accesses, h.L2Stats.Accesses, h.L2Stats.Misses,
+				100*h.L2Stats.MissRatio(), w.PaperMissPct)
+		})
+	}
+}

@@ -1,0 +1,632 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+)
+
+// Generator register conventions (kept uniform so generated code is easy
+// to audit):
+//
+//	R0  loop index            R1  pointer / loaded value
+//	R2  primary (stream) base R3  scratch value
+//	R4  secondary value       R5  hot-region base
+//	R6  limit                 R7  accumulator
+//	R8  outer rep counter     R9  outer rep limit
+//	R10-R12 temporaries
+//
+// Every generator folds in the reference patterns UMI's instrumentor must
+// cope with: heap references through registers (profiled), stack
+// references through SP/BP (filtered), and static absolute references
+// (filtered). Cold, never-executed library blocks inflate the static
+// load/store population the way real binaries do, so Table 3's
+// "% profiled" is measured against a realistic denominator.
+//
+// Miss-ratio engineering: the ground-truth L2 miss ratio is L2 misses over
+// L2 accesses, and L2 accesses are L1 misses. Generators therefore mix two
+// kinds of line-granular traffic:
+//
+//   - "hot" loads cycle a conflict set of 8 lines spaced 32 KiB apart.
+//     32 KiB is a multiple of both the P4 L1 set stride (2 KiB) and the
+//     K7 L1 set stride (32 KiB), so the 8 lines share one L1 set on both
+//     platforms and exceed any L1 associativity: every access misses L1
+//     and hits L2. Because only 8 lines are live, the analyzer's logical
+//     cache absorbs them within a few profile rows — hot loads look
+//     resident to the mini-simulator, as real medium-reuse loads do;
+//   - "stream" and "scatter" loads touch fresh lines far beyond L2 —
+//     every one misses both levels.
+const (
+	hotBase    = program.GlobalBase        // hot (L2-resident) region
+	staticCell = program.GlobalBase - 4096 // target of static refs
+
+	// Conflict-set geometry for hot loads (see the package comment).
+	conflictSetLines  = 8
+	conflictStrideEls = 4096   // 32 KiB in 8-byte elements
+	conflictSlotBytes = 262720 // per-load sub-region: 8*32 KiB + 9 lines of skew
+)
+
+// emitConflictLoad appends a hot conflict-set load: index register tmp is
+// derived from counter (which must advance by 1 per iteration), cycling
+// conflictSetLines lines spaced one conflict stride apart, in the j-th
+// sub-region of the hot region.
+func emitConflictLoad(blk *program.BlockBuilder, counter isa.Reg, j int) {
+	blk.AndI(isa.R12, counter, conflictSetLines-1)
+	blk.MulI(isa.R12, isa.R12, conflictStrideEls)
+	blk.Load(isa.R4, 8, isa.MemIdx(isa.R5, isa.R12, 8, int64(j)*conflictSlotBytes))
+	blk.Add(isa.R7, isa.R7, isa.R4)
+}
+
+// emitColdLibrary appends unreachable blocks full of memory operations,
+// modelling the cold bulk of a real binary (error paths, init code,
+// library functions the input never exercises).
+func emitColdLibrary(b *program.Builder, blocks int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < blocks; i++ {
+		blk := b.Block(fmt.Sprintf("cold_%d", i))
+		n := 3 + r.Intn(6)
+		for j := 0; j < n; j++ {
+			reg := isa.Reg(r.Intn(12))
+			base := isa.Reg(r.Intn(12))
+			disp := int64(r.Intn(4096))
+			switch r.Intn(4) {
+			case 0:
+				blk.Load(reg, 8, isa.Mem(base, disp))
+			case 1:
+				blk.Store(reg, 8, isa.Mem(base, disp))
+			case 2:
+				blk.Load(reg, 4, isa.Mem(isa.SP, int64(r.Intn(128))))
+			default:
+				blk.AddI(reg, base, disp)
+			}
+		}
+		blk.Ret()
+	}
+}
+
+// emitFrameOps adds the stack traffic of a compiled loop body: a spill and
+// a reload through the frame pointer. These are exactly the references the
+// paper's filter skips.
+func emitFrameOps(blk *program.BlockBuilder) {
+	blk.Store(isa.R3, 8, isa.Mem(isa.BP, -8))
+	blk.Load(isa.R10, 8, isa.Mem(isa.BP, -8))
+}
+
+// emitStaticRef adds a load from an absolute address (a global counter in
+// a real program) — also filtered.
+func emitStaticRef(blk *program.BlockBuilder) {
+	blk.Load(isa.R10, 8, isa.MemAbs(staticCell))
+}
+
+// emitPrologue establishes a stack frame.
+func emitPrologue(blk *program.BlockBuilder) {
+	blk.AddI(isa.SP, isa.SP, -64)
+	blk.Mov(isa.BP, isa.SP)
+}
+
+func pow2Mask(n int64) int64 {
+	m := int64(1)
+	for m < n {
+		m <<= 1
+	}
+	return m - 1
+}
+
+// streamCfg parameterizes array-sweep loop nests (the CFP2000 shape): an
+// outer loop advances strided stream loads (and hash-scattered loads) one
+// cache line per iteration, while a hot inner loop generates L2-hitting
+// traffic. Delinquent loads therefore live in hot, frequently executed
+// code with high per-load miss ratios — as in real FP codes — while the
+// whole-program L2 miss ratio stays low:
+//
+//	ratio ≈ (arrays + scatterLoads) /
+//	        (arrays + scatterLoads + hotLoads*innerIters)
+type streamCfg struct {
+	arrays       int   // strided stream loads per outer iteration
+	streamElems  int64 // per-array footprint in 8-byte elements (power of two)
+	scatterLoads int   // hash-scattered (unprefetchable) loads per outer iteration
+	hotLoads     int   // hot conflict-set loads per inner iteration
+	innerIters   int64 // inner-loop iterations per outer iteration
+	outerIters   int64 // outer-loop iterations
+	compute      int   // extra ALU pairs per inner iteration
+	coldBlocks   int
+	seed         int64
+}
+
+// streamGen builds the loop nest described on streamCfg.
+//
+// Register plan: R0 inner index, R1 outer index, R11 persistent hot-sweep
+// index (continues across inner-loop entries so hot loads keep missing L1
+// at line granularity).
+func streamGen(name string, c streamCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		streamMask := pow2Mask(c.streamElems)
+		arrayBytes := (streamMask + 1) * 8
+
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R2, int64(program.HeapBase))
+		e.MovI(isa.R5, int64(hotBase))
+		e.MovI(isa.R6, c.innerIters)
+		e.MovI(isa.R9, c.outerIters)
+		e.MovI(isa.R1, 0)
+		e.MovI(isa.R11, 0)
+		outer := b.Block("outer")
+		// Strided stream loads: one fresh cache line per outer iteration.
+		outer.MulI(isa.R12, isa.R1, 8)
+		outer.AndI(isa.R12, isa.R12, streamMask)
+		for k := 0; k < c.arrays; k++ {
+			outer.Load(isa.R3, 8, isa.MemIdx(isa.R2, isa.R12, 8, int64(k)*arrayBytes))
+			outer.Add(isa.R7, isa.R7, isa.R3)
+		}
+		// Write stream into the first array (same line as the load).
+		if c.arrays > 0 {
+			outer.Store(isa.R7, 8, isa.MemIdx(isa.R2, isa.R12, 8, 0))
+		}
+		for k := 0; k < c.scatterLoads; k++ {
+			// Fibonacci-hash the outer index: no stride for any
+			// prefetcher to follow. The region sits past the arrays.
+			outer.MulI(isa.R12, isa.R1, 0x9E3779B1+int64(k)*0x1003F)
+			outer.ShrI(isa.R12, isa.R12, 9)
+			outer.AndI(isa.R12, isa.R12, streamMask)
+			outer.Load(isa.R3, 8, isa.MemIdx(isa.R2, isa.R12, 8, int64(c.arrays)*arrayBytes))
+			outer.Add(isa.R7, isa.R7, isa.R3)
+		}
+		emitStaticRef(outer)
+		outer.MovI(isa.R0, 0)
+		inner := b.Block("inner")
+		for j := 0; j < c.hotLoads; j++ {
+			emitConflictLoad(inner, isa.R11, j)
+		}
+		for i := 0; i < c.compute; i++ {
+			inner.Mul(isa.R7, isa.R7, isa.R7)
+			inner.AddI(isa.R7, isa.R7, 1)
+		}
+		emitFrameOps(inner)
+		inner.AddI(isa.R11, isa.R11, 1) // next conflict slot
+		inner.AddI(isa.R0, isa.R0, 1)
+		inner.Br(isa.CondLT, isa.R0, isa.R6, "inner")
+		fin := b.Block("outerend")
+		fin.AddI(isa.R1, isa.R1, 1)
+		fin.Br(isa.CondLT, isa.R1, isa.R9, "outer")
+		b.Block("done").Halt()
+		emitColdLibrary(b, c.coldBlocks, c.seed)
+		return b.MustAssemble()
+	}
+}
+
+// chaseCfg parameterizes pointer-chasing kernels (Olden, mcf).
+type chaseCfg struct {
+	nodes      int   // linked ring length
+	nodeBytes  int64 // node size (power of two >= 16)
+	payload    int   // extra same-node loads per visit (L1 hits)
+	hotLoads   int   // hot conflict-set loads per visit (L2 hits), dilutes ratio
+	visits     int64 // total pointer dereferences
+	coldBlocks int
+	seed       int64
+}
+
+// chaseGen builds a random linked-ring traversal. The chase itself misses
+// both levels once its footprint exceeds L2; hotLoads add L2-hitting
+// traffic to dial the overall ratio down.
+func chaseGen(name string, c chaseCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		r := rand.New(rand.NewSource(c.seed))
+		perm := r.Perm(c.nodes)
+		next := make([]int, c.nodes)
+		for i := 0; i < c.nodes; i++ {
+			next[perm[i]] = perm[(i+1)%c.nodes]
+		}
+		stride := c.nodeBytes / 8
+		words := make([]uint64, int64(c.nodes)*stride)
+		for i := 0; i < c.nodes; i++ {
+			words[int64(i)*stride] = program.HeapBase + uint64(int64(next[i])*c.nodeBytes)
+			for f := int64(1); f < stride; f++ {
+				words[int64(i)*stride+f] = uint64(r.Intn(1 << 16))
+			}
+		}
+		b.AddWords(program.HeapBase, words)
+
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R1, int64(program.HeapBase))
+		e.MovI(isa.R5, int64(hotBase))
+		e.MovI(isa.R0, 0)
+		e.MovI(isa.R6, c.visits)
+		l := b.Block("loop")
+		for f := 0; f < c.payload; f++ {
+			l.Load(isa.R3, 8, isa.Mem(isa.R1, int64(f+1)*8))
+			l.Add(isa.R7, isa.R7, isa.R3)
+		}
+		for j := 0; j < c.hotLoads; j++ {
+			emitConflictLoad(l, isa.R0, j)
+		}
+		emitFrameOps(l)
+		l.Load(isa.R1, 8, isa.Mem(isa.R1, 0)) // the chase
+		l.AddI(isa.R0, isa.R0, 1)
+		l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+		b.Block("done").Halt()
+		emitColdLibrary(b, c.coldBlocks, c.seed+1)
+		return b.MustAssemble()
+	}
+}
+
+// gatherCfg parameterizes index-gather kernels (art-like streaming with
+// indirection).
+type gatherCfg struct {
+	tableElems int64 // 8-byte table entries
+	idxElems   int64 // power of two
+	hotFrac    float64
+	hotLoads   int
+	reps       int64
+	coldBlocks int
+	seed       int64
+}
+
+// gatherGen builds idx-array gathers: load index sequentially, then load
+// table[index].
+func gatherGen(name string, c gatherCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		r := rand.New(rand.NewSource(c.seed))
+		idx := make([]uint64, c.idxElems)
+		hot := int64(float64(c.tableElems) * 0.02)
+		if hot < 1 {
+			hot = 1
+		}
+		for i := range idx {
+			if r.Float64() < c.hotFrac {
+				idx[i] = uint64(r.Int63n(hot))
+			} else {
+				idx[i] = uint64(r.Int63n(c.tableElems))
+			}
+		}
+		idxBase := program.HeapBase
+		tableBase := (program.HeapBase + uint64(c.idxElems*8) + 4095) &^ 4095
+		b.AddWords(idxBase, idx)
+
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R2, int64(idxBase))
+		e.MovI(isa.R3, int64(tableBase))
+		e.MovI(isa.R5, int64(hotBase))
+		e.MovI(isa.R6, c.idxElems)
+		e.MovI(isa.R8, 0)
+		e.MovI(isa.R9, c.reps)
+		rep := b.Block("rep")
+		rep.MovI(isa.R0, 0)
+		l := b.Block("loop")
+		l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0)) // sequential index load
+		l.Load(isa.R4, 8, isa.MemIdx(isa.R3, isa.R1, 8, 0)) // the gather
+		l.Add(isa.R7, isa.R7, isa.R4)
+		for j := 0; j < c.hotLoads; j++ {
+			emitConflictLoad(l, isa.R0, j)
+		}
+		emitFrameOps(l)
+		emitStaticRef(l)
+		l.AddI(isa.R0, isa.R0, 1)
+		l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+		fin := b.Block("repend")
+		fin.AddI(isa.R8, isa.R8, 1)
+		fin.Br(isa.CondLT, isa.R8, isa.R9, "rep")
+		b.Block("done").Halt()
+		emitColdLibrary(b, c.coldBlocks, c.seed+2)
+		return b.MustAssemble()
+	}
+}
+
+// controlCfg parameterizes control-intensive kernels (the CINT2000 shape):
+// many distinct small loops with data-dependent branches over a shared
+// working set.
+type controlCfg struct {
+	loops int   // distinct loop bodies (distinct traces)
+	iters int64 // iterations per loop per chain pass
+	reps  int64 // chain passes
+	// conflictLines (power of two): each loop cycles over this many
+	// cache lines spaced one L1-set stride apart. With more lines than
+	// L1 ways, every access conflict-misses L1 and hits L2 — the "many
+	// L2 accesses, almost no L2 misses" signature of CINT codes.
+	conflictLines int64
+	// coldEvery (power of two, 0 = never): on the first iteration of a
+	// loop visit, every coldEvery-th chain pass, the loop touches
+	// coldLines hash-scattered lines of a large cold region — the rare,
+	// unprefetchable L2 misses that set CINT's low ratios.
+	coldEvery int64
+	coldLines int
+	// callEvery (power of two, 0 = never): every Nth iteration calls a
+	// tiny shared helper, giving the code the call/return density (and
+	// the runtime the indirect-branch lookups) of real CINT binaries.
+	callEvery  int64
+	coldBlocks int
+	seed       int64
+}
+
+// controlGen builds a chain of loops, each cycling an L1 conflict set with
+// alternating branch paths.
+func controlGen(name string, c controlCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		conflict := c.conflictLines
+		if conflict < 8 {
+			conflict = 8
+		}
+		// Lines one conflict stride (32 KiB) apart share an L1 set on
+		// both evaluation platforms (2 KiB P4 and 32 KiB K7 set
+		// strides divide it), so cycling >= 8 of them defeats either
+		// associativity while staying L2-resident.
+		const setStrideElems = conflictStrideEls
+		const coldRegion = program.HeapBase + 1<<28 // far from the warm lines
+
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R2, int64(program.HeapBase))
+		e.MovI(isa.R5, int64(coldRegion))
+		e.MovI(isa.R6, c.iters)
+		e.MovI(isa.R7, 0)
+		e.MovI(isa.R8, 0)
+		e.MovI(isa.R9, c.reps)
+		b.Block("rep") // chain head; falls through to pre_0
+		for k := 0; k < c.loops; k++ {
+			// One conflict slot per loop: 8 lines spaced 32 KiB, with a
+			// nine-line skew so different loops' lines stay in one L1
+			// set each (the skew is a multiple of neither L1 stride's
+			// period) while spreading across L2 sets.
+			base := int64(k) * conflictSlotBytes
+			pre := b.Block(fmt.Sprintf("pre_%d", k))
+			pre.MovI(isa.R0, 0)
+			l := b.Block(fmt.Sprintf("loop_%d", k))
+			l.AndI(isa.R12, isa.R0, conflict-1)
+			l.MulI(isa.R12, isa.R12, setStrideElems)
+			l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R12, 8, base))
+			l.AndI(isa.R4, isa.R0, 1)
+			l.BrI(isa.CondEQ, isa.R4, 0, fmt.Sprintf("even_%d", k))
+			odd := b.Block(fmt.Sprintf("odd_%d", k))
+			odd.AddI(isa.R7, isa.R7, 3)
+			odd.Store(isa.R7, 8, isa.MemIdx(isa.R2, isa.R12, 8, base))
+			odd.Jmp(fmt.Sprintf("join_%d", k))
+			even := b.Block(fmt.Sprintf("even_%d", k))
+			even.Add(isa.R7, isa.R7, isa.R1)
+			emitFrameOps(even)
+			join := b.Block(fmt.Sprintf("join_%d", k))
+			if c.coldEvery > 0 {
+				lines := c.coldLines
+				if lines < 1 {
+					lines = 1
+				}
+				join.BrI(isa.CondNE, isa.R0, 0, fmt.Sprintf("warm_%d", k))
+				join.AndI(isa.R12, isa.R8, c.coldEvery-1)
+				join.BrI(isa.CondNE, isa.R12, 0, fmt.Sprintf("warm_%d", k))
+				cold := b.Block(fmt.Sprintf("cold_touch_%d", k))
+				for ln := 0; ln < lines; ln++ {
+					// Hash-scatter each cold line inside a 4 MiB
+					// per-loop region: scattered lines spread over L2
+					// sets and defeat the hardware prefetchers, as real
+					// CINT misses do.
+					cold.MulI(isa.R12, isa.R8, 0x9E3779B1+int64(ln)*0x20021)
+					cold.AddI(isa.R12, isa.R12, int64(k)*0x5bd1e995)
+					cold.ShrI(isa.R12, isa.R12, 11)
+					cold.AndI(isa.R12, isa.R12, (1<<19)-1)
+					cold.Load(isa.R4, 8, isa.MemIdx(isa.R5, isa.R12, 8, int64(k)<<22))
+					cold.Add(isa.R7, isa.R7, isa.R4)
+				}
+			}
+			warm := b.Block(fmt.Sprintf("warm_%d", k))
+			if c.callEvery > 0 {
+				warm.AndI(isa.R12, isa.R0, c.callEvery-1)
+				warm.BrI(isa.CondNE, isa.R12, 0, fmt.Sprintf("after_call_%d", k))
+				cb := b.Block(fmt.Sprintf("call_%d", k))
+				cb.Call("chain_helper")
+			}
+			after := b.Block(fmt.Sprintf("after_call_%d", k))
+			after.AddI(isa.R0, isa.R0, 1)
+			after.Br(isa.CondLT, isa.R0, isa.R6, fmt.Sprintf("loop_%d", k))
+		}
+		fin := b.Block("repend")
+		fin.AddI(isa.R8, isa.R8, 1)
+		fin.Br(isa.CondLT, isa.R8, isa.R9, "rep")
+		b.Block("done").Halt()
+		// Shared helper: a realistic leaf function with stack traffic,
+		// returning through the link register (an indirect branch the
+		// code-cache runtime must resolve per call site).
+		hp := b.Block("chain_helper")
+		hp.AddI(isa.SP, isa.SP, -16)
+		hp.Store(isa.R7, 8, isa.Mem(isa.SP, 0))
+		hp.Load(isa.R10, 8, isa.Mem(isa.SP, 0))
+		hp.AddI(isa.SP, isa.SP, 16)
+		hp.Ret()
+		emitColdLibrary(b, c.coldBlocks, c.seed+3)
+		return b.MustAssemble()
+	}
+}
+
+// copyCfg parameterizes the gzip-like byte-copy kernel.
+type copyCfg struct {
+	bufBytes int64 // power of two
+	reps     int64
+	// hotLoads adds L2-hitting loads per copied byte, diluting the copy
+	// load's misses in the overall ratio while leaving it responsible
+	// for nearly all misses (the paper's gzip signature).
+	hotLoads   int
+	coldBlocks int
+	seed       int64
+}
+
+// copyGen builds a byte-by-byte memory copy: one hot load causes nearly
+// all misses (the paper's 164.gzip story: "one instruction causes more
+// than 90% of the cache misses ... a byte-by-byte memory copy").
+func copyGen(name string, c copyCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		src := int64(program.HeapBase)
+		dst := src + c.bufBytes + 4096
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R2, src)
+		e.MovI(isa.R5, dst)
+		e.MovI(isa.R3, int64(hotBase))
+		e.MovI(isa.R6, c.bufBytes)
+		e.MovI(isa.R8, 0)
+		e.MovI(isa.R9, c.reps)
+		rep := b.Block("rep")
+		rep.MovI(isa.R0, 0)
+		l := b.Block("loop")
+		l.Load(isa.R1, 1, isa.MemIdx(isa.R2, isa.R0, 1, 0)) // the hot byte load
+		l.Store(isa.R1, 1, isa.MemIdx(isa.R5, isa.R0, 1, 0))
+		for j := 0; j < c.hotLoads; j++ {
+			l.AndI(isa.R12, isa.R0, conflictSetLines-1)
+			l.MulI(isa.R12, isa.R12, conflictStrideEls)
+			l.Load(isa.R4, 8, isa.MemIdx(isa.R3, isa.R12, 8, int64(j)*conflictSlotBytes))
+			l.Add(isa.R7, isa.R7, isa.R4)
+		}
+		l.AddI(isa.R0, isa.R0, 1)
+		l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+		fin := b.Block("repend")
+		fin.AddI(isa.R8, isa.R8, 1)
+		fin.Br(isa.CondLT, isa.R8, isa.R9, "rep")
+		b.Block("done").Halt()
+		emitColdLibrary(b, c.coldBlocks, c.seed)
+		return b.MustAssemble()
+	}
+}
+
+// treeCfg parameterizes the treeadd-like recursive tree sum.
+type treeCfg struct {
+	depth      int // tree of 2^depth - 1 nodes
+	reps       int64
+	coldBlocks int
+	seed       int64
+}
+
+// treeGen builds a binary tree in depth-first layout and sums it with a
+// genuinely recursive function (CALL/RET, stack frames through SP), giving
+// the trace builder call-shaped control flow and the filter real stack
+// traffic.
+func treeGen(name string, c treeCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		nodes := (1 << c.depth) - 1
+		const nodeWords = 4 // left, right, value, pad
+		words := make([]uint64, nodes*nodeWords)
+		next := 0
+		var lay func(depth int) uint64
+		lay = func(depth int) uint64 {
+			if depth == 0 {
+				return 0
+			}
+			me := next
+			next++
+			addr := program.HeapBase + uint64(me*nodeWords*8)
+			words[me*nodeWords+2] = uint64(me)
+			words[me*nodeWords+0] = lay(depth - 1)
+			words[me*nodeWords+1] = lay(depth - 1)
+			return addr
+		}
+		root := lay(c.depth)
+		b.AddWords(program.HeapBase, words)
+
+		e := b.Block("entry")
+		e.MovI(isa.R8, 0)
+		e.MovI(isa.R9, c.reps)
+		rep := b.Block("rep")
+		rep.MovI(isa.R1, int64(root))
+		rep.Call("treeadd")
+		rep.AddI(isa.R8, isa.R8, 1)
+		rep.Br(isa.CondLT, isa.R8, isa.R9, "rep")
+		b.Block("done").Halt()
+
+		// treeadd(node in R1) -> sum in R0, recursive.
+		f := b.Block("treeadd")
+		f.BrI(isa.CondNE, isa.R1, 0, "treeadd_body")
+		zero := b.Block("treeadd_zero")
+		zero.MovI(isa.R0, 0)
+		zero.Ret()
+		body := b.Block("treeadd_body")
+		body.AddI(isa.SP, isa.SP, -32)
+		body.Store(isa.LR, 8, isa.Mem(isa.SP, 0))
+		body.Store(isa.R1, 8, isa.Mem(isa.SP, 8))
+		body.Load(isa.R1, 8, isa.Mem(isa.R1, 0)) // left child (heap ref)
+		body.Call("treeadd")
+		body.Store(isa.R0, 8, isa.Mem(isa.SP, 16)) // spill left sum
+		body.Load(isa.R1, 8, isa.Mem(isa.SP, 8))
+		body.Load(isa.R1, 8, isa.Mem(isa.R1, 8)) // right child
+		body.Call("treeadd")
+		body.Load(isa.R3, 8, isa.Mem(isa.SP, 16))
+		body.Add(isa.R0, isa.R0, isa.R3)
+		body.Load(isa.R1, 8, isa.Mem(isa.SP, 8))
+		body.Load(isa.R3, 8, isa.Mem(isa.R1, 16)) // node value (heap ref)
+		body.Add(isa.R0, isa.R0, isa.R3)
+		body.Load(isa.LR, 8, isa.Mem(isa.SP, 0))
+		body.AddI(isa.SP, isa.SP, 32)
+		body.Ret()
+		emitColdLibrary(b, c.coldBlocks, c.seed)
+		return b.MustAssemble()
+	}
+}
+
+// phasedCfg parameterizes two-phase kernels (facerec/galgel/apsi-like):
+// alternating streaming and resident-compute phases.
+type phasedCfg struct {
+	streamElems int64 // streamed elements per phase (power of two)
+	residentLds int   // conflict-set loads per resident iteration
+	phaseIters  int64 // resident-phase iterations
+	phases      int64
+	coldBlocks  int
+	seed        int64
+}
+
+// phasedGen alternates a streaming sweep with a cache-resident compute
+// loop, exercising UMI's phase adaptivity.
+func phasedGen(name string, c phasedCfg) func() *program.Program {
+	return func() *program.Program {
+		b := program.NewBuilder(name)
+		resLoads := c.residentLds
+		if resLoads < 1 {
+			resLoads = 1
+		}
+		e := b.Block("entry")
+		emitPrologue(e)
+		e.MovI(isa.R2, int64(program.HeapBase))
+		e.MovI(isa.R5, int64(hotBase))
+		e.MovI(isa.R8, 0)
+		e.MovI(isa.R9, c.phases)
+		ph := b.Block("phase")
+		ph.MovI(isa.R0, 0)
+		// Each phase sweeps a fresh region: offset by the phase counter
+		// so later phases stay cold even when one phase's footprint
+		// would fit in L2.
+		ph.MulI(isa.R11, isa.R8, c.streamElems)
+		s := b.Block("stream")
+		s.Add(isa.R12, isa.R11, isa.R0)
+		s.Load(isa.R3, 8, isa.MemIdx(isa.R2, isa.R12, 8, 0))
+		s.Add(isa.R7, isa.R7, isa.R3)
+		// A hash-scattered companion load: the phase keeps misses even
+		// when a hardware prefetcher covers the strided sweep.
+		s.MulI(isa.R12, isa.R12, 0x9E3779B1)
+		s.ShrI(isa.R12, isa.R12, 9)
+		s.AndI(isa.R12, isa.R12, (1<<22)-1)
+		s.Load(isa.R4, 8, isa.MemIdx(isa.R2, isa.R12, 8, 1<<28))
+		s.Add(isa.R7, isa.R7, isa.R4)
+		emitFrameOps(s)
+		s.AddI(isa.R0, isa.R0, 8)
+		s.BrI(isa.CondLT, isa.R0, c.streamElems, "stream")
+		mid := b.Block("mid")
+		mid.MovI(isa.R0, 0)
+		res := b.Block("resident")
+		for j := 0; j < resLoads; j++ {
+			emitConflictLoad(res, isa.R0, j)
+		}
+		res.Mul(isa.R7, isa.R7, isa.R7)
+		res.AddI(isa.R0, isa.R0, 1)
+		res.BrI(isa.CondLT, isa.R0, c.phaseIters, "resident")
+		fin := b.Block("phend")
+		fin.AddI(isa.R8, isa.R8, 1)
+		fin.Br(isa.CondLT, isa.R8, isa.R9, "phase")
+		b.Block("done").Halt()
+		emitColdLibrary(b, c.coldBlocks, c.seed)
+		return b.MustAssemble()
+	}
+}

@@ -1,0 +1,36 @@
+package workloads
+
+// Linux desktop/server application stand-ins (§6.3: "Our extended
+// benchmark collection includes ... several commonly used Linux
+// applications such as Adobe Acrobat, Apache, MEncoder, and MySQL. We
+// found the HW measured miss ratios to be very low for the Linux
+// applications."). These generators model that profile: large code bases
+// (huge cold-block populations), very branchy execution, small resident
+// working sets, and the occasional cold touch — miss ratios well under 1%.
+
+func init() {
+	register("apache", LinuxApps, "request dispatch over resident state", 0,
+		controlGen("apache", controlCfg{
+			loops: 60, iters: 250, reps: 20,
+			conflictLines: 8, coldEvery: 8, coldLines: 1, callEvery: 4,
+			coldBlocks: 520, seed: 48,
+		}))
+	register("mysql", LinuxApps, "B-tree walks in a warm buffer pool", 0,
+		chaseGen("mysql", chaseCfg{
+			nodes: 1 << 12, nodeBytes: 64, payload: 2,
+			hotLoads: 10, visits: 220_000,
+			coldBlocks: 640, seed: 49,
+		}))
+	register("mencoder", LinuxApps, "media transcode, resident blocks", 0,
+		streamGen("mencoder", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 0,
+			hotLoads: 3, innerIters: 384, outerIters: 400, compute: 3,
+			coldBlocks: 260, seed: 50,
+		}))
+	register("acroread", LinuxApps, "document render, huge cold code", 0,
+		controlGen("acroread", controlCfg{
+			loops: 45, iters: 300, reps: 22,
+			conflictLines: 8, coldEvery: 16, coldLines: 1, callEvery: 4,
+			coldBlocks: 900, seed: 51,
+		}))
+}

@@ -1,0 +1,43 @@
+package workloads
+
+// Olden and Ptrdist stand-ins: the pointer-intensive codes of §6. The
+// paper keeps ft (Ptrdist) in the Olden group "for convenience"; so do we.
+
+func init() {
+	register("em3d", Olden, "electromagnetic graph chase", 24.49,
+		chaseGen("em3d", chaseCfg{
+			nodes: 1 << 16, nodeBytes: 64, payload: 1,
+			hotLoads: 2, visits: 300_000,
+			coldBlocks: 12, seed: 27,
+		}))
+	register("health", Olden, "hospital queue lists", 12.44,
+		chaseGen("health", chaseCfg{
+			nodes: 1 << 15, nodeBytes: 64, payload: 2,
+			hotLoads: 7, visits: 150_000,
+			coldBlocks: 17, seed: 28,
+		}))
+	register("mst", Olden, "minimum spanning tree hash walks", 7.53,
+		chaseGen("mst", chaseCfg{
+			nodes: 1 << 15, nodeBytes: 64, payload: 1,
+			hotLoads: 12, visits: 100_000,
+			coldBlocks: 11, seed: 29,
+		}))
+	register("treeadd", Olden, "recursive binary tree sum", 1.90,
+		treeGen("treeadd", treeCfg{
+			depth: 12, reps: 24,
+			coldBlocks: 10, seed: 30,
+		}))
+	register("tsp", Olden, "tour construction over node lists", 1.12,
+		chaseGen("tsp", chaseCfg{
+			nodes: 1 << 14, nodeBytes: 64, payload: 3,
+			hotLoads: 14, visits: 90_000,
+			coldBlocks: 18, seed: 31,
+		}))
+	register("ft", Olden, "field traversal, maximally memory-bound", 49.63,
+		streamGen("ft", streamCfg{
+			arrays: 2, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   1,
+			innerIters: 1, outerIters: 110_000, compute: 0,
+			coldBlocks: 15, seed: 32,
+		}))
+}

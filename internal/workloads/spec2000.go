@@ -1,0 +1,184 @@
+package workloads
+
+// SPEC CPU2000 stand-ins. Each registration names the original benchmark,
+// its behaviour class, and the L2 miss ratio the paper's Table 6 reports
+// for it; generator parameters are tuned so the ground-truth ratio lands in
+// the same band (high >= 1% vs low < 1%) with the same rank ordering among
+// the heavy hitters. Instruction counts target a few million per run so the
+// whole suite is tractable under repeated simulation.
+//
+// streamGen ratio guide: (arrays + scatterLoads) / (arrays + scatterLoads
+// + hotLoads*innerIters); chaseGen: 1 / (1 + hotLoads).
+
+func init() {
+	// ---- CFP2000: loop-intensive array codes ----
+	register("168.wupwise", CFP2000, "array sweeps, low miss", 0.82,
+		streamGen("168.wupwise", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 160, outerIters: 1200, compute: 2,
+			coldBlocks: 32, seed: 1,
+		}))
+	register("171.swim", CFP2000, "multi-array stencil, streaming", 4.71,
+		streamGen("171.swim", streamCfg{
+			arrays: 2, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 32, outerIters: 6000, compute: 1,
+			coldBlocks: 30, seed: 2,
+		}))
+	register("172.mgrid", CFP2000, "multigrid relaxation", 1.30,
+		streamGen("172.mgrid", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 64, outerIters: 4000, compute: 1,
+			coldBlocks: 26, seed: 3,
+		}))
+	register("173.applu", CFP2000, "PDE solver, several streams", 1.26,
+		streamGen("173.applu", streamCfg{
+			arrays: 2, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   3,
+			innerIters: 64, outerIters: 2500, compute: 2,
+			coldBlocks: 54, seed: 4,
+		}))
+	register("177.mesa", CFP2000, "resident compute, near-zero miss", 0.02,
+		streamGen("177.mesa", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 0,
+			hotLoads:   2,
+			innerIters: 512, outerIters: 350, compute: 4,
+			coldBlocks: 36, seed: 5,
+		}))
+	register("178.galgel", CFP2000, "phased fluid dynamics", 1.93,
+		phasedGen("178.galgel", phasedCfg{
+			streamElems: 1 << 15, residentLds: 1,
+			phaseIters: 320_000, phases: 2,
+			coldBlocks: 125, seed: 6,
+		}))
+	register("179.art", CFP2000, "neural net, scattered gathers", 27.13,
+		gatherGen("179.art", gatherCfg{
+			tableElems: 1 << 20, idxElems: 1 << 17, hotFrac: 0.3,
+			hotLoads: 1, reps: 2,
+			coldBlocks: 16, seed: 7,
+		}))
+	register("183.equake", CFP2000, "sparse solver, streaming", 3.83,
+		streamGen("183.equake", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   1,
+			innerIters: 64, outerIters: 4500, compute: 1,
+			coldBlocks: 26, seed: 8,
+		}))
+	register("187.facerec", CFP2000, "image sweeps, mostly resident", 0.83,
+		streamGen("187.facerec", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 160, outerIters: 1200, compute: 2,
+			coldBlocks: 48, seed: 9,
+		}))
+	register("188.ammp", CFP2000, "molecular dynamics", 1.48,
+		streamGen("188.ammp", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 64, outerIters: 3000, compute: 2,
+			coldBlocks: 34, seed: 10,
+		}))
+	register("189.lucas", CFP2000, "FFT-style sweeps", 1.12,
+		streamGen("189.lucas", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   3,
+			innerIters: 48, outerIters: 3500, compute: 2,
+			coldBlocks: 38, seed: 11,
+		}))
+	register("191.fma3d", CFP2000, "finite elements, mixed locality", 1.73,
+		streamGen("191.fma3d", streamCfg{
+			arrays: 2, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 64, outerIters: 2800, compute: 2,
+			coldBlocks: 78, seed: 12,
+		}))
+	register("200.sixtrack", CFP2000, "particle tracking, resident", 0.12,
+		streamGen("200.sixtrack", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 0,
+			hotLoads:   2,
+			innerIters: 256, outerIters: 700, compute: 4,
+			coldBlocks: 238, seed: 13,
+		}))
+	register("301.apsi", CFP2000, "phased weather model", 1.07,
+		phasedGen("301.apsi", phasedCfg{
+			streamElems: 1 << 14, residentLds: 1,
+			phaseIters: 400_000, phases: 2,
+			coldBlocks: 130, seed: 14,
+		}))
+
+	// ---- CINT2000: control-intensive codes ----
+	register("164.gzip", CINT2000, "byte copy dominates misses", 0.06,
+		copyGen("164.gzip", copyCfg{
+			bufBytes: 1 << 17, reps: 6,
+			hotLoads:   1,
+			coldBlocks: 30, seed: 15,
+		}))
+	register("175.vpr", CINT2000, "place-and-route loops", 0.92,
+		controlGen("175.vpr", controlCfg{
+			loops: 30, iters: 400, reps: 25,
+			conflictLines: 8, coldEvery: 1, coldLines: 3, callEvery: 4,
+			coldBlocks: 92, seed: 16,
+		}))
+	register("176.gcc", CINT2000, "very many lukewarm loops", 0.48,
+		controlGen("176.gcc", controlCfg{
+			loops: 100, iters: 120, reps: 25,
+			conflictLines: 8, coldEvery: 4, coldLines: 1, callEvery: 4,
+			coldBlocks: 700, seed: 17,
+		}))
+	register("181.mcf", CINT2000, "pointer-chasing network simplex", 20.10,
+		chaseGen("181.mcf", chaseCfg{
+			nodes: 1 << 16, nodeBytes: 64, payload: 2,
+			hotLoads: 3, visits: 260_000,
+			coldBlocks: 29, seed: 18,
+		}))
+	register("186.crafty", CINT2000, "chess search, tiny working set", 0.03,
+		controlGen("186.crafty", controlCfg{
+			loops: 40, iters: 300, reps: 30,
+			conflictLines: 8, coldEvery: 16, coldLines: 1, callEvery: 4,
+			coldBlocks: 188, seed: 19,
+		}))
+	register("197.parser", CINT2000, "many short dynamic loops", 0.50,
+		controlGen("197.parser", controlCfg{
+			loops: 60, iters: 150, reps: 30,
+			conflictLines: 8, coldEvery: 2, coldLines: 1, callEvery: 4,
+			coldBlocks: 156, seed: 20,
+		}))
+	register("252.eon", CINT2000, "ray tracing, perfect locality", 0.00,
+		controlGen("252.eon", controlCfg{
+			loops: 30, iters: 300, reps: 30,
+			conflictLines: 8, coldEvery: 0, callEvery: 4,
+			coldBlocks: 238, seed: 21,
+		}))
+	register("253.perlbmk", CINT2000, "interpreter dispatch", 0.15,
+		controlGen("253.perlbmk", controlCfg{
+			loops: 70, iters: 200, reps: 25,
+			conflictLines: 8, coldEvery: 16, coldLines: 1, callEvery: 4,
+			coldBlocks: 300, seed: 22,
+		}))
+	register("254.gap", CINT2000, "group theory interpreter", 0.33,
+		controlGen("254.gap", controlCfg{
+			loops: 60, iters: 200, reps: 25,
+			conflictLines: 8, coldEvery: 4, coldLines: 1, callEvery: 4,
+			coldBlocks: 225, seed: 23,
+		}))
+	register("255.vortex", CINT2000, "OO database, large code", 0.19,
+		controlGen("255.vortex", controlCfg{
+			loops: 50, iters: 250, reps: 25,
+			conflictLines: 8, coldEvery: 8, coldLines: 1, callEvery: 4,
+			coldBlocks: 450, seed: 24,
+		}))
+	register("256.bzip2", CINT2000, "block compression", 0.89,
+		controlGen("256.bzip2", controlCfg{
+			loops: 20, iters: 500, reps: 20,
+			conflictLines: 8, coldEvery: 1, coldLines: 4, callEvery: 4,
+			coldBlocks: 41, seed: 25,
+		}))
+	register("300.twolf", CINT2000, "placement annealing", 1.78,
+		controlGen("300.twolf", controlCfg{
+			loops: 40, iters: 300, reps: 20,
+			conflictLines: 8, coldEvery: 1, coldLines: 5, callEvery: 4,
+			coldBlocks: 156, seed: 26,
+		}))
+}

@@ -1,0 +1,109 @@
+package workloads
+
+// SPEC CPU2006 stand-ins: the non-overlapping subset evaluated in §6.3 for
+// Table 5. The paper reports no per-benchmark miss ratios for these, so
+// PaperMissPct is 0; the generators span the same locality spectrum as the
+// 2000 suite.
+
+func init() {
+	// ---- CFP2006 ----
+	register("433.milc", CFP2006, "lattice QCD sweeps", 0,
+		streamGen("433.milc", streamCfg{
+			arrays: 1, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   1,
+			innerIters: 48, outerIters: 5000, compute: 1,
+			coldBlocks: 39, seed: 33,
+		}))
+	register("435.gromacs", CFP2006, "molecular dynamics, resident", 0,
+		streamGen("435.gromacs", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   3,
+			innerIters: 96, outerIters: 1200, compute: 3,
+			coldBlocks: 65, seed: 34,
+		}))
+	register("444.namd", CFP2006, "particle interactions, resident", 0,
+		streamGen("444.namd", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 0,
+			hotLoads:   3,
+			innerIters: 192, outerIters: 600, compute: 4,
+			coldBlocks: 53, seed: 35,
+		}))
+	register("450.soplex", CFP2006, "sparse LP, streaming", 0,
+		streamGen("450.soplex", streamCfg{
+			arrays: 2, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 32, outerIters: 5500, compute: 1,
+			coldBlocks: 80, seed: 36,
+		}))
+	register("453.povray", CFP2006, "ray tracing, tiny working set", 0,
+		controlGen("453.povray", controlCfg{
+			loops: 35, iters: 300, reps: 28,
+			conflictLines: 8, coldEvery: 8, coldLines: 1, callEvery: 4,
+			coldBlocks: 138, seed: 37,
+		}))
+	register("470.lbm", CFP2006, "lattice Boltzmann, heavy streaming", 0,
+		streamGen("470.lbm", streamCfg{
+			arrays: 2, streamElems: 1 << 19, scatterLoads: 1,
+			hotLoads:   1,
+			innerIters: 8, outerIters: 20000, compute: 0,
+			coldBlocks: 18, seed: 38,
+		}))
+	register("482.sphinx3", CFP2006, "speech decoding gathers", 0,
+		gatherGen("482.sphinx3", gatherCfg{
+			tableElems: 1 << 19, idxElems: 1 << 16, hotFrac: 0.85,
+			hotLoads: 1, reps: 3,
+			coldBlocks: 60, seed: 39,
+		}))
+
+	// ---- CINT2006 ----
+	register("445.gobmk", CINT2006, "go engine, branchy resident", 0,
+		controlGen("445.gobmk", controlCfg{
+			loops: 50, iters: 220, reps: 25,
+			conflictLines: 8, coldEvery: 4, coldLines: 1, callEvery: 4,
+			coldBlocks: 213, seed: 40,
+		}))
+	register("456.hmmer", CINT2006, "profile HMM sweeps", 0,
+		streamGen("456.hmmer", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   2,
+			innerIters: 96, outerIters: 1800, compute: 2,
+			coldBlocks: 48, seed: 41,
+		}))
+	register("458.sjeng", CINT2006, "chess search, branchy", 0,
+		controlGen("458.sjeng", controlCfg{
+			loops: 45, iters: 250, reps: 25,
+			conflictLines: 8, coldEvery: 4, coldLines: 1, callEvery: 4,
+			coldBlocks: 163, seed: 42,
+		}))
+	register("462.libquantum", CINT2006, "quantum register streaming", 0,
+		gatherGen("462.libquantum", gatherCfg{
+			tableElems: 1 << 20, idxElems: 1 << 17, hotFrac: 0.0,
+			hotLoads: 0, reps: 2,
+			coldBlocks: 20, seed: 43,
+		}))
+	register("464.h264ref", CINT2006, "video motion estimation", 0,
+		streamGen("464.h264ref", streamCfg{
+			arrays: 1, streamElems: 1 << 18, scatterLoads: 1,
+			hotLoads:   3,
+			innerIters: 48, outerIters: 3000, compute: 2,
+			coldBlocks: 110, seed: 44,
+		}))
+	register("471.omnetpp", CINT2006, "event queues, pointer heavy", 0,
+		chaseGen("471.omnetpp", chaseCfg{
+			nodes: 1 << 16, nodeBytes: 64, payload: 2,
+			hotLoads: 5, visits: 180_000,
+			coldBlocks: 113, seed: 45,
+		}))
+	register("473.astar", CINT2006, "path search, pointer heavy", 0,
+		chaseGen("473.astar", chaseCfg{
+			nodes: 1 << 15, nodeBytes: 64, payload: 2,
+			hotLoads: 9, visits: 130_000,
+			coldBlocks: 53, seed: 46,
+		}))
+	register("483.xalancbmk", CINT2006, "XML transform, many loops", 0,
+		controlGen("483.xalancbmk", controlCfg{
+			loops: 80, iters: 150, reps: 18,
+			conflictLines: 8, coldEvery: 1, coldLines: 2, callEvery: 4,
+			coldBlocks: 363, seed: 47,
+		}))
+}

@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/isa"
+	"umi/internal/vm"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	counts := map[Suite]int{}
+	for _, w := range All() {
+		counts[w.Suite]++
+	}
+	want := map[Suite]int{
+		CFP2000: 14, CINT2000: 12, Olden: 6, CFP2006: 7, CINT2006: 8,
+		LinuxApps: 4,
+	}
+	for s, n := range want {
+		if counts[s] != n {
+			t.Errorf("%v: %d workloads, want %d", s, counts[s], n)
+		}
+	}
+	if len(CPU2000AndOlden()) != 32 {
+		t.Errorf("core collection = %d benchmarks, want 32 (the paper's count)",
+			len(CPU2000AndOlden()))
+	}
+	if len(All()) != 51 {
+		t.Errorf("total = %d, want 51", len(All()))
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	w, ok := ByName("181.mcf")
+	if !ok || w.Name != "181.mcf" || w.Suite != CINT2000 {
+		t.Fatalf("ByName(181.mcf) = %+v, %v", w, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName must fail for unknown names")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Errorf("Names() = %d entries, want %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestProgramsAssembleAndValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Program()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if p2 := w.Program(); p2 != p {
+				t.Error("Program must cache the built instance")
+			}
+			if p.StaticLoads() == 0 || p.StaticStores() == 0 {
+				t.Error("workload must contain loads and stores")
+			}
+		})
+	}
+}
+
+// Every workload must include the reference classes the instrumentor
+// filters: stack-relative and static, plus profilable heap references.
+func TestWorkloadsContainFilterTargets(t *testing.T) {
+	for _, w := range All() {
+		p := w.Program()
+		var stack, static, heap int
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if !in.Op.IsLoad() && !in.Op.IsStore() {
+				continue
+			}
+			switch {
+			case in.Mem.IsStackRelative():
+				stack++
+			case in.Mem.IsStatic():
+				static++
+			default:
+				heap++
+			}
+		}
+		if stack == 0 {
+			t.Errorf("%s: no stack-relative references", w.Name)
+		}
+		if heap == 0 {
+			t.Errorf("%s: no profilable heap references", w.Name)
+		}
+		_ = static // a few generators (copy, tree, chase) legitimately omit them
+	}
+}
+
+// TestLinuxAppsAreLowMiss checks §6.3's observation: the Linux application
+// stand-ins all have very low hardware miss ratios.
+func TestLinuxAppsAreLowMiss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four workloads natively")
+	}
+	for _, w := range BySuite(LinuxApps) {
+		h := cache.NewP4(false)
+		m := vm.New(w.Program(), h)
+		if err := m.Run(60_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if r := h.L2Stats.MissRatio(); r >= 0.01 {
+			t.Errorf("%s: L2 miss ratio %.2f%%, must be < 1%% (§6.3)", w.Name, 100*r)
+		}
+	}
+}
+
+// TestMissRatioBands is the substitution contract (DESIGN.md §2): the
+// CPU2000+Olden stand-ins must fall in the same high/low miss-ratio group
+// as the paper's Table 6 reports for the originals, and the heavy hitters
+// must keep their relative order.
+func TestMissRatioBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 32-benchmark suite")
+	}
+	ratios := make(map[string]float64)
+	for _, w := range CPU2000AndOlden() {
+		h := cache.NewP4(false)
+		m := vm.New(w.Program(), h)
+		if err := m.Run(60_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		ratios[w.Name] = 100 * h.L2Stats.MissRatio()
+	}
+	for _, w := range CPU2000AndOlden() {
+		got := ratios[w.Name]
+		if w.PaperMissPct >= 1.0 {
+			if got < 1.0 {
+				t.Errorf("%s: measured %.2f%% but the paper reports %.2f%% (high group)",
+					w.Name, got, w.PaperMissPct)
+			}
+		} else if got >= 1.0 {
+			t.Errorf("%s: measured %.2f%% but the paper reports %.2f%% (low group)",
+				w.Name, got, w.PaperMissPct)
+		}
+	}
+	// Heavy-hitter ordering from Table 6: ft > art > em3d > mcf > health > mst.
+	order := []string{"ft", "179.art", "em3d", "181.mcf", "health", "mst"}
+	for i := 1; i < len(order); i++ {
+		if ratios[order[i-1]] <= ratios[order[i]] {
+			t.Errorf("ordering violated: %s (%.2f%%) must exceed %s (%.2f%%)",
+				order[i-1], ratios[order[i-1]], order[i], ratios[order[i]])
+		}
+	}
+}
+
+// The instrumentor filter must remove a substantial share of memory
+// operations on these workloads (the paper reports ~80% filtered across
+// the suite, i.e. ~19% profiled).
+func TestFilterableFraction(t *testing.T) {
+	for _, w := range CPU2000AndOlden() {
+		p := w.Program()
+		var filtered, total int
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if !in.Op.IsLoad() && !in.Op.IsStore() {
+				continue
+			}
+			total++
+			if in.Mem.IsStackRelative() || in.Mem.IsStatic() {
+				filtered++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no memory ops", w.Name)
+		}
+		frac := float64(filtered) / float64(total)
+		if frac < 0.05 {
+			t.Errorf("%s: only %.1f%% of static memory ops filterable", w.Name, 100*frac)
+		}
+	}
+}
+
+func TestChaseRingIsHamiltonian(t *testing.T) {
+	// The mcf chase must visit every node before repeating: run the
+	// pointer loads and check the cycle length equals the node count.
+	w, _ := ByName("em3d")
+	p := w.Program()
+	m := vm.New(p, nil)
+	const nodes = 1 << 16
+	seen := make(map[uint64]bool, nodes)
+	ptr := uint64(0x1000_0000) // HeapBase: first node
+	for i := 0; i < nodes; i++ {
+		if seen[ptr] {
+			t.Fatalf("cycle repeats after %d visits, want %d", i, nodes)
+		}
+		seen[ptr] = true
+		ptr = m.Mem.Read(ptr, 8)
+	}
+	if ptr != 0x1000_0000 {
+		t.Errorf("ring does not close: ended at %#x", ptr)
+	}
+}
+
+func TestTreeaddSumCorrect(t *testing.T) {
+	w, _ := ByName("treeadd")
+	m := vm.New(w.Program(), nil)
+	if err := m.Run(60_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Node values are 0..nodes-1 laid out at creation: the recursive sum
+	// must equal n(n-1)/2 with n = 2^12 - 1.
+	n := uint64(1<<12 - 1)
+	want := n * (n - 1) / 2
+	if got := m.Regs[isa.R0]; got != want {
+		t.Errorf("tree sum = %d, want %d", got, want)
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if CFP2000.String() != "CFP2000" || Olden.String() != "Olden" {
+		t.Error("Suite.String broken")
+	}
+	if Suite(99).String() == "" {
+		t.Error("unknown suite must format")
+	}
+}

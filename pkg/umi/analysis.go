@@ -1,0 +1,77 @@
+package umi
+
+import (
+	"umi/internal/cache"
+	iumi "umi/internal/umi"
+)
+
+// Additional analyses (the paper's "customizable" profile analyzer, §2):
+// working-set characterization, reference-pattern classification, and
+// what-if cache exploration, all computed from the same profiled bursts.
+
+// Re-exported analysis types.
+type (
+	// WorkingSet characterizes distinct lines touched and reuse
+	// distances.
+	WorkingSet = iumi.WorkingSet
+	// PatternCensus classifies per-operation reference patterns.
+	PatternCensus = iumi.PatternCensus
+	// WhatIf mini-simulates alternative cache geometries.
+	WhatIf = iumi.WhatIf
+	// WhatIfResult is one geometry's outcome.
+	WhatIfResult = iumi.WhatIfResult
+	// Pattern labels a reference pattern.
+	Pattern = iumi.Pattern
+	// CacheConfig describes a cache geometry for what-if exploration.
+	CacheConfig = cache.Config
+)
+
+// Pattern values.
+const (
+	PatternUnknown   = iumi.PatternUnknown
+	PatternConstant  = iumi.PatternConstant
+	PatternStrided   = iumi.PatternStrided
+	PatternIrregular = iumi.PatternIrregular
+)
+
+// PentiumL2 returns the modelled Pentium 4 L2 geometry, a convenient base
+// for what-if variations.
+func PentiumL2() CacheConfig { return cache.P4L2 }
+
+// K7L2 returns the modelled AMD K7 L2 geometry.
+func K7L2() CacheConfig { return cache.K7L2 }
+
+// WithWorkingSet attaches working-set characterization; read the results
+// with Session.WorkingSet after Run.
+func WithWorkingSet() Option {
+	return func(s *Session) { s.wantWorkingSet = true }
+}
+
+// WithPatternCensus attaches reference-pattern classification; read the
+// results with Session.Patterns after Run.
+func WithPatternCensus() Option {
+	return func(s *Session) { s.wantPatterns = true }
+}
+
+// WithWhatIf attaches what-if cache exploration over the given geometries;
+// read the results with Session.WhatIfResults after Run.
+func WithWhatIf(configs ...CacheConfig) Option {
+	return func(s *Session) { s.whatIfConfigs = configs }
+}
+
+// WorkingSet returns the working-set analysis (nil unless WithWorkingSet
+// was used and Run completed).
+func (s *Session) WorkingSet() *WorkingSet { return s.workingSet }
+
+// Patterns returns the pattern census (nil unless WithPatternCensus was
+// used and Run completed).
+func (s *Session) Patterns() *PatternCensus { return s.patterns }
+
+// WhatIfResults returns per-geometry outcomes (nil unless WithWhatIf was
+// used and Run completed).
+func (s *Session) WhatIfResults() []WhatIfResult {
+	if s.whatIf == nil {
+		return nil
+	}
+	return s.whatIf.Results()
+}

@@ -1,0 +1,91 @@
+package umi_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+	"umi/pkg/umi"
+)
+
+// buildStream constructs a deterministic streaming workload: one load
+// walking a large array a cache line per iteration.
+func buildStream() *umi.Program {
+	b := umi.NewProgram("example")
+	e := b.Block("entry")
+	e.MovI(isa.R2, int64(program.HeapBase))
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 800_000)
+	l := b.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.Add(isa.R7, isa.R7, isa.R1)
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	b.Block("done").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// Example runs a session and reports the delinquent loads UMI discovered
+// online, with their strides.
+func Example() {
+	sess := umi.NewSession(buildStream())
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pcs []uint64
+	for pc := range report.Delinquent {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	for _, pc := range pcs {
+		fmt.Printf("delinquent load at %#x, stride %+d bytes\n",
+			pc, report.Strides[pc].Stride)
+	}
+	// Output:
+	// delinquent load at 0x400040, stride +64 bytes
+}
+
+// ExampleWithSoftwarePrefetch shows the online optimization loop: the
+// session profiles, rewrites the hot trace with prefetches, and the same
+// run finishes faster.
+func ExampleWithSoftwarePrefetch() {
+	prog := buildStream()
+	plain := umi.NewSession(prog)
+	if _, err := plain.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fast := umi.NewSession(prog, umi.WithSoftwarePrefetch())
+	if _, err := fast.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefetches injected: %d\n", fast.PrefetchesInserted())
+	fmt.Printf("faster: %v\n", fast.TotalCycles() < plain.TotalCycles())
+	// Output:
+	// prefetches injected: 1
+	// faster: true
+}
+
+// ExampleWithWhatIf asks, from one profiled run, how the program would
+// behave under a different cache size.
+func ExampleWithWhatIf() {
+	double := umi.PentiumL2()
+	double.Size *= 2
+	double.Name = "L2x2"
+	sess := umi.NewSession(buildStream(), umi.WithWhatIf(umi.PentiumL2(), double))
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sess.WhatIfResults() {
+		fmt.Printf("%s: streaming stays streaming (ratio %.2f)\n", r.Config.Name, r.MissRatio)
+	}
+	// Output:
+	// P4-L2: streaming stays streaming (ratio 1.00)
+	// L2x2: streaming stays streaming (ratio 1.00)
+}

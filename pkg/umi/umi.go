@@ -1,0 +1,270 @@
+// Package umi is the public interface to the Ubiquitous Memory
+// Introspection library: online, lightweight, instruction-granularity
+// memory-behaviour profiling of guest programs via bursty trace
+// instrumentation and fast cache mini-simulations (Zhao et al., CGO 2007).
+//
+// The typical flow:
+//
+//	prog := ...                            // build a guest program
+//	sess := umi.NewSession(prog)           // defaults: Pentium 4 model
+//	report, err := sess.Run()
+//	for pc := range report.Delinquent {    // delinquent loads, strides, ...
+//		...
+//	}
+//
+// Options select the hardware model (Pentium4, AMDK7), toggle sampling
+// reinforcement and the online software prefetcher, and expose the UMI
+// parameters from the paper (frequency threshold, address-profile
+// geometry, delinquency thresholds).
+package umi
+
+import (
+	"errors"
+	"fmt"
+
+	"umi/internal/cache"
+	"umi/internal/prefetch"
+	"umi/internal/program"
+	"umi/internal/rio"
+	iumi "umi/internal/umi"
+	"umi/internal/vm"
+)
+
+// Re-exported result types.
+type (
+	// Report is the profiling summary of one session.
+	Report = iumi.Report
+	// OpStat is the mini-simulated behaviour of one memory operation.
+	OpStat = iumi.OpStat
+	// StrideInfo is a discovered dominant stride.
+	StrideInfo = iumi.StrideInfo
+	// Program is an assembled guest program.
+	Program = program.Program
+	// Builder constructs guest programs.
+	Builder = program.Builder
+)
+
+// NewProgram returns a builder for a guest program with the given name.
+func NewProgram(name string) *Builder { return program.NewBuilder(name) }
+
+// Machine selects the modelled hardware platform.
+type Machine int
+
+// Supported hardware models (§6 of the paper).
+const (
+	Pentium4 Machine = iota
+	AMDK7
+)
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithMachine selects the hardware model (default Pentium4).
+func WithMachine(m Machine) Option { return func(s *Session) { s.machine = m } }
+
+// WithHWPrefetch enables the platform's hardware prefetchers (Pentium 4
+// only; the K7 has none).
+func WithHWPrefetch() Option { return func(s *Session) { s.hwPrefetch = true } }
+
+// WithSoftwarePrefetch attaches the online software stride prefetcher at
+// the analysis boundary (§8).
+func WithSoftwarePrefetch() Option { return func(s *Session) { s.swPrefetch = true } }
+
+// WithCacheBypass attaches the online non-temporal rewriter: streaming
+// delinquent loads are marked to bypass the L2, protecting the resident
+// working set (the cache-replacement enhancement the paper's conclusion
+// proposes). Composes with WithSoftwarePrefetch.
+func WithCacheBypass() Option { return func(s *Session) { s.ntBypass = true } }
+
+// WithoutSampling disables sample-based region-selection reinforcement:
+// every trace is instrumented at creation.
+func WithoutSampling() Option {
+	return func(s *Session) { s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.UseSampling = false }) }
+}
+
+// WithFrequencyThreshold sets the sampling frequency threshold (§2).
+func WithFrequencyThreshold(n int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.FrequencyThreshold = n })
+	}
+}
+
+// WithSamplePeriod sets the PC-sampling period in retired instructions.
+func WithSamplePeriod(n uint64) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.SamplePeriod = n })
+	}
+}
+
+// WithAddressProfileRows sets the executions recorded per trace profile.
+func WithAddressProfileRows(n int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.AddressProfileRows = n })
+	}
+}
+
+// WithGlobalDelinquencyThreshold replaces the adaptive per-trace
+// delinquency threshold with a fixed global alpha.
+func WithGlobalDelinquencyThreshold(alpha float64) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) {
+			c.Adaptive = false
+			c.DelinquencyInit = alpha
+		})
+	}
+}
+
+// WithMaxInstructions bounds the run (default 200M).
+func WithMaxInstructions(n uint64) Option { return func(s *Session) { s.maxInstrs = n } }
+
+// Session executes one program under the full UMI stack.
+type Session struct {
+	prog       *Program
+	machine    Machine
+	hwPrefetch bool
+	swPrefetch bool
+	ntBypass   bool
+	maxInstrs  uint64
+	cfgEdit    []func(*iumi.Config)
+
+	wantWorkingSet bool
+	wantPatterns   bool
+	whatIfConfigs  []CacheConfig
+
+	// populated by Run
+	report     *Report
+	hierarchy  *cache.Hierarchy
+	runtime    *rio.Runtime
+	optimizer  *prefetch.Optimizer
+	ntOpt      *prefetch.NTOptimizer
+	workingSet *WorkingSet
+	patterns   *PatternCensus
+	whatIf     *WhatIf
+}
+
+// NewSession prepares a session for the program.
+func NewSession(p *Program, opts ...Option) *Session {
+	s := &Session{prog: p, maxInstrs: 200_000_000}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ErrAlreadyRun is returned when Run is called twice on one session.
+var ErrAlreadyRun = errors.New("umi: session already run")
+
+// Run executes the program to completion under UMI and returns the
+// profiling report.
+func (s *Session) Run() (*Report, error) {
+	if s.report != nil {
+		return nil, ErrAlreadyRun
+	}
+	var h *cache.Hierarchy
+	var l2 cache.Config
+	switch s.machine {
+	case AMDK7:
+		h = cache.NewK7()
+		l2 = cache.K7L2
+	default:
+		h = cache.NewP4(s.hwPrefetch)
+		l2 = cache.P4L2
+	}
+	m := vm.New(s.prog, h)
+	rt := rio.NewRuntime(m)
+	cfg := iumi.DefaultConfig(l2)
+	cfg.SamplePeriod = 2_000
+	cfg.FrequencyThreshold = 8
+	cfg.ReinstrumentGap = 100_000
+	for _, edit := range s.cfgEdit {
+		edit(&cfg)
+	}
+	sys := iumi.Attach(rt, cfg)
+	var hooks []func(*rio.Fragment, *iumi.Analyzer) *rio.Fragment
+	if s.swPrefetch {
+		s.optimizer = prefetch.NewOptimizer(prefetch.DefaultConfig)
+		hooks = append(hooks, s.optimizer.Hook())
+	}
+	if s.ntBypass {
+		s.ntOpt = prefetch.NewNTOptimizer()
+		hooks = append(hooks, s.ntOpt.Hook())
+	}
+	if len(hooks) > 0 {
+		sys.OnAnalyzed = prefetch.Chain(hooks...)
+	}
+	if s.wantWorkingSet {
+		s.workingSet = iumi.NewWorkingSet(l2.LineSize)
+		sys.AddConsumer(s.workingSet)
+	}
+	if s.wantPatterns {
+		s.patterns = iumi.NewPatternCensus()
+		sys.AddConsumer(s.patterns)
+	}
+	if len(s.whatIfConfigs) > 0 {
+		s.whatIf = iumi.NewWhatIf(cfg.WarmupRows, s.whatIfConfigs...)
+		sys.AddConsumer(s.whatIf)
+	}
+	if err := rt.Run(s.maxInstrs); err != nil {
+		return nil, fmt.Errorf("umi: %w", err)
+	}
+	sys.Finish()
+	s.report = sys.Report()
+	s.hierarchy = h
+	s.runtime = rt
+	return s.report, nil
+}
+
+// Report returns the profiling report (nil before Run).
+func (s *Session) Report() *Report { return s.report }
+
+// HardwareMissRatio returns the ground-truth L2 miss ratio the modelled
+// hardware observed (what a performance counter would report).
+func (s *Session) HardwareMissRatio() float64 {
+	if s.hierarchy == nil {
+		return 0
+	}
+	return s.hierarchy.L2Stats.MissRatio()
+}
+
+// HardwareL2Misses returns the ground-truth L2 miss count.
+func (s *Session) HardwareL2Misses() uint64 {
+	if s.hierarchy == nil {
+		return 0
+	}
+	return s.hierarchy.L2Stats.Misses
+}
+
+// TotalCycles returns the modelled running time including all runtime
+// overhead.
+func (s *Session) TotalCycles() uint64 {
+	if s.runtime == nil {
+		return 0
+	}
+	return s.runtime.TotalCycles()
+}
+
+// GuestInstructions returns retired guest instructions.
+func (s *Session) GuestInstructions() uint64 {
+	if s.runtime == nil {
+		return 0
+	}
+	return s.runtime.M.Instrs
+}
+
+// PrefetchesInserted reports how many software prefetches the optimizer
+// injected (0 unless WithSoftwarePrefetch).
+func (s *Session) PrefetchesInserted() int {
+	if s.optimizer == nil {
+		return 0
+	}
+	return len(s.optimizer.Insertions)
+}
+
+// LoadsBypassed reports how many loads were rewritten to bypass the L2
+// (0 unless WithCacheBypass).
+func (s *Session) LoadsBypassed() int {
+	if s.ntOpt == nil {
+		return 0
+	}
+	return len(s.ntOpt.Rewritten)
+}

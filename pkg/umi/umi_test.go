@@ -1,0 +1,161 @@
+package umi
+
+import (
+	"errors"
+	"testing"
+
+	"umi/internal/isa"
+	"umi/internal/program"
+)
+
+// demo builds a streaming workload with one delinquent strided load.
+func demo(t *testing.T) *Program {
+	t.Helper()
+	b := NewProgram("demo")
+	e := b.Block("entry")
+	e.MovI(isa.R0, 0)
+	e.MovI(isa.R6, 400_000)
+	e.MovI(isa.R2, int64(program.HeapBase))
+	l := b.Block("loop")
+	l.Load(isa.R1, 8, isa.MemIdx(isa.R2, isa.R0, 8, 0))
+	l.Add(isa.R7, isa.R7, isa.R1)
+	l.AddI(isa.R0, isa.R0, 8)
+	l.Br(isa.CondLT, isa.R0, isa.R6, "loop")
+	b.Block("done").Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestSessionBasic(t *testing.T) {
+	p := demo(t)
+	sess := NewSession(p)
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep == nil || sess.Report() != rep {
+		t.Fatal("report plumbing broken")
+	}
+	if len(rep.Delinquent) == 0 {
+		t.Error("streaming load must be predicted delinquent")
+	}
+	if sess.HardwareMissRatio() <= 0.5 {
+		t.Errorf("hardware miss ratio = %.3f, want streaming-high", sess.HardwareMissRatio())
+	}
+	if sess.TotalCycles() == 0 || sess.GuestInstructions() == 0 {
+		t.Error("cycle accounting missing")
+	}
+	if _, err := sess.Run(); !errors.Is(err, ErrAlreadyRun) {
+		t.Errorf("second Run = %v, want ErrAlreadyRun", err)
+	}
+}
+
+func TestSessionK7(t *testing.T) {
+	p := demo(t)
+	sess := NewSession(p, WithMachine(AMDK7))
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sess.HardwareMissRatio() <= 0 {
+		t.Error("K7 run produced no hardware statistics")
+	}
+}
+
+func TestSessionSoftwarePrefetch(t *testing.T) {
+	p := demo(t)
+	plain := NewSession(p)
+	if _, err := plain.Run(); err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	pf := NewSession(p, WithSoftwarePrefetch())
+	if _, err := pf.Run(); err != nil {
+		t.Fatalf("prefetch: %v", err)
+	}
+	if pf.PrefetchesInserted() == 0 {
+		t.Fatal("no prefetches inserted")
+	}
+	if pf.TotalCycles() >= plain.TotalCycles() {
+		t.Errorf("prefetching did not speed up the stream: %d >= %d",
+			pf.TotalCycles(), plain.TotalCycles())
+	}
+	if pf.HardwareL2Misses() >= plain.HardwareL2Misses() {
+		t.Errorf("prefetching did not cut misses: %d >= %d",
+			pf.HardwareL2Misses(), plain.HardwareL2Misses())
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	p := demo(t)
+	sess := NewSession(p,
+		WithHWPrefetch(),
+		WithoutSampling(),
+		WithFrequencyThreshold(4),
+		WithSamplePeriod(1000),
+		WithAddressProfileRows(128),
+		WithGlobalDelinquencyThreshold(0.5),
+		WithMaxInstructions(50_000_000),
+	)
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run with options: %v", err)
+	}
+}
+
+func TestSessionBudget(t *testing.T) {
+	p := demo(t)
+	sess := NewSession(p, WithMaxInstructions(1000))
+	if _, err := sess.Run(); err == nil {
+		t.Error("tiny budget must surface the runtime error")
+	}
+}
+
+func TestSessionAnalyses(t *testing.T) {
+	quarter := PentiumL2()
+	quarter.Size /= 4
+	quarter.Name = "L2/4"
+	sess := NewSession(demo(t),
+		WithWorkingSet(),
+		WithPatternCensus(),
+		WithWhatIf(quarter, PentiumL2()),
+	)
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ws := sess.WorkingSet()
+	if ws == nil || ws.Refs == 0 || ws.DistinctLines() == 0 {
+		t.Fatalf("working set missing or empty: %v", ws)
+	}
+	pats := sess.Patterns()
+	if pats == nil {
+		t.Fatal("pattern census missing")
+	}
+	if got := pats.Counts()[PatternStrided]; got == 0 {
+		t.Errorf("strided pattern not detected: %v", pats.Summary())
+	}
+	res := sess.WhatIfResults()
+	if len(res) != 2 || res[0].Accesses == 0 {
+		t.Fatalf("what-if results = %+v", res)
+	}
+}
+
+func TestSessionAnalysesNilBeforeOptIn(t *testing.T) {
+	sess := NewSession(demo(t))
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.WorkingSet() != nil || sess.Patterns() != nil || sess.WhatIfResults() != nil {
+		t.Error("analyses must be nil without opt-in")
+	}
+}
+
+func TestSessionCacheBypass(t *testing.T) {
+	sess := NewSession(demo(t), WithCacheBypass())
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sess.LoadsBypassed() == 0 {
+		t.Error("streaming load must be rewritten to bypass")
+	}
+}
