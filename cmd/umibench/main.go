@@ -26,12 +26,15 @@ import (
 func main() {
 	benchFlag := flag.String("bench", "", "comma-separated workload subset (default: the paper's 32)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
+	parallel := flag.Int("parallel", 1,
+		"experiment cells (workload x configuration) to run concurrently; output is identical at any level")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
+	harness.SetParallelism(*parallel)
 	var names []string
 	if *benchFlag != "" {
 		names = strings.Split(*benchFlag, ",")
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: umibench [-bench names] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: umibench [-bench names] [-parallel N] <experiment>...
 
 experiments:
   table1          HW counter sampling overhead vs UMI (Table 1)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-top n] <workload>
+//	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n] <workload>
 //	umiprof -list
 package main
 
@@ -27,6 +27,8 @@ func main() {
 	hwpf := flag.Bool("hwpf", false, "enable hardware prefetchers (P4 only)")
 	swpf := flag.Bool("swpf", false, "enable the online software prefetcher")
 	noSampling := flag.Bool("no-sampling", false, "instrument every trace at creation")
+	workers := flag.Int("workers", 1,
+		"analyzer pipeline width; at >= 2 profiles are analyzed off the guest thread (same results)")
 	top := flag.Int("top", 10, "top missing operations to print")
 	ws := flag.Bool("ws", false, "report working-set and reuse-distance characterization")
 	patterns := flag.Bool("patterns", false, "classify reference patterns per operation")
@@ -56,6 +58,7 @@ func main() {
 	}
 	cfg := harness.UMIParams(plat)
 	cfg.UseSampling = !*noSampling
+	cfg.AnalyzerWorkers = *workers
 
 	h := plat.Hierarchy(*hwpf)
 	m := vm.New(w.Program(), h)

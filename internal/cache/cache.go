@@ -96,6 +96,10 @@ type Cache struct {
 	plruBits []uint64 // PLRU tree bits, one word per set
 }
 
+// rngSeed is the initial xorshift state for the Random policy; fixed so
+// fresh, Reset, and Cloned caches replay identically.
+const rngSeed = 0x9E3779B97F4A7C15
+
 // New builds a cache from the config, panicking on invalid geometry
 // (configurations are build-time constants in this codebase).
 func New(cfg Config) *Cache {
@@ -116,7 +120,7 @@ func New(cfg Config) *Cache {
 		setBits++
 	}
 	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1), lineShift: shift,
-		setBits: setBits, policy: cfg.Policy, rngState: 0x9E3779B97F4A7C15}
+		setBits: setBits, policy: cfg.Policy, rngState: rngSeed}
 	if cfg.Policy == PLRU {
 		c.plruBits = make([]uint64, cfg.Sets())
 	}
@@ -223,6 +227,37 @@ func (c *Cache) Flush() {
 		for i := range c.sets[s] {
 			c.sets[s][i] = line{}
 		}
+	}
+}
+
+// Clone returns a deep copy of the cache: geometry, line contents, the
+// recency clock, and policy state (PLRU tree bits, Random RNG state) are
+// all duplicated, so the copy replays any access sequence exactly as the
+// original would. Per-worker simulators in parallel experiment cells clone
+// a warmed template instead of re-warming from cold; the original and the
+// clone share nothing afterwards.
+func (c *Cache) Clone() *Cache {
+	n := New(c.cfg)
+	n.clock = c.clock
+	n.rngState = c.rngState
+	for s := range c.sets {
+		copy(n.sets[s], c.sets[s])
+	}
+	copy(n.plruBits, c.plruBits)
+	return n
+}
+
+// Reset restores the cache to its just-constructed state: contents
+// invalidated and the recency clock and policy state rewound. Unlike
+// Flush — which keeps the clock running, as the analyzer's periodic flush
+// wants — Reset makes a reused cache indistinguishable from a fresh one,
+// which is what a harness reusing an analyzer across runs needs.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.clock = 0
+	c.rngState = rngSeed
+	for i := range c.plruBits {
+		c.plruBits[i] = 0
 	}
 }
 

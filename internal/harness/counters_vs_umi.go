@@ -58,23 +58,29 @@ func CountersVsUMIRun(benchNames []string) ([]*CvUResult, error) {
 			return nil, err
 		}
 
-		res := &CvUResult{Benchmark: name}
-		for _, size := range []uint64{10, 100, 1_000, 10_000, 100_000} {
+		sizes := []uint64{10, 100, 1_000, 10_000, 100_000}
+		res := &CvUResult{Benchmark: name, Rows: make([]CvURow, len(sizes), len(sizes)+1)}
+		err = forEachIndexed(len(sizes), func(i int) error {
+			size := sizes[i]
 			prof := counters.NewSampledProfiler(P4.L2, size)
 			m := vm.New(w.Program(), nil)
 			m.RefHook = prof.Ref
 			if err := m.Run(MaxInstrs); err != nil {
-				return nil, err
+				return err
 			}
 			pred := prof.DelinquentSet(0.90)
-			res.Rows = append(res.Rows, CvURow{
+			res.Rows[i] = CvURow{
 				Label:       fmt.Sprintf("PMU@%d", size),
 				SampleSize:  size,
 				OverheadPct: 100 * float64(prof.OverheadCycles(model)) / float64(native.Cycles),
 				Recall:      stats.Recall(pred, truth),
 				FalsePos:    stats.FalsePositiveRatio(pred, truth),
 				SetSize:     len(pred),
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 
 		umiRun, err := RunUMI(w, P4, UMIParams(P4), false, false)

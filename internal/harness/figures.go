@@ -35,37 +35,43 @@ func Fig2(names []string) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig2Result{}
-	var rs, ns, ss []float64
-	for _, w := range ws {
+	res := &Fig2Result{Rows: make([]Fig2Row, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		native, err := RunNative(w, P4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rt, err := RunRIO(w, P4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfgNo := UMIParams(P4)
 		cfgNo.UseSampling = false
 		noSamp, err := RunUMI(w, P4, cfgNo, true, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		samp, err := RunUMI(w, P4, UMIParams(P4), true, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Fig2Row{
+		res.Rows[i] = Fig2Row{
 			Name:        w.Name,
 			RIO:         float64(rt.TotalCycles()) / float64(native.Cycles),
 			UMINoSamp:   float64(noSamp.TotalCycles()) / float64(native.Cycles),
 			UMISampling: float64(samp.TotalCycles()) / float64(native.Cycles),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rs, ns, ss []float64
+	for _, row := range res.Rows {
 		rs = append(rs, row.RIO)
 		ns = append(ns, row.UMINoSamp)
 		ss = append(ss, row.UMISampling)
-		res.Rows = append(res.Rows, row)
 	}
 	res.GeoRIO = stats.GeoMean(rs)
 	res.GeoNoS = stats.GeoMean(ns)
@@ -122,13 +128,21 @@ func prefetchCandidates(names []string, p *Platform) ([]*workloads.Workload, err
 	if err != nil {
 		return nil, err
 	}
-	var out []*workloads.Workload
-	for _, w := range ws {
-		run, err := RunUMI(w, p, UMIParams(p), false, true)
+	keep := make([]bool, len(ws))
+	err = forEachIndexed(len(ws), func(i int) error {
+		run, err := RunUMI(ws[i], p, UMIParams(p), false, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if run.Opt != nil && len(run.Opt.Insertions) > 0 {
+		keep[i] = run.Opt != nil && len(run.Opt.Insertions) > 0
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*workloads.Workload
+	for i, w := range ws {
+		if keep[i] {
 			out = append(out, w)
 		}
 	}
@@ -153,30 +167,36 @@ func prefetchFigure(title string, names []string, p *Platform) (*PrefetchResult,
 	if err != nil {
 		return nil, err
 	}
-	res := &PrefetchResult{Title: title}
-	var umiOnly, umiSW []float64
-	for _, w := range cands {
+	res := &PrefetchResult{Title: title, Rows: make([]PrefetchRow, len(cands))}
+	err = forEachIndexed(len(cands), func(i int) error {
+		w := cands[i]
 		native, err := RunNative(w, p, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plain, err := RunUMI(w, p, UMIParams(p), false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := RunUMI(w, p, UMIParams(p), false, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := PrefetchRow{
+		res.Rows[i] = PrefetchRow{
 			Name:     w.Name,
 			Inserted: len(sw.Opt.Insertions),
 			UMIOnly:  float64(plain.TotalCycles()) / float64(native.Cycles),
 			UMISW:    float64(sw.TotalCycles()) / float64(native.Cycles),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var umiOnly, umiSW []float64
+	for _, row := range res.Rows {
 		umiOnly = append(umiOnly, row.UMIOnly)
 		umiSW = append(umiSW, row.UMISW)
-		res.Rows = append(res.Rows, row)
 	}
 	res.GeoUMI = stats.GeoMean(umiOnly)
 	res.GeoSW = stats.GeoMean(umiSW)
@@ -193,35 +213,42 @@ func Fig5(names []string) (*PrefetchResult, error) {
 	res := &PrefetchResult{
 		Title: "Figure 5: running time on Pentium 4, HW prefetch enabled (normalized to native, no prefetching)",
 	}
-	var sws, hws, boths []float64
-	for _, w := range cands {
+	res.Rows = make([]PrefetchRow, len(cands))
+	err = forEachIndexed(len(cands), func(i int) error {
+		w := cands[i]
 		base, err := RunNative(w, P4, false) // native, no prefetching
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := RunUMI(w, P4, UMIParams(P4), false, true) // SW only
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hw, err := RunNative(w, P4, true) // HW only
 		if err != nil {
-			return nil, err
+			return err
 		}
 		both, err := RunUMI(w, P4, UMIParams(P4), true, true) // SW + HW
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := PrefetchRow{
+		res.Rows[i] = PrefetchRow{
 			Name:     w.Name,
 			Inserted: len(sw.Opt.Insertions),
 			UMISW:    float64(sw.TotalCycles()) / float64(base.Cycles),
 			HWOnly:   float64(hw.Cycles) / float64(base.Cycles),
 			UMISWHW:  float64(both.TotalCycles()) / float64(base.Cycles),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sws, hws, boths []float64
+	for _, row := range res.Rows {
 		sws = append(sws, row.UMISW)
 		hws = append(hws, row.HWOnly)
 		boths = append(boths, row.UMISWHW)
-		res.Rows = append(res.Rows, row)
 	}
 	res.GeoSW = stats.GeoMean(sws)
 	res.GeoHW = stats.GeoMean(hws)
@@ -241,33 +268,46 @@ func Fig6(names []string) (*PrefetchResult, error) {
 	res := &PrefetchResult{
 		Title: "Figure 6: L2 misses on Pentium 4 (normalized to native, no prefetching)",
 	}
-	var sws, hws, boths []float64
-	for _, w := range cands {
+	rows := make([]PrefetchRow, len(cands))
+	keep := make([]bool, len(cands))
+	err = forEachIndexed(len(cands), func(i int) error {
+		w := cands[i]
 		base, err := RunNative(w, P4, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		baseMiss := float64(base.H.L2Stats.Misses)
 		if baseMiss == 0 {
-			continue
+			return nil
 		}
 		sw, err := RunUMI(w, P4, UMIParams(P4), false, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hw, err := RunNative(w, P4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		both, err := RunUMI(w, P4, UMIParams(P4), true, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := PrefetchRow{
+		rows[i] = PrefetchRow{
 			Name:     w.Name,
 			MissSW:   float64(sw.H.L2Stats.Misses) / baseMiss,
 			MissHW:   float64(hw.H.L2Stats.Misses) / baseMiss,
 			MissBoth: float64(both.H.L2Stats.Misses) / baseMiss,
+		}
+		keep[i] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sws, hws, boths []float64
+	for i, row := range rows {
+		if !keep[i] {
+			continue
 		}
 		sws = append(sws, row.MissSW)
 		hws = append(hws, row.MissHW)

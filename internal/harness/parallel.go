@@ -1,0 +1,59 @@
+package harness
+
+import "sync"
+
+// Experiment-level parallelism: every driver in this package iterates
+// independent (workload × configuration) cells — each cell builds its own
+// machine, hierarchy, and UMI system, so cells share nothing but the
+// immutable workload programs. forEachIndexed fans those loops out across
+// a bounded worker pool while keeping output deterministic: results land
+// in index-addressed slots, so the rendered tables are byte-identical at
+// any parallelism level.
+
+var parallelism = 1
+
+// SetParallelism sets the number of experiment cells the harness runs
+// concurrently (cmd/umibench's -parallel flag). Values below 1 mean
+// serial. Not safe to call while a driver is running.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism = n
+}
+
+// Parallelism returns the configured worker count.
+func Parallelism() int { return parallelism }
+
+// forEachIndexed runs fn(0) … fn(n-1) across the configured worker pool
+// and returns the lowest-index error, mirroring where a serial loop would
+// have stopped. With parallelism 1 it degenerates to that serial loop.
+func forEachIndexed(n int, fn func(i int) error) error {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

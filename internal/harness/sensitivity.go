@@ -49,22 +49,31 @@ func SensitivityThreshold(benchNames []string) ([]*SensResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &SensResult{Benchmark: name, Param: "frequency threshold"}
+		var thresholds []int
 		for th := 1; th <= 1024; th *= 2 {
+			thresholds = append(thresholds, th)
+		}
+		res := &SensResult{Benchmark: name, Param: "frequency threshold",
+			Points: make([]SensPoint, len(thresholds))}
+		err = forEachIndexed(len(thresholds), func(i int) error {
 			cfg := UMIParams(P4)
-			cfg.FrequencyThreshold = th
+			cfg.FrequencyThreshold = thresholds[i]
 			run, err := RunUMI(w, P4, cfg, false, false)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			p := run.Report.Delinquent
-			res.Points = append(res.Points, SensPoint{
-				Value:          th,
+			res.Points[i] = SensPoint{
+				Value:          thresholds[i],
 				Recall:         stats.Recall(p, truth),
 				FalsePositives: stats.FalsePositiveRatio(p, truth),
 				OverheadPct:    100 * (float64(run.TotalCycles())/float64(native.Cycles) - 1),
 				PredSize:       len(p),
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, res)
 	}
@@ -92,8 +101,14 @@ func SensitivityProfileLen(benchNames []string) ([]*SensResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &SensResult{Benchmark: name, Param: "address profile rows"}
+		var rowCounts []int
 		for rows := 64; rows <= 32768; rows *= 2 {
+			rowCounts = append(rowCounts, rows)
+		}
+		res := &SensResult{Benchmark: name, Param: "address profile rows",
+			Points: make([]SensPoint, len(rowCounts))}
+		err = forEachIndexed(len(rowCounts), func(i int) error {
+			rows := rowCounts[i]
 			cfg := UMIParams(P4)
 			cfg.AddressProfileRows = rows
 			// Keep the global trace-profile trigger from firing before
@@ -103,16 +118,20 @@ func SensitivityProfileLen(benchNames []string) ([]*SensResult, error) {
 			}
 			run, err := RunUMI(w, P4, cfg, false, false)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			p := run.Report.Delinquent
-			res.Points = append(res.Points, SensPoint{
+			res.Points[i] = SensPoint{
 				Value:          rows,
 				Recall:         stats.Recall(p, truth),
 				FalsePositives: stats.FalsePositiveRatio(p, truth),
 				OverheadPct:    100 * (float64(run.TotalCycles())/float64(native.Cycles) - 1),
 				PredSize:       len(p),
-			})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, res)
 	}

@@ -123,26 +123,32 @@ func Table3(names []string) (*Table3Result, error) {
 	}
 	cfg := UMIParams(P4)
 	cfg.UseSampling = false
-	res := &Table3Result{}
-	var pctSum float64
-	for _, w := range ws {
+	res := &Table3Result{Rows: make([]Table3Row, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		run, err := RunUMI(w, P4, cfg, false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := w.Program()
 		loads, stores := p.StaticLoads(), p.StaticStores()
-		pct := 100 * float64(run.Report.ProfiledOps) / float64(loads+stores)
-		pctSum += pct
-		res.Rows = append(res.Rows, Table3Row{
+		res.Rows[i] = Table3Row{
 			Name:         w.Name,
 			StaticLoads:  loads,
 			StaticStores: stores,
 			ProfiledOps:  run.Report.ProfiledOps,
-			ProfiledPct:  pct,
+			ProfiledPct:  100 * float64(run.Report.ProfiledOps) / float64(loads+stores),
 			Profiles:     run.Report.ProfilesCollected,
 			Invocations:  run.Report.AnalyzerInvocations,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pctSum float64
+	for _, row := range res.Rows {
+		pctSum += row.ProfiledPct
 	}
 	if len(res.Rows) > 0 {
 		res.AvgPct = pctSum / float64(len(res.Rows))
@@ -227,47 +233,52 @@ func Table4(names []string) (*Table4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table4Result{}
-	for _, w := range ws {
+	res := &Table4Result{PerBench: make([]Table4Bench, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		row := Table4Bench{Name: w.Name, Suite: w.Suite}
 
 		nNoPF, err := RunNative(w, P4, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HWNoPF = nNoPF.H.L2Stats.MissRatio()
 
 		nPF, err := RunNative(w, P4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HWPF = nPF.H.L2Stats.MissRatio()
 
 		nK7, err := RunNative(w, K7, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.HWK7 = nK7.H.L2Stats.MissRatio()
 
 		cg, err := RunCachegrind(w, P4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Cachegrind = cg.L2MissRatio()
 
 		uP4, err := RunUMI(w, P4, UMIParams(P4), false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.UMISim = uP4.Report.SimMissRatio
 
 		uK7, err := RunUMI(w, K7, UMIParams(K7), false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.UMISimK7 = uK7.Report.SimMissRatio
 
-		res.PerBench = append(res.PerBench, row)
+		res.PerBench[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	groups := []workloads.Suite{workloads.CFP2000, workloads.CINT2000, workloads.Olden}
 	simCG := func(r Table4Bench) float64 { return r.Cachegrind }
@@ -323,21 +334,26 @@ func Table5() (*Table5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table5Result{}
-	for _, w := range ws {
+	res := &Table5Result{PerBench: make([]Table4Bench, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		nPF, err := RunNative(w, P4, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u, err := RunUMI(w, P4, UMIParams(P4), true, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.PerBench = append(res.PerBench, Table4Bench{
+		res.PerBench[i] = Table4Bench{
 			Name: w.Name, Suite: w.Suite,
 			HWPF:   nPF.H.L2Stats.MissRatio(),
 			UMISim: u.Report.SimMissRatio,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	groups := []workloads.Suite{workloads.CFP2006, workloads.CINT2006}
 	res.Cells = groupCorrelations(res.PerBench,
@@ -392,20 +408,21 @@ func Table6(names []string) (*Table6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table6Result{}
-	for _, w := range ws {
+	res := &Table6Result{Rows: make([]Table6Row, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
 		cg, err := RunCachegrind(w, P4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := RunUMI(w, P4, UMIParams(P4), false, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c := cg.DelinquentSet(0.90)
 		p := run.Report.Delinquent
 		inter := stats.Intersection(p, c)
-		row := Table6Row{
+		res.Rows[i] = Table6Row{
 			Name:           w.Name,
 			L2MissRatio:    cg.L2MissRatio(),
 			P:              len(p),
@@ -417,7 +434,10 @@ func Table6(names []string) (*Table6Result, error) {
 			Recall:         stats.Recall(p, c),
 			FalsePositives: stats.FalsePositiveRatio(p, c),
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.AvgLow = averageRows("Average (miss ratio < 1%)", res.Rows, func(r Table6Row) bool {
 		return r.L2MissRatio < 0.01

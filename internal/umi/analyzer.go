@@ -72,9 +72,13 @@ func NewAnalyzer(cfg *Config) *Analyzer {
 
 // BeginInvocation starts one analyzer invocation at the given guest cycle
 // count, flushing the logical cache if the configured gap has elapsed.
+// Non-monotonic cycle counts (a harness reset reusing the analyzer against
+// a rewound clock) are treated as a zero gap: the subtraction is unsigned,
+// and without the ordering guard a backwards step would wrap to a huge gap
+// and spuriously flush on every invocation.
 func (a *Analyzer) BeginInvocation(nowCycles uint64) {
 	a.Invocations++
-	if a.ranBefore && nowCycles-a.lastRun > a.cfg.FlushCycleGap {
+	if a.ranBefore && nowCycles > a.lastRun && nowCycles-a.lastRun > a.cfg.FlushCycleGap {
 		a.cache.Flush()
 		a.Flushes++
 	}
@@ -82,14 +86,72 @@ func (a *Analyzer) BeginInvocation(nowCycles uint64) {
 	a.ranBefore = true
 }
 
+// Reset returns the analyzer to its just-constructed state so a harness
+// can reuse one across runs: cumulative results are cleared and the
+// logical cache is rewound (cache.Reset, not just Flush, so the LRU clock
+// restarts too). The invocation clock also restarts, so the first
+// BeginInvocation after a Reset never flushes regardless of the new run's
+// cycle counter.
+func (a *Analyzer) Reset() {
+	a.cache.Reset()
+	a.lastRun = 0
+	a.ranBefore = false
+	a.Invocations = 0
+	a.SimulatedRefs = 0
+	a.Flushes = 0
+	a.opStats = make(map[uint64]*OpStat)
+	a.delinquent = make(map[uint64]bool)
+	a.strides = make(map[uint64]StrideInfo)
+	a.columns = make(map[uint64][]uint64)
+	a.totalAcc, a.totalMiss = 0, 0
+}
+
+// colPrep is the stateless half of one column's analysis: the materialized
+// address sequence and its dominant stride. The pipeline's preparation
+// workers compute these concurrently; only the cache simulation and the
+// merge, which touch shared analyzer state, stay on the sequencer.
+type colPrep struct {
+	col    []uint64
+	stride int64
+	frac   float64
+}
+
+// prepareProfile computes the stateless per-column work for a profile:
+// address columns and dominant strides for every load column. It reads
+// only the profile and is safe to run concurrently with preparations of
+// other profiles — but not with further recording into this one.
+func prepareProfile(p *AddressProfile) []colPrep {
+	preps := make([]colPrep, len(p.Ops))
+	for c := range p.Ops {
+		if !p.IsLoadOp[c] {
+			continue
+		}
+		col := p.Column(c)
+		stride, frac := DominantStride(col)
+		preps[c] = colPrep{col: col, stride: stride, frac: frac}
+	}
+	return preps
+}
+
 // AnalyzeProfile mini-simulates one address profile: rows in recording
 // order, operations in trace order, skipping the warm-up rows for miss
 // accounting. Loads whose miss ratio in this profile exceeds alpha are
 // labelled delinquent. It returns the modelled analysis cost in cycles.
 func (a *Analyzer) AnalyzeProfile(p *AddressProfile, alpha float64) uint64 {
+	return a.analyzeWithPrep(p, alpha, nil)
+}
+
+// analyzeWithPrep is AnalyzeProfile with the stateless column work
+// optionally precomputed (nil means compute inline). Results are identical
+// either way; the merge visits columns in trace order, so a fixed profile
+// submission order gives a fixed merge order.
+func (a *Analyzer) analyzeWithPrep(p *AddressProfile, alpha float64, preps []colPrep) uint64 {
 	nOps := len(p.Ops)
 	if nOps == 0 || p.Rows() == 0 {
 		return 0
+	}
+	if preps == nil {
+		preps = prepareProfile(p)
 	}
 	if cap(a.invAcc) < nOps {
 		a.invAcc = make([]uint64, nOps)
@@ -139,12 +201,12 @@ func (a *Analyzer) AnalyzeProfile(p *AddressProfile, alpha float64) uint64 {
 				a.delinquent[pc] = true
 				// Keep the raw column so optimizers can tune against the
 				// recorded history (e.g. prefetch distance selection).
-				a.columns[pc] = p.Column(c)
+				a.columns[pc] = preps[c].col
 			}
 		}
 		// Stride discovery feeds the prefetcher (§8).
 		if p.IsLoadOp[c] {
-			if stride, frac := DominantStride(p.Column(c)); frac >= 0.5 && stride != 0 {
+			if stride, frac := preps[c].stride, preps[c].frac; frac >= 0.5 && stride != 0 {
 				if prev, ok := a.strides[pc]; !ok || frac >= prev.Confidence {
 					a.strides[pc] = StrideInfo{Stride: stride, Confidence: frac}
 				}

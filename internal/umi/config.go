@@ -100,12 +100,43 @@ type Config struct {
 	// the host's L2 (§5).
 	MiniSimCache cache.Config
 
+	// AnalyzerWorkers sets the width of the asynchronous profile-analysis
+	// pipeline. At 0 or 1 the analyzer runs inline on the guest thread
+	// (the paper's synchronous model). At N ≥ 2 filled profiles are handed
+	// off over bounded channels to N stateless preparation workers feeding
+	// a single sequencer goroutine that owns the logical cache, so the
+	// guest keeps executing while profiles are analyzed; the sequencer
+	// replays profiles in the fixed PC-sorted submission order, so results
+	// are identical for every N. The pipeline silently falls back to the
+	// synchronous path when OnAnalyzed or AdaptiveFrequency needs analysis
+	// results at deinstrumentation time.
+	AnalyzerWorkers int
+
 	// Overhead model (cycles).
 	PerRefCost     uint64 // per recorded (pc, address) tuple (§4.2: 4-6 ops)
 	PrologCost     uint64 // per instrumented trace entry
 	AnalyzerPerRef uint64 // analyzer cycles per simulated reference
 	AnalyzerFixed  uint64 // analyzer invocation fixed cost (context switch)
 	InstrumentCost uint64 // per instrument/swap event (clone + patching)
+}
+
+// clampAlpha bounds a delinquency threshold to the configured window
+// [DelinquencyMin, max(DelinquencyInit, DelinquencyMin)] (§7: 0.90 → 0.10
+// in 0.10 steps). Every adaptive step passes through here, so repeated
+// adaptation can neither sink the threshold below the floor nor climb it
+// above the starting value.
+func (c *Config) clampAlpha(alpha float64) float64 {
+	hi := c.DelinquencyInit
+	if hi < c.DelinquencyMin {
+		hi = c.DelinquencyMin
+	}
+	if alpha > hi {
+		return hi
+	}
+	if alpha < c.DelinquencyMin {
+		return c.DelinquencyMin
+	}
+	return alpha
 }
 
 // DefaultConfig returns the paper's parameters against the given host L2

@@ -1,0 +1,178 @@
+package umi
+
+import "sync"
+
+// This file is the asynchronous profile-analysis pipeline. The paper runs
+// the analyzer synchronously: the guest stalls while every live profile is
+// mini-simulated. The pipeline decouples the two so the guest keeps
+// executing while analysis proceeds on other cores, without changing a
+// single reported number.
+//
+// The constraint that shapes the design is the analyzer's logical cache:
+// it is deliberately shared across profiles and across invocations (§5),
+// so the mini-simulation is order-sensitive and cannot be sharded. The
+// pipeline therefore splits each profile's analysis into
+//
+//   - a stateless half (materializing address columns, dominant-stride
+//     discovery) fanned out to AnalyzerWorkers preparation goroutines, and
+//   - the stateful half (cache simulation, per-PC merge) executed by one
+//     sequencer goroutine in exactly the submission order,
+//
+// with the guest double-buffering profiles across the hand-off: the
+// submitted buffer is owned by the pipeline until analyzed, and the
+// trace's next instrumentation records into a recycled or fresh buffer.
+// Bounded channels give backpressure end to end: a guest far ahead of the
+// sequencer blocks on submit rather than queueing unbounded work.
+//
+// Memory visibility is by channel discipline alone, no locks: the guest's
+// writes to a profile happen before the send into prepQ; a preparation
+// worker's writes to job.prep happen before close(job.ready); the
+// sequencer's writes to analyzer state happen before a barrier or close
+// acknowledgement is observed by the guest.
+
+// analysisJob is one filled profile handed from the guest thread to the
+// pipeline, with the delinquency threshold captured at hand-off time.
+type analysisJob struct {
+	profile *AddressProfile
+	alpha   float64
+	prep    []colPrep
+	ready   chan struct{} // closed by the preparation worker
+}
+
+// invocation is one analyzer invocation's worth of jobs, already in the
+// fixed PC-sorted merge order, stamped with the guest cycle count at
+// hand-off so the flush-gap check sees the same clock as a synchronous
+// run would.
+type invocation struct {
+	cycles uint64
+	jobs   []*analysisJob
+	// barrier, when non-nil, marks a synchronization point instead of an
+	// invocation: the sequencer closes it without touching the analyzer.
+	barrier chan struct{}
+}
+
+// Pipeline queue depths. prepQ scales with the worker count; seqDepth
+// bounds how many whole invocations the guest may run ahead of the
+// sequencer; recycleDepth bounds the idle-buffer pool.
+const (
+	seqDepth     = 4
+	recycleDepth = 8
+)
+
+// analyzerPool runs the pipeline for one System. It owns the analyzer
+// between start and drain points: the guest must not touch analyzer state
+// while invocations are in flight.
+type analyzerPool struct {
+	an        *Analyzer
+	consumers []ProfileConsumer
+
+	prepQ   chan *analysisJob
+	seqQ    chan invocation
+	recycle chan *AddressProfile
+
+	prepWG sync.WaitGroup
+	seqWG  sync.WaitGroup
+	closed bool
+}
+
+func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, workers int) *analyzerPool {
+	p := &analyzerPool{
+		an:        an,
+		consumers: consumers,
+		prepQ:     make(chan *analysisJob, 2*workers),
+		seqQ:      make(chan invocation, seqDepth),
+		recycle:   make(chan *AddressProfile, recycleDepth),
+	}
+	p.prepWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.prepWorker()
+	}
+	p.seqWG.Add(1)
+	go p.sequencer()
+	return p
+}
+
+// prepWorker drains the preparation queue. Workers never block on anything
+// but the queue itself, which is what makes the pipeline deadlock-free:
+// prepQ always drains, so submit always completes, so the sequencer's
+// wait on job.ready is always satisfied.
+func (p *analyzerPool) prepWorker() {
+	defer p.prepWG.Done()
+	for job := range p.prepQ {
+		job.prep = prepareProfile(job.profile)
+		close(job.ready)
+	}
+}
+
+// sequencer is the single goroutine that owns the analyzer's logical
+// cache. It replays invocations, and jobs within each invocation, in
+// submission order — the fixed merge order that makes every worker count
+// produce identical reports.
+func (p *analyzerPool) sequencer() {
+	defer p.seqWG.Done()
+	for inv := range p.seqQ {
+		if inv.barrier != nil {
+			close(inv.barrier)
+			continue
+		}
+		p.an.BeginInvocation(inv.cycles)
+		for _, job := range inv.jobs {
+			<-job.ready
+			p.an.analyzeWithPrep(job.profile, job.alpha, job.prep)
+			for _, c := range p.consumers {
+				c.Consume(job.profile)
+			}
+			select {
+			case p.recycle <- job.profile:
+			default: // recycling is best-effort; let the GC have it
+			}
+		}
+	}
+}
+
+// submit hands one invocation to the pipeline. jobs must already be in
+// the fixed merge order; ownership of every job's profile transfers to
+// the pipeline. The call blocks when the bounded queues are full — the
+// backpressure that keeps the guest from racing ahead of analysis.
+func (p *analyzerPool) submit(cycles uint64, jobs []*analysisJob) {
+	for _, job := range jobs {
+		job.ready = make(chan struct{})
+		p.prepQ <- job
+	}
+	p.seqQ <- invocation{cycles: cycles, jobs: jobs}
+}
+
+// drain blocks until every invocation submitted so far has been fully
+// analyzed. The pipeline stays usable afterwards; analyzer state is safe
+// to read until the next submit.
+func (p *analyzerPool) drain() {
+	b := make(chan struct{})
+	p.seqQ <- invocation{barrier: b}
+	<-b
+}
+
+// close drains the pipeline and stops its goroutines. The pool must not
+// be used afterwards.
+func (p *analyzerPool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.prepQ)
+	p.prepWG.Wait()
+	close(p.seqQ)
+	p.seqWG.Wait()
+}
+
+// takeRecycled returns an analyzed profile buffer reinitialized for the
+// given operations, or nil when none is idle. Never blocks: an empty
+// recycle queue just means the caller allocates.
+func (p *analyzerPool) takeRecycled(ops []uint64, isLoad []bool, rows int) *AddressProfile {
+	select {
+	case prof := <-p.recycle:
+		prof.Reinit(ops, isLoad, rows)
+		return prof
+	default:
+		return nil
+	}
+}

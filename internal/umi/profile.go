@@ -21,9 +21,10 @@ type AddressProfile struct {
 	Ops      []uint64
 	IsLoadOp []bool
 
-	cells   []uint64 // rowCount x len(Ops), flat
-	rowCap  int
-	rowUsed int
+	cells    []uint64 // rowCount x len(Ops), flat
+	rowCap   int
+	rowUsed  int
+	recorded int // populated cells, maintained by Record
 }
 
 // NewAddressProfile allocates a profile for the given operations.
@@ -54,8 +55,18 @@ func (p *AddressProfile) OpenRow() (int, bool) {
 
 // Record stores the address referenced by operation col during row.
 func (p *AddressProfile) Record(row, col int, addr uint64) {
-	p.cells[row*len(p.Ops)+col] = addr
+	i := row*len(p.Ops) + col
+	if p.cells[i] == noAddr {
+		p.recorded++
+	}
+	p.cells[i] = addr
 }
+
+// Recorded reports the number of populated cells: the reference count the
+// mini-simulation will replay. The asynchronous pipeline charges the
+// modelled analysis cost from this at hand-off time, before the profile is
+// actually simulated.
+func (p *AddressProfile) Recorded() int { return p.recorded }
 
 // At returns the recorded address for (row, col) and whether one exists.
 func (p *AddressProfile) At(row, col int) (uint64, bool) {
@@ -69,6 +80,27 @@ func (p *AddressProfile) Reset() {
 		p.cells[i] = noAddr
 	}
 	p.rowUsed = 0
+	p.recorded = 0
+}
+
+// Reinit repurposes the profile's backing storage for a different set of
+// operations, growing it only when the new geometry needs more cells. The
+// asynchronous pipeline recycles analyzed profiles through this instead of
+// allocating a fresh buffer per instrumentation — the second half of the
+// double-buffering: one buffer is being analyzed while the trace records
+// into another.
+func (p *AddressProfile) Reinit(ops []uint64, isLoad []bool, rows int) {
+	p.Ops, p.IsLoadOp, p.rowCap = ops, isLoad, rows
+	need := rows * len(ops)
+	if cap(p.cells) < need {
+		p.cells = make([]uint64, need)
+	}
+	p.cells = p.cells[:need]
+	for i := range p.cells {
+		p.cells[i] = noAddr
+	}
+	p.rowUsed = 0
+	p.recorded = 0
 }
 
 // Column returns the recorded address sequence of one operation across

@@ -2,6 +2,7 @@ package umi
 
 import (
 	"fmt"
+	"sort"
 
 	"umi/internal/rio"
 )
@@ -45,6 +46,14 @@ type System struct {
 	globalRows int
 	consumers  []ProfileConsumer
 
+	// pool is the asynchronous analysis pipeline (pool.go), started
+	// lazily on the first analyzer invocation when AnalyzerWorkers ≥ 2
+	// and no synchronous hook needs analysis results at deinstrument
+	// time. poolClosed latches after Finish so late invocations fall
+	// back to the inline path instead of touching a stopped pipeline.
+	pool       *analyzerPool
+	poolClosed bool
+
 	// statistics
 	profilesCollected int
 	profiledPCs       map[uint64]bool
@@ -71,12 +80,19 @@ func Attach(rt *rio.Runtime, cfg Config) *System {
 	return s
 }
 
-// Analyzer exposes the profile analyzer and its cumulative results.
-func (s *System) Analyzer() *Analyzer { return s.an }
+// Analyzer exposes the profile analyzer and its cumulative results. When
+// the asynchronous pipeline is running, the call synchronizes with it
+// first, so the returned state reflects every profile handed off so far.
+func (s *System) Analyzer() *Analyzer {
+	if s.pool != nil {
+		s.pool.drain()
+	}
+	return s.an
+}
 
 // onTrace is the region selector's trace-creation hook.
 func (s *System) onTrace(f *rio.Fragment) {
-	ts := &traceState{clean: f, alpha: s.cfg.DelinquencyInit,
+	ts := &traceState{clean: f, alpha: s.cfg.clampAlpha(s.cfg.DelinquencyInit),
 		freqThresh: s.cfg.FrequencyThreshold}
 	s.traces[f.Start] = ts
 	// Record candidate operations for Table 3 accounting even if the
@@ -133,9 +149,20 @@ func (s *System) instrument(ts *traceState) {
 		ts.barren = true
 		return
 	}
-	if ts.profile == nil || len(ts.profile.Ops) != len(ops) {
+	switch {
+	case ts.profile == nil:
+		// No buffer attached: either the trace was never instrumented, or
+		// its last profile is still in (or went through) the pipeline.
+		// Prefer a recycled buffer over a fresh allocation.
+		if s.pool != nil {
+			ts.profile = s.pool.takeRecycled(ops, isLoad, s.cfg.AddressProfileRows)
+		}
+		if ts.profile == nil {
+			ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
+		}
+	case len(ts.profile.Ops) != len(ops):
 		ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
-	} else {
+	default:
 		ts.profile.Reset()
 	}
 	for _, pc := range ops {
@@ -179,16 +206,65 @@ func (s *System) instrument(ts *traceState) {
 	s.rt.ReplaceTrace(inst)
 }
 
-// runAnalyzer performs one profile-analyzer invocation: it mini-simulates
-// every live profile, labels delinquent loads, swaps every analyzed trace
-// back to its clean clone, and charges the modelled analysis cost.
-func (s *System) runAnalyzer(trigger *traceState) {
-	cost := s.cfg.AnalyzerFixed
-	s.an.BeginInvocation(s.rt.M.Cycles)
+// liveTraces returns the traces with a non-empty profile, sorted by trace
+// start PC — the fixed merge order every analysis path uses. The previous
+// map-order walk made reports depend on Go's randomized map iteration
+// whenever an invocation covered more than one live profile (the shared
+// logical cache makes the mini-simulation order-sensitive).
+func (s *System) liveTraces() []*traceState {
+	var live []*traceState
 	for _, ts := range s.traces {
 		if ts.instr == nil || ts.profile == nil || ts.profile.Rows() == 0 {
 			continue
 		}
+		live = append(live, ts)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].clean.Start < live[j].clean.Start })
+	return live
+}
+
+// asyncActive reports whether this invocation should go through the
+// pipeline, starting it lazily on first use. The pipeline is off the
+// table whenever a synchronous hook (OnAnalyzed, AdaptiveFrequency) needs
+// analysis results at deinstrument time; if one appeared after the pool
+// already ran, the inline path first synchronizes with the pipeline so it
+// never touches analyzer state concurrently.
+func (s *System) asyncActive() bool {
+	if s.cfg.AnalyzerWorkers < 2 || s.OnAnalyzed != nil || s.cfg.AdaptiveFrequency || s.poolClosed {
+		if s.pool != nil {
+			s.pool.drain()
+		}
+		return false
+	}
+	if s.pool == nil {
+		s.pool = newAnalyzerPool(s.an, s.consumers, s.cfg.AnalyzerWorkers)
+	}
+	return true
+}
+
+// runAnalyzer performs one profile-analyzer invocation: it mini-simulates
+// every live profile (inline, or via the pipeline hand-off), labels
+// delinquent loads, swaps every analyzed trace back to its clean clone,
+// and charges the modelled analysis cost.
+func (s *System) runAnalyzer(trigger *traceState) {
+	live := s.liveTraces()
+	if s.asyncActive() {
+		s.submitAnalysis(live)
+	} else {
+		s.analyzeInline(live)
+	}
+	if s.cfg.Adaptive {
+		trigger.alpha = s.cfg.clampAlpha(trigger.alpha - s.cfg.DelinquencyStep)
+	}
+	s.globalRows = 0
+}
+
+// analyzeInline is the synchronous path: the guest thread runs the full
+// mini-simulation before continuing, as in the paper.
+func (s *System) analyzeInline(live []*traceState) {
+	cost := s.cfg.AnalyzerFixed
+	s.an.BeginInvocation(s.rt.M.Cycles)
+	for _, ts := range live {
 		cost += s.an.AnalyzeProfile(ts.profile, ts.alpha)
 		for _, c := range s.consumers {
 			c.Consume(ts.profile)
@@ -197,15 +273,31 @@ func (s *System) runAnalyzer(trigger *traceState) {
 			s.tuneFrequency(ts)
 		}
 		s.profilesCollected++
+		ts.profile.Reset()
 		s.deinstrument(ts)
 	}
-	if s.cfg.Adaptive {
-		trigger.alpha -= s.cfg.DelinquencyStep
-		if trigger.alpha < s.cfg.DelinquencyMin {
-			trigger.alpha = s.cfg.DelinquencyMin
-		}
+	s.rt.AddOverhead(cost)
+}
+
+// submitAnalysis is the pipeline path: profiles are detached from their
+// traces and handed off, the traces swap back to clean code immediately,
+// and the guest continues while the pool analyzes. The modelled analysis
+// cost is charged now, at the point a synchronous run would have paid it,
+// computed from the profile's recorded-cell count — the same reference
+// count the simulation replays — so the guest-visible overhead stream is
+// identical to the inline path's.
+func (s *System) submitAnalysis(live []*traceState) {
+	cycles := s.rt.M.Cycles
+	cost := s.cfg.AnalyzerFixed
+	jobs := make([]*analysisJob, 0, len(live))
+	for _, ts := range live {
+		cost += s.cfg.AnalyzerPerRef * uint64(ts.profile.Recorded())
+		jobs = append(jobs, &analysisJob{profile: ts.profile, alpha: ts.alpha})
+		ts.profile = nil
+		s.profilesCollected++
+		s.deinstrument(ts)
 	}
-	s.globalRows = 0
+	s.pool.submit(cycles, jobs)
 	s.rt.AddOverhead(cost)
 }
 
@@ -232,8 +324,10 @@ func (s *System) tuneFrequency(ts *traceState) {
 	}
 }
 
+// deinstrument swaps a trace back to its clean clone and runs the
+// optimization hook. The caller has already settled the profile: reset in
+// place on the inline path, detached into the pipeline on the async one.
 func (s *System) deinstrument(ts *traceState) {
-	ts.profile.Reset()
 	ts.instr = nil
 	ts.rowOpen = false
 	ts.everAnalyzed = true
@@ -249,24 +343,18 @@ func (s *System) deinstrument(ts *traceState) {
 }
 
 // Finish analyzes any profiles still live when execution ends, so short
-// runs report complete results.
+// runs report complete results, then drains and stops the analysis
+// pipeline if one is running. Further analyzer invocations (none are
+// expected after execution ends) fall back to the inline path.
 func (s *System) Finish() {
-	live := false
-	for _, ts := range s.traces {
-		if ts.instr != nil && ts.profile != nil && ts.profile.Rows() > 0 {
-			live = true
-			break
-		}
+	if live := s.liveTraces(); len(live) > 0 {
+		// The first live trace (fixed order) is the nominal trigger.
+		s.runAnalyzer(live[0])
 	}
-	if !live {
-		return
-	}
-	// Use any live trace as the nominal trigger.
-	for _, ts := range s.traces {
-		if ts.instr != nil && ts.profile != nil && ts.profile.Rows() > 0 {
-			s.runAnalyzer(ts)
-			return
-		}
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+		s.poolClosed = true
 	}
 }
 
@@ -291,8 +379,13 @@ type Report struct {
 	Flushes             int
 }
 
-// Report returns the run summary. Call Finish first for complete results.
+// Report returns the run summary, synchronizing with the analysis
+// pipeline first so every handed-off profile is reflected. Call Finish
+// first for complete results.
 func (s *System) Report() *Report {
+	if s.pool != nil {
+		s.pool.drain()
+	}
 	return &Report{
 		Delinquent:          s.an.Delinquent(),
 		Strides:             s.an.Strides(),

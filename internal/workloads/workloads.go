@@ -15,6 +15,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"umi/internal/program"
 )
@@ -59,15 +60,16 @@ type Workload struct {
 	// band alignment, never as a target to fake.
 	PaperMissPct float64
 	build        func() *program.Program
+	buildOnce    sync.Once
 	prog         *program.Program // built lazily, cached
 }
 
 // Program returns the workload's assembled program, building it on first
-// use. Programs are immutable; the cached instance is shared.
+// use. Programs are immutable; the cached instance is shared, and the
+// build is once-guarded so concurrent experiment cells can request the
+// same workload.
 func (w *Workload) Program() *program.Program {
-	if w.prog == nil {
-		w.prog = w.build()
-	}
+	w.buildOnce.Do(func() { w.prog = w.build() })
 	return w.prog
 }
 

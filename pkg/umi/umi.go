@@ -114,6 +114,21 @@ func WithGlobalDelinquencyThreshold(alpha float64) Option {
 	}
 }
 
+// WithAnalyzerWorkers sets the width of the asynchronous profile-analysis
+// pipeline: at n ≥ 2, filled address profiles are handed off over bounded
+// channels to n preparation workers feeding a single cache-simulation
+// sequencer, so the guest keeps executing while analysis proceeds on
+// other cores. Reports are identical for every n — profiles are merged in
+// a fixed PC-sorted order regardless of worker count. At n ≤ 1 (the
+// default) the analyzer runs inline on the guest thread. Sessions with
+// WithSoftwarePrefetch or WithCacheBypass fall back to the inline path:
+// their optimizers need analysis results at the deinstrument boundary.
+func WithAnalyzerWorkers(n int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.AnalyzerWorkers = n })
+	}
+}
+
 // WithMaxInstructions bounds the run (default 200M).
 func WithMaxInstructions(n uint64) Option { return func(s *Session) { s.maxInstrs = n } }
 
