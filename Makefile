@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -10,10 +11,20 @@ test:
 
 # check is the pre-merge gate: static vetting plus the full suite under
 # the race detector (the analyzer pipeline and harness fan-out are
-# concurrent; -race is what validates their synchronization).
+# concurrent; -race is what validates their synchronization). The harness
+# package runs every experiment driver; under the race detector's ~10x
+# slowdown that outgrows go test's default 10m per-package timeout.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz gives each fuzz target a short randomized run (FUZZTIME each; the
+# corpus-replay cases also run under plain `make test`). Go allows one
+# -fuzz target per invocation, hence one line per fuzzer.
+fuzz:
+	$(GO) test ./internal/trace -run FuzzReader -fuzz FuzzReader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cache -run FuzzCacheConfig -fuzz FuzzCacheConfig -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/umi -run FuzzAnalyzerProfile -fuzz FuzzAnalyzerProfile -fuzztime $(FUZZTIME)

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n] <workload>
+//	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
+//	        [-metrics] [-metrics-json file] <workload>
 //	umiprof -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"umi/internal/harness"
@@ -23,33 +26,45 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "p4", "hardware model: p4 or k7")
-	hwpf := flag.Bool("hwpf", false, "enable hardware prefetchers (P4 only)")
-	swpf := flag.Bool("swpf", false, "enable the online software prefetcher")
-	noSampling := flag.Bool("no-sampling", false, "instrument every trace at creation")
-	workers := flag.Int("workers", 1,
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's guts with the process edges (args, streams, exit status)
+// injected, so the end-to-end tests can drive the real CLI path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("umiprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "p4", "hardware model: p4 or k7")
+	hwpf := fs.Bool("hwpf", false, "enable hardware prefetchers (P4 only)")
+	swpf := fs.Bool("swpf", false, "enable the online software prefetcher")
+	noSampling := fs.Bool("no-sampling", false, "instrument every trace at creation")
+	workers := fs.Int("workers", 1,
 		"analyzer pipeline width; at >= 2 profiles are analyzed off the guest thread (same results)")
-	top := flag.Int("top", 10, "top missing operations to print")
-	ws := flag.Bool("ws", false, "report working-set and reuse-distance characterization")
-	patterns := flag.Bool("patterns", false, "classify reference patterns per operation")
-	whatIf := flag.Bool("whatif", false, "mini-simulate alternative cache sizes over the same profiles")
-	list := flag.Bool("list", false, "list workloads and exit")
-	flag.Parse()
+	top := fs.Int("top", 10, "top missing operations to print")
+	ws := fs.Bool("ws", false, "report working-set and reuse-distance characterization")
+	patterns := fs.Bool("patterns", false, "classify reference patterns per operation")
+	whatIf := fs.Bool("whatif", false, "mini-simulate alternative cache sizes over the same profiles")
+	showMetrics := fs.Bool("metrics", false, "append the runtime's self-overhead metrics snapshot")
+	metricsJSON := fs.String("metrics-json", "", "write the metrics snapshot as JSON to this file")
+	list := fs.Bool("list", false, "list workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
+			fmt.Fprintf(stdout, "%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: umiprof [flags] <workload>   (umiprof -list to enumerate)")
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: umiprof [flags] <workload>   (umiprof -list to enumerate)")
+		return 2
 	}
-	w, ok := workloads.ByName(flag.Arg(0))
+	w, ok := workloads.ByName(fs.Arg(0))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "umiprof: unknown workload %q\n", flag.Arg(0))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "umiprof: unknown workload %q\n", fs.Arg(0))
+		return 1
 	}
 
 	var plat = harness.P4
@@ -92,25 +107,25 @@ func main() {
 		sys.AddConsumer(explorer)
 	}
 	if err := rt.Run(harness.MaxInstrs); err != nil {
-		fmt.Fprintf(os.Stderr, "umiprof: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "umiprof: %v\n", err)
+		return 1
 	}
 	sys.Finish()
 	rep := sys.Report()
 
-	fmt.Printf("workload:   %s (%s; %s)\n", w.Name, w.Suite, w.Class)
-	fmt.Printf("platform:   %s (hw prefetch %v)\n", plat.Name, *hwpf && plat.HasHWPrefetch)
-	fmt.Printf("instrs:     %d guest, %d cycles (total %d with runtime overhead)\n",
+	fmt.Fprintf(stdout, "workload:   %s (%s; %s)\n", w.Name, w.Suite, w.Class)
+	fmt.Fprintf(stdout, "platform:   %s (hw prefetch %v)\n", plat.Name, *hwpf && plat.HasHWPrefetch)
+	fmt.Fprintf(stdout, "instrs:     %d guest, %d cycles (total %d with runtime overhead)\n",
 		m.Instrs, m.Cycles, rt.TotalCycles())
-	fmt.Printf("hardware:   L2 %s\n", &h.L2Stats)
-	fmt.Printf("umi:        %s\n", rep)
-	fmt.Printf("traces:     %d seen, %d instrument events, %d blocks / %d traces built\n",
+	fmt.Fprintf(stdout, "hardware:   L2 %s\n", &h.L2Stats)
+	fmt.Fprintf(stdout, "umi:        %s\n", rep)
+	fmt.Fprintf(stdout, "traces:     %d seen, %d instrument events, %d blocks / %d traces built\n",
 		rep.TracesSeen, rep.InstrumentEvents, rt.BlocksBuilt, rt.TracesBuilt)
-	fmt.Printf("analysis:   %d invocations, %d refs simulated, %d cache flushes\n",
+	fmt.Fprintf(stdout, "analysis:   %d invocations, %d refs simulated, %d cache flushes\n",
 		rep.AnalyzerInvocations, rep.SimulatedRefs, rep.Flushes)
-	fmt.Printf("sim ratio:  %.4f (hardware %.4f)\n", rep.SimMissRatio, h.L2Stats.MissRatio())
+	fmt.Fprintf(stdout, "sim ratio:  %.4f (hardware %.4f)\n", rep.SimMissRatio, h.L2Stats.MissRatio())
 
-	fmt.Printf("\ndelinquent loads (|P| = %d):\n", len(rep.Delinquent))
+	fmt.Fprintf(stdout, "\ndelinquent loads (|P| = %d):\n", len(rep.Delinquent))
 	an := sys.Analyzer()
 	for _, st := range an.TopMissers(*top) {
 		if !rep.Delinquent[st.PC] {
@@ -120,37 +135,59 @@ func main() {
 		if si, ok := rep.Strides[st.PC]; ok {
 			line += fmt.Sprintf("  stride %+d bytes (%.0f%% confident)", si.Stride, 100*si.Confidence)
 		}
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 	}
 
-	fmt.Printf("\ntop %d simulated missers:\n", *top)
+	fmt.Fprintf(stdout, "\ntop %d simulated missers:\n", *top)
 	for _, st := range an.TopMissers(*top) {
 		kind := "load"
 		if !st.IsLoad {
 			kind = "store"
 		}
-		fmt.Printf("  %#08x  %-5s misses=%-8d accesses=%-8d ratio=%.3f\n",
+		fmt.Fprintf(stdout, "  %#08x  %-5s misses=%-8d accesses=%-8d ratio=%.3f\n",
 			st.PC, kind, st.Misses, st.Accesses, st.MissRatio())
 	}
 
 	if opt != nil {
-		fmt.Printf("\nsoftware prefetches inserted (%d):\n", len(opt.Insertions))
+		fmt.Fprintf(stdout, "\nsoftware prefetches inserted (%d):\n", len(opt.Insertions))
 		for _, ins := range opt.Insertions {
-			fmt.Printf("  %v\n", ins)
+			fmt.Fprintf(stdout, "  %v\n", ins)
 		}
 	}
 
 	if wset != nil {
-		fmt.Printf("\nworking set (profiled bursts): %v\n", wset)
+		fmt.Fprintf(stdout, "\nworking set (profiled bursts): %v\n", wset)
 	}
 	if census != nil {
-		fmt.Printf("\n%s\n", census.Summary())
+		fmt.Fprintf(stdout, "\n%s\n", census.Summary())
 	}
 	if explorer != nil {
-		fmt.Println("\nwhat-if cache geometries over the same profiles:")
+		fmt.Fprintln(stdout, "\nwhat-if cache geometries over the same profiles:")
 		for _, r := range explorer.Results() {
-			fmt.Printf("  %-6s %6dKB  sim miss ratio %.4f (%d/%d)\n",
+			fmt.Fprintf(stdout, "  %-6s %6dKB  sim miss ratio %.4f (%d/%d)\n",
 				r.Config.Name, r.Config.Size/1024, r.MissRatio, r.Misses, r.Accesses)
 		}
 	}
+
+	// Self-overhead surfaces come last so everything above is a byte-exact
+	// prefix of a metrics-less run: collection is always on, these flags
+	// only choose whether anyone looks.
+	if *showMetrics || *metricsJSON != "" {
+		snap := sys.MetricsSnapshot()
+		if *showMetrics {
+			fmt.Fprintf(stdout, "\nself-overhead metrics:\n%s", umi.FormatMetrics(snap))
+		}
+		if *metricsJSON != "" {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fmt.Fprintf(stderr, "umiprof: metrics: %v\n", err)
+				return 1
+			}
+			if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(stderr, "umiprof: metrics: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
 }

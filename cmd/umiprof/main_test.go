@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"umi/internal/metrics"
+)
+
+// The end-to-end tests drive run() — main minus os.Exit — so they exercise
+// the real flag parsing, workload resolution, simulation, and rendering
+// path the installed binary takes.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestE2EList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("umiprof -list exited %d", code)
+	}
+	for _, name := range []string{"181.mcf", "470.lbm", "em3d"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func TestE2EBadInvocations(t *testing.T) {
+	if code, _, errs := runCLI(t); code != 2 || !strings.Contains(errs, "usage:") {
+		t.Errorf("no args: exit %d, stderr %q; want 2 with usage", code, errs)
+	}
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, errs := runCLI(t, "no-such-workload"); code != 1 ||
+		!strings.Contains(errs, "unknown workload") {
+		t.Errorf("unknown workload: exit %d, stderr %q; want 1 with diagnosis", code, errs)
+	}
+}
+
+func TestE2EReportShape(t *testing.T) {
+	code, out, errs := runCLI(t, "470.lbm")
+	if code != 0 {
+		t.Fatalf("umiprof 470.lbm exited %d, stderr %q", code, errs)
+	}
+	for _, want := range []string{
+		"workload:   470.lbm",
+		"umi:        umi.Report{",
+		"delinquent loads (|P| =",
+		"top 10 simulated missers:",
+		"sim ratio:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "self-overhead metrics:") {
+		t.Error("metrics section printed without -metrics")
+	}
+}
+
+// TestE2EWorkersByteIdentical is the pipeline's user-facing determinism
+// contract: -workers=4 must print byte-for-byte what -workers=1 prints.
+func TestE2EWorkersByteIdentical(t *testing.T) {
+	code1, out1, _ := runCLI(t, "-workers=1", "470.lbm")
+	code4, out4, _ := runCLI(t, "-workers=4", "470.lbm")
+	if code1 != 0 || code4 != 0 {
+		t.Fatalf("exit codes %d/%d, want 0/0", code1, code4)
+	}
+	if out1 != out4 {
+		t.Errorf("-workers=4 output differs from -workers=1:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+			out1, out4)
+	}
+}
+
+// TestE2EMetricsOffIsPrefix checks that metrics display is purely
+// additive: a -metrics run's output must begin with the exact bytes of a
+// metrics-less run (collection is always on; the flag only reveals it).
+func TestE2EMetricsOffIsPrefix(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	code, withMetrics, _ := runCLI(t, "-metrics", "470.lbm")
+	if code != 0 {
+		t.Fatalf("-metrics run exited %d", code)
+	}
+	if !strings.HasPrefix(withMetrics, plain) {
+		t.Errorf("-metrics output is not plain output + suffix:\n--- plain ---\n%s--- with metrics ---\n%s",
+			plain, withMetrics)
+	}
+	suffix := strings.TrimPrefix(withMetrics, plain)
+	for _, want := range []string{"self-overhead metrics:", "filter rate:", "umi.traces.instrumented"} {
+		if !strings.Contains(suffix, want) {
+			t.Errorf("metrics section missing %q:\n%s", want, suffix)
+		}
+	}
+}
+
+func TestE2EMetricsJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	code, _, errs := runCLI(t, "-workers=2", "-metrics-json", path, "470.lbm")
+	if code != 0 {
+		t.Fatalf("-metrics-json run exited %d, stderr %q", code, errs)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON does not round-trip: %v", err)
+	}
+	if snap.Counter("umi.traces.instrumented") == 0 {
+		t.Error("round-tripped snapshot lost umi.traces.instrumented")
+	}
+	if snap.Counter("umi.analyzer.invocations") == 0 {
+		t.Error("round-tripped snapshot lost umi.analyzer.invocations")
+	}
+	if h := snap.Histogram("umi.analyzer.latency_ns"); h.Count == 0 {
+		t.Error("round-tripped snapshot lost the analysis latency histogram")
+	}
+	if snap.Counter("umi.pool.submits") == 0 {
+		t.Error("-workers=2 run recorded no pipeline submissions")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -24,20 +25,30 @@ import (
 )
 
 func main() {
-	machine := flag.String("machine", "p4", "hardware model: p4 or k7")
-	top := flag.Int("top", 15, "top missing instructions to print")
-	coverage := flag.Float64("coverage", 0.90, "delinquent set miss coverage")
-	annotate := flag.Bool("annotate", false, "print the annotated disassembly (cg_annotate style)")
-	record := flag.String("record", "", "also write the address trace to this file")
-	replay := flag.String("replay", "", "simulate from a recorded trace file instead of running a workload")
-	list := flag.Bool("list", false, "list workloads and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's guts with the process edges (args, streams, exit status)
+// injected, so the end-to-end tests can drive the real CLI path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("umisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "p4", "hardware model: p4 or k7")
+	top := fs.Int("top", 15, "top missing instructions to print")
+	coverage := fs.Float64("coverage", 0.90, "delinquent set miss coverage")
+	annotate := fs.Bool("annotate", false, "print the annotated disassembly (cg_annotate style)")
+	record := fs.String("record", "", "also write the address trace to this file")
+	replay := fs.String("replay", "", "simulate from a recorded trace file instead of running a workload")
+	list := fs.Bool("list", false, "list workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
+			fmt.Fprintf(stdout, "%-16s %-9s %s\n", w.Name, w.Suite, w.Class)
 		}
-		return
+		return 0
 	}
 	var sim *cachegrind.Simulator
 	if *machine == "k7" {
@@ -52,26 +63,26 @@ func main() {
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "umisim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "umisim: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		rd, err := trace.NewReader(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "umisim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "umisim: %v\n", err)
+			return 1
 		}
 		n, err := rd.Replay(sim.Ref)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "umisim: replay after %d records: %v\n", n, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "umisim: replay after %d records: %v\n", n, err)
+			return 1
 		}
 		title = fmt.Sprintf("replayed trace %s (%d records)", *replay, n)
-	case flag.NArg() == 1:
-		w, ok := workloads.ByName(flag.Arg(0))
+	case fs.NArg() == 1:
+		w, ok := workloads.ByName(fs.Arg(0))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "umisim: unknown workload %q\n", flag.Arg(0))
-			os.Exit(1)
+			fmt.Fprintf(stderr, "umisim: unknown workload %q\n", fs.Arg(0))
+			return 1
 		}
 		prog = w.Program()
 		m := vm.New(prog, nil)
@@ -80,14 +91,14 @@ func main() {
 		if *record != "" {
 			f, err := os.Create(*record)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "umisim: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "umisim: %v\n", err)
+				return 1
 			}
 			defer f.Close()
 			tw, err = trace.NewWriter(f)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "umisim: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "umisim: %v\n", err)
+				return 1
 			}
 			hooks = append(hooks, tw.Hook())
 		}
@@ -97,28 +108,28 @@ func main() {
 			}
 		}
 		if err := m.Run(200_000_000); err != nil {
-			fmt.Fprintf(os.Stderr, "umisim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "umisim: %v\n", err)
+			return 1
 		}
 		if tw != nil {
 			if err := tw.Flush(); err != nil {
-				fmt.Fprintf(os.Stderr, "umisim: trace: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "umisim: trace: %v\n", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "recorded %d references to %s\n", tw.Count(), *record)
+			fmt.Fprintf(stderr, "recorded %d references to %s\n", tw.Count(), *record)
 		}
 		title = fmt.Sprintf("%s (%s)", w.Name, w.Suite)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: umisim [flags] <workload> | umisim -replay trace.umi   (umisim -list to enumerate)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: umisim [flags] <workload> | umisim -replay trace.umi   (umisim -list to enumerate)")
+		return 2
 	}
 
-	fmt.Printf("workload: %s\n", title)
-	fmt.Printf("refs:     %d dynamic memory references, %d static instructions\n",
+	fmt.Fprintf(stdout, "workload: %s\n", title)
+	fmt.Fprintf(stdout, "refs:     %d dynamic memory references, %d static instructions\n",
 		sim.Refs, len(sim.Stats()))
-	fmt.Printf("L1:       %d accesses, %d misses (%.3f%%)\n",
+	fmt.Fprintf(stdout, "L1:       %d accesses, %d misses (%.3f%%)\n",
 		sim.L1Accesses, sim.L1Misses, pct(sim.L1Misses, sim.L1Accesses))
-	fmt.Printf("L2:       %d accesses, %d misses (%.3f%%)\n",
+	fmt.Fprintf(stdout, "L2:       %d accesses, %d misses (%.3f%%)\n",
 		sim.L2Accesses, sim.L2Misses, pct(sim.L2Misses, sim.L2Accesses))
 
 	stats := make([]*cachegrind.PCStat, 0, len(sim.Stats()))
@@ -131,7 +142,7 @@ func main() {
 		}
 		return stats[i].PC < stats[j].PC
 	})
-	fmt.Printf("\ntop %d instructions by L2 misses:\n", *top)
+	fmt.Fprintf(stdout, "\ntop %d instructions by L2 misses:\n", *top)
 	n := *top
 	if n > len(stats) {
 		n = len(stats)
@@ -141,18 +152,19 @@ func main() {
 		if !st.IsLoad {
 			kind = "store"
 		}
-		fmt.Printf("  %#08x  %-5s L2 misses=%-9d accesses=%-9d ratio=%.4f\n",
+		fmt.Fprintf(stdout, "  %#08x  %-5s L2 misses=%-9d accesses=%-9d ratio=%.4f\n",
 			st.PC, kind, st.L2Misses, st.Accesses, st.MissRatio())
 	}
 
 	set := sim.DelinquentSet(*coverage)
-	fmt.Printf("\ndelinquent load set C (%.0f%% coverage): %d loads, actual coverage %.2f%%\n",
+	fmt.Fprintf(stdout, "\ndelinquent load set C (%.0f%% coverage): %d loads, actual coverage %.2f%%\n",
 		100**coverage, len(set), 100*sim.MissCoverage(set))
 
 	if *annotate && prog != nil {
-		fmt.Println()
-		fmt.Print(sim.Annotate(prog, false))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, sim.Annotate(prog, false))
 	}
+	return 0
 }
 
 func pct(a, b uint64) float64 {

@@ -94,7 +94,26 @@ type Cache struct {
 	policy   Policy
 	rngState uint64   // Random policy state
 	plruBits []uint64 // PLRU tree bits, one word per set
+
+	stats Stats
 }
+
+// Stats counts the demand traffic a cache has simulated: accesses and
+// misses through Access, and evictions of valid lines (demand or prefetch
+// installs alike). Plain fields, not atomics — a Cache already requires a
+// single owner; the UMI layer mirrors these into its atomic registry at
+// synchronization points. Flush keeps the counts running (the analyzer's
+// periodic flush is part of one logical run); Reset zeroes them along with
+// everything else; Clone copies them so a clone's deltas start from the
+// template's totals.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns the traffic counters accumulated so far.
+func (c *Cache) Stats() Stats { return c.stats }
 
 // rngSeed is the initial xorshift state for the Random policy; fixed so
 // fresh, Reset, and Cloned caches replay identically.
@@ -153,6 +172,7 @@ type AccessResult struct {
 // (demand fill completes immediately).
 func (c *Cache) Access(addr uint64) AccessResult {
 	c.clock++
+	c.stats.Accesses++
 	set, tag := c.setAndTag(addr)
 	lines := c.sets[set]
 	for i := range lines {
@@ -174,6 +194,7 @@ func (c *Cache) Access(addr uint64) AccessResult {
 			return res
 		}
 	}
+	c.stats.Misses++
 	c.install(set, tag, false, 0)
 	return AccessResult{}
 }
@@ -214,6 +235,7 @@ func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
 	}
 	if victim < 0 {
 		victim = c.victim(set, lines)
+		c.stats.Evictions++
 	}
 	lines[victim] = line{tag: tag, valid: true, lastUse: c.clock, prefetched: prefetched, readyAt: readyAt}
 	c.plruTouch(set, victim)
@@ -240,6 +262,7 @@ func (c *Cache) Clone() *Cache {
 	n := New(c.cfg)
 	n.clock = c.clock
 	n.rngState = c.rngState
+	n.stats = c.stats
 	for s := range c.sets {
 		copy(n.sets[s], c.sets[s])
 	}
@@ -256,6 +279,7 @@ func (c *Cache) Reset() {
 	c.Flush()
 	c.clock = 0
 	c.rngState = rngSeed
+	c.stats = Stats{}
 	for i := range c.plruBits {
 		c.plruBits[i] = 0
 	}

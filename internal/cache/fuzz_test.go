@@ -1,0 +1,88 @@
+package cache
+
+import "testing"
+
+// FuzzCacheConfig throws random geometries and access sequences at the
+// cache and checks the structural invariants the rest of the stack leans
+// on: Validate rejects unrealizable shapes before New can panic, Clone is
+// an exact fork (identical hit/miss stream and statistics from the fork
+// point), and Reset returns a cache to a state indistinguishable from
+// freshly constructed.
+func FuzzCacheConfig(f *testing.F) {
+	f.Add(uint8(3), uint8(7), uint8(3), uint8(0), []byte{0, 1, 2, 3, 0, 1, 255, 128})
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1), []byte{9, 9, 9})
+	f.Add(uint8(5), uint8(3), uint8(2), uint8(2), []byte{1, 2, 4, 8, 16, 32, 64, 128})
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(3), []byte{7, 7, 7, 7, 200, 100})
+	f.Fuzz(func(t *testing.T, setExp, assocRaw, lineExp, polRaw uint8, addrBytes []byte) {
+		cfg := Config{
+			Name:     "fuzz",
+			LineSize: 1 << (3 + lineExp%6), // 8..256 bytes
+			Assoc:    1 + int(assocRaw%16),
+			Policy:   Policy(polRaw % 4),
+		}
+		sets := 1 << (setExp % 10) // 1..512 sets
+		cfg.Size = sets * cfg.Assoc * cfg.LineSize
+		if err := cfg.Validate(); err != nil {
+			// e.g. PLRU with non-power-of-two associativity: rejected
+			// geometry must never reach New.
+			return
+		}
+
+		// Widen the byte stream into addresses that straddle sets and tags.
+		seq := make([]uint64, len(addrBytes))
+		for i, b := range addrBytes {
+			seq[i] = uint64(b) * uint64(cfg.LineSize) / 2
+		}
+
+		fresh := New(cfg)
+		want := make([]AccessResult, len(seq))
+		for i, a := range seq {
+			want[i] = fresh.Access(a)
+		}
+		st := fresh.Stats()
+		if st.Accesses != uint64(len(seq)) {
+			t.Fatalf("accesses %d, want %d", st.Accesses, len(seq))
+		}
+		if st.Misses > st.Accesses {
+			t.Fatalf("misses %d exceed accesses %d", st.Misses, st.Accesses)
+		}
+		if st.Evictions > st.Misses {
+			t.Fatalf("evictions %d exceed demand misses %d", st.Evictions, st.Misses)
+		}
+
+		// Clone equivalence: fork at the midpoint, run the tail on both;
+		// original, clone, and the uninterrupted run must agree exactly.
+		orig := New(cfg)
+		half := len(seq) / 2
+		for i := 0; i < half; i++ {
+			orig.Access(seq[i])
+		}
+		fork := orig.Clone()
+		for i := half; i < len(seq); i++ {
+			or, fr := orig.Access(seq[i]), fork.Access(seq[i])
+			if or != want[i] || fr != want[i] {
+				t.Fatalf("access %d: original %+v, clone %+v, uninterrupted %+v",
+					i, or, fr, want[i])
+			}
+		}
+		if orig.Stats() != st || fork.Stats() != st {
+			t.Fatalf("stats diverged: original %+v, clone %+v, uninterrupted %+v",
+				orig.Stats(), fork.Stats(), st)
+		}
+
+		// Reset equivalence: a Reset cache must replay exactly like a fresh
+		// one, statistics included.
+		fresh.Reset()
+		if fresh.Stats() != (Stats{}) {
+			t.Fatalf("Reset left stats %+v", fresh.Stats())
+		}
+		for i, a := range seq {
+			if got := fresh.Access(a); got != want[i] {
+				t.Fatalf("after Reset, access %d = %+v, want %+v", i, got, want[i])
+			}
+		}
+		if fresh.Stats() != st {
+			t.Fatalf("after Reset, stats %+v, want %+v", fresh.Stats(), st)
+		}
+	})
+}

@@ -102,6 +102,9 @@ func CountersVsUMIRun(benchNames []string) ([]*CvUResult, error) {
 
 // RenderCvU renders the comparison.
 func RenderCvU(results []*CvUResult) string {
+	if len(results) == 0 {
+		return "Counter sampling vs UMI: no benchmarks selected\n"
+	}
 	var s string
 	for _, r := range results {
 		t := stats.NewTable(

@@ -80,6 +80,9 @@ func Fig2(names []string) (*Fig2Result, error) {
 }
 
 func (r *Fig2Result) String() string {
+	if len(r.Rows) == 0 {
+		return "Figure 2: no benchmarks selected\n"
+	}
 	t := stats.NewTable("Figure 2: runtime overhead on Pentium 4 (ratios to native; 1.00 = no overhead)",
 		"Benchmark", "DynamoRIO", "UMI no-sampling", "UMI sampling")
 	for _, row := range r.Rows {
@@ -321,6 +324,9 @@ func Fig6(names []string) (*PrefetchResult, error) {
 }
 
 func (r *PrefetchResult) String() string {
+	if len(r.Rows) == 0 {
+		return r.Title + ": no benchmarks with prefetching opportunities\n"
+	}
 	switch {
 	case len(r.Rows) > 0 && r.Rows[0].MissSW > 0:
 		t := stats.NewTable(r.Title, "Benchmark", "SW misses", "HW misses", "SW+HW misses")

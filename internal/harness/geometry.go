@@ -54,7 +54,7 @@ func RunUMIWithConsumers(w *workloads.Workload, p *Platform, cfg umi.Config,
 		return nil, fmt.Errorf("%s umi: %w", w.Name, err)
 	}
 	s.Finish()
-	return &UMIRun{Report: s.Report(), RT: rt, H: h}, nil
+	return &UMIRun{Report: s.Report(), RT: rt, H: h, Metrics: s.MetricsSnapshot()}, nil
 }
 
 // geometrySweep is the set of what-if cache configurations: the host L2
@@ -138,6 +138,9 @@ func SensitivityGeometry(benchNames []string) ([]*GeometryResult, error) {
 
 // RenderGeometry renders the sensitivity comparison.
 func RenderGeometry(results []*GeometryResult) string {
+	if len(results) == 0 {
+		return "Geometry sensitivity: no benchmarks selected\n"
+	}
 	var s string
 	for _, r := range results {
 		t := stats.NewTable(

@@ -10,6 +10,7 @@ import (
 
 	"umi/internal/cache"
 	"umi/internal/cachegrind"
+	"umi/internal/metrics"
 	"umi/internal/prefetch"
 	"umi/internal/rio"
 	"umi/internal/umi"
@@ -90,6 +91,9 @@ type UMIRun struct {
 	RT     *rio.Runtime
 	H      *cache.Hierarchy
 	Opt    *prefetch.Optimizer // nil unless prefetching was enabled
+	// Metrics is the run's final self-observability snapshot (filter
+	// counts, analysis latency, pipeline queue pressure).
+	Metrics metrics.Snapshot
 }
 
 // TotalCycles is the modelled running time under UMI.
@@ -111,7 +115,7 @@ func RunUMI(w *workloads.Workload, p *Platform, cfg umi.Config, hwPrefetch, with
 		return nil, fmt.Errorf("%s umi: %w", w.Name, err)
 	}
 	s.Finish()
-	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt}, nil
+	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt, Metrics: s.MetricsSnapshot()}, nil
 }
 
 // RunCachegrind executes the workload natively while feeding every memory

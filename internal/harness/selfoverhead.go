@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"umi/internal/metrics"
+	"umi/internal/stats"
+	"umi/internal/umi"
+)
+
+// The self-overhead experiment cross-checks the paper reproduction's
+// modelled overhead stream against the runtime's own measured cost. Every
+// other table trusts the cycle model (InstrumentCost, AnalyzerPerRef, ...);
+// this one puts the model next to the metrics layer's live accounting —
+// filter rates, profile fills, analysis latency — so a change that cheapens
+// the model without cheapening the work (or vice versa) shows up as the two
+// columns drifting apart.
+
+// SelfOverheadRow is one workload's modelled-vs-measured accounting.
+type SelfOverheadRow struct {
+	Name string
+
+	// Deterministic quantities (modelled cycles and event counts).
+	NativeCycles    uint64
+	UMICycles       uint64
+	ModelledOvhdPct float64 // (UMI - native) / native
+	TracesSeen      uint64
+	Instrumented    uint64  // instrumentation events
+	FilterRatePct   float64 // candidates filtered / candidates (§4.1)
+	ProfileFills    uint64
+	GlobalFills     uint64
+	Invocations     uint64
+	SimulatedRefs   uint64
+
+	// Measured quantities (wall clock; vary run to run, excluded from the
+	// deterministic render).
+	Latency metrics.HistogramValue // per-invocation analysis latency, ns
+}
+
+// SelfOverheadResult is the umibench "self-overhead" experiment.
+type SelfOverheadResult struct {
+	Rows []SelfOverheadRow
+}
+
+// SelfOverhead runs the selected workloads (nil = the paper's 32) under
+// the standard UMI configuration and collects both sides of the overhead
+// story: the modelled cycle stream the tables report, and the metrics
+// layer's event counts and measured analysis latency.
+func SelfOverhead(names []string) (*SelfOverheadResult, error) {
+	ws, err := selectWorkloads(names)
+	if err != nil {
+		return nil, err
+	}
+	res := &SelfOverheadResult{Rows: make([]SelfOverheadRow, len(ws))}
+	err = forEachIndexed(len(ws), func(i int) error {
+		w := ws[i]
+		native, err := RunNative(w, P4, false)
+		if err != nil {
+			return err
+		}
+		run, err := RunUMI(w, P4, UMIParams(P4), false, false)
+		if err != nil {
+			return err
+		}
+		snap := run.Metrics
+		row := SelfOverheadRow{
+			Name:          w.Name,
+			NativeCycles:  native.Cycles,
+			UMICycles:     run.TotalCycles(),
+			TracesSeen:    snap.Counter("umi.traces.seen"),
+			Instrumented:  snap.Counter("umi.traces.instrumented"),
+			ProfileFills:  snap.Counter("umi.profiles.fills"),
+			GlobalFills:   snap.Counter("umi.profiles.global_fills"),
+			Invocations:   snap.Counter("umi.analyzer.invocations"),
+			SimulatedRefs: snap.Counter("umi.analyzer.refs"),
+			Latency:       snap.Histogram("umi.analyzer.latency_ns"),
+		}
+		row.ModelledOvhdPct = 100 * (float64(row.UMICycles)/float64(row.NativeCycles) - 1)
+		if rate, ok := umi.FilterRate(snap); ok {
+			row.FilterRatePct = 100 * rate
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the deterministic half of the experiment: modelled
+// overhead and event counts only, so the output is byte-stable across runs
+// and machines (golden-testable). Measured latency lives in LiveString.
+func (r *SelfOverheadResult) String() string {
+	if len(r.Rows) == 0 {
+		return "Self-overhead: no workloads selected\n"
+	}
+	t := stats.NewTable("Self-overhead: modelled UMI cost vs runtime event counts",
+		"Benchmark", "Modelled Ovhd", "Traces", "Instrumented", "Filter Rate",
+		"Fills (prof/glob)", "Invocations", "Sim Refs")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%.2f%%", row.ModelledOvhdPct),
+			fmt.Sprint(row.TracesSeen),
+			fmt.Sprint(row.Instrumented),
+			fmt.Sprintf("%.1f%%", row.FilterRatePct),
+			fmt.Sprintf("%d/%d", row.ProfileFills, row.GlobalFills),
+			fmt.Sprint(row.Invocations),
+			fmt.Sprint(row.SimulatedRefs))
+	}
+	return t.String()
+}
+
+// LiveString renders the measured half: wall-clock analysis latency per
+// workload. Nondeterministic by nature — never golden-compare it.
+func (r *SelfOverheadResult) LiveString() string {
+	var sb strings.Builder
+	sb.WriteString("Measured analysis latency (wall clock, varies run to run):\n")
+	for _, row := range r.Rows {
+		if row.Latency.Count == 0 {
+			fmt.Fprintf(&sb, "  %-16s no analyzer invocations\n", row.Name)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-16s n=%d mean=%.0fns p50=%dns p99=%dns max=%dns\n",
+			row.Name, row.Latency.Count, row.Latency.Mean(),
+			row.Latency.Quantile(0.50), row.Latency.Quantile(0.99), row.Latency.Max)
+	}
+	return sb.String()
+}

@@ -140,6 +140,9 @@ func SensitivityProfileLen(benchNames []string) ([]*SensResult, error) {
 
 // RenderSens renders a sweep result set.
 func RenderSens(results []*SensResult) string {
+	if len(results) == 0 {
+		return "Sensitivity: no benchmarks selected\n"
+	}
 	var s string
 	for _, r := range results {
 		t := stats.NewTable(fmt.Sprintf("Sensitivity: %s vs %s", r.Benchmark, r.Param),

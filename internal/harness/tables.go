@@ -157,6 +157,9 @@ func Table3(names []string) (*Table3Result, error) {
 }
 
 func (r *Table3Result) String() string {
+	if len(r.Rows) == 0 {
+		return "Table 3: no benchmarks selected\n"
+	}
 	t := stats.NewTable("Table 3: profiling statistics (no sampling reinforcement)",
 		"Benchmark", "Static Loads", "Static Stores", "Profiled Ops", "% Profiled",
 		"Profiles", "Analyzer Invocations")
@@ -504,6 +507,9 @@ func table6Cells(r Table6Row) []string {
 }
 
 func (r *Table6Result) String() string {
+	if len(r.Rows) == 0 {
+		return "Table 6: no benchmarks selected\n"
+	}
 	t := stats.NewTable("Table 6: quality of delinquent load prediction (x = 90%)",
 		"Benchmark", "L2 Miss Ratio", "|P|", "|P|/loads", "P Coverage",
 		"|C|", "|P^C|", "P^C Coverage", "Recall", "False Pos")

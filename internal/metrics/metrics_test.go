@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+	if r.Counter("a.b") != c {
+		t.Error("registration must be idempotent")
+	}
+	c.Store(7)
+	if got := r.Snapshot().Counter("a.b"); got != 7 {
+		t.Errorf("snapshot counter = %d, want 7", got)
+	}
+	if got := r.Snapshot().Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Set(2)
+	if g.Load() != 2 || g.Max() != 5 {
+		t.Fatalf("gauge = %d/%d, want 2/5", g.Load(), g.Max())
+	}
+	g.Add(10)
+	if g.Load() != 12 || g.Max() != 12 {
+		t.Fatalf("gauge after Add = %d/%d, want 12/12", g.Load(), g.Max())
+	}
+	g.Add(-12)
+	if g.Load() != 0 || g.Max() != 12 {
+		t.Fatalf("gauge after drain = %d/%d, want 0/12", g.Load(), g.Max())
+	}
+	gv := r.Snapshot().Gauge("depth")
+	if gv.Value != 0 || gv.Max != 12 {
+		t.Errorf("snapshot gauge = %+v", gv)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", ExpBuckets(1, 4)) // bounds 1,2,4,8 + overflow
+	for _, v := range []uint64{1, 2, 2, 3, 9, 100} {
+		h.Observe(v)
+	}
+	hv := r.Snapshot().Histogram("lat")
+	if hv.Count != 6 || hv.Sum != 117 || hv.Min != 1 || hv.Max != 100 {
+		t.Fatalf("histogram snapshot = %+v", hv)
+	}
+	wantCounts := []uint64{1, 2, 1, 0, 2} // <=1, <=2, <=4, <=8, overflow
+	for i, b := range hv.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if hv.Buckets[len(hv.Buckets)-1].Le != math.MaxUint64 {
+		t.Error("last bucket must be the overflow bucket")
+	}
+	if q := hv.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %d, want 2", q)
+	}
+	if q := hv.Quantile(1.0); q != 100 {
+		t.Errorf("p100 = %d, want max (100)", q)
+	}
+	if q := (HistogramValue{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+	if m := hv.Mean(); m < 19 || m > 20 {
+		t.Errorf("mean = %.2f, want 19.5", m)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1000, 3)
+	want := []uint64{1000, 2000, 4000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h", ExpBuckets(10, 2)).Observe(15)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("c") != 3 || back.Gauge("g").Value != -2 || back.Histogram("h").Count != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestSnapshotStringDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Counter("a.first").Inc()
+	r.Gauge("m.middle").Set(4)
+	r.Histogram("h.lat", ExpBuckets(1, 2)).Observe(1)
+	s := r.Snapshot().String()
+	if s != r.Snapshot().String() {
+		t.Fatal("snapshot render must be deterministic")
+	}
+	ia, iz := strings.Index(s, "a.first"), strings.Index(s, "z.last")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Errorf("counters not name-sorted:\n%s", s)
+	}
+	for _, want := range []string{"m.middle", "h.lat", "p50=", "max "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises every hot path under the race detector.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 8))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(uint64(i % 300))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counter("c") != 4000 {
+		t.Errorf("counter = %d, want 4000", snap.Counter("c"))
+	}
+	if snap.Histogram("h").Count != 4000 {
+		t.Errorf("histogram count = %d, want 4000", snap.Histogram("h").Count)
+	}
+	if snap.Gauge("g").Max != 999 {
+		t.Errorf("gauge max = %d, want 999", snap.Gauge("g").Max)
+	}
+}

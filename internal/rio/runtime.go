@@ -99,6 +99,10 @@ type Runtime struct {
 	Dispatches   uint64
 	IndirectLks  uint64
 	Samples      uint64
+	// SampleHits counts samples that landed inside an installed trace —
+	// the fraction of the sampler's clock ticks that actually reinforce
+	// region selection.
+	SampleHits   uint64
 	blockInstrs  int
 	traceInstrs  uint64
 	nextSample   uint64
@@ -295,6 +299,9 @@ func (rt *Runtime) execFragment(f *Fragment) (uint64, bool, error) {
 		if rt.SamplePeriod > 0 && m.Instrs >= rt.nextSample {
 			rt.nextSample = m.Instrs + rt.SamplePeriod
 			rt.Samples++
+			if f.IsTrace {
+				rt.SampleHits++
+			}
 			rt.Overhead += rt.Cost.SampleEvent
 			if rt.OnSample != nil {
 				if f.IsTrace {
@@ -396,6 +403,31 @@ func (rt *Runtime) finishRecording() {
 	rt.Overhead += rt.Cost.TraceBuild + rt.Cost.TracePerInstr*uint64(len(f.Instrs))
 	if rt.OnTrace != nil {
 		rt.OnTrace(f)
+	}
+}
+
+// RuntimeCounters is a copy of the runtime's event counters, taken at a
+// point where the caller owns the runtime (rio is single-threaded).
+type RuntimeCounters struct {
+	BlocksBuilt     int
+	TracesBuilt     int
+	BlockFlushes    int
+	Dispatches      uint64
+	IndirectLookups uint64
+	Samples         uint64
+	SampleHits      uint64
+}
+
+// Counters snapshots the runtime's event counters.
+func (rt *Runtime) Counters() RuntimeCounters {
+	return RuntimeCounters{
+		BlocksBuilt:     rt.BlocksBuilt,
+		TracesBuilt:     rt.TracesBuilt,
+		BlockFlushes:    rt.BlockFlushes,
+		Dispatches:      rt.Dispatches,
+		IndirectLookups: rt.IndirectLks,
+		Samples:         rt.Samples,
+		SampleHits:      rt.SampleHits,
 	}
 }
 

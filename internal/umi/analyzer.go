@@ -38,6 +38,12 @@ type StrideInfo struct {
 type Analyzer struct {
 	cfg   *Config
 	cache *cache.Cache
+	// met, when non-nil, receives invocation/flush/ref counts as they
+	// happen (Attach sets it; analyzers built standalone in tests run
+	// unmetered). On the asynchronous path these increments execute on the
+	// sequencer goroutine — they are atomics, safe to snapshot from the
+	// guest thread at any time.
+	met *Metrics
 
 	lastRun   uint64 // guest cycles at last invocation
 	ranBefore bool
@@ -78,9 +84,15 @@ func NewAnalyzer(cfg *Config) *Analyzer {
 // and spuriously flush on every invocation.
 func (a *Analyzer) BeginInvocation(nowCycles uint64) {
 	a.Invocations++
+	if a.met != nil {
+		a.met.Invocations.Inc()
+	}
 	if a.ranBefore && nowCycles > a.lastRun && nowCycles-a.lastRun > a.cfg.FlushCycleGap {
 		a.cache.Flush()
 		a.Flushes++
+		if a.met != nil {
+			a.met.Flushes.Inc()
+		}
 	}
 	a.lastRun = nowCycles
 	a.ranBefore = true
@@ -185,6 +197,9 @@ func (a *Analyzer) analyzeWithPrep(p *AddressProfile, alpha float64, preps []col
 		}
 	}
 	a.SimulatedRefs += refs
+	if a.met != nil {
+		a.met.SimulatedRefs.Add(refs)
+	}
 
 	for c := 0; c < nOps; c++ {
 		pc := p.Ops[c]

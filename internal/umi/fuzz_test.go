@@ -1,0 +1,112 @@
+package umi
+
+import (
+	"math"
+	"testing"
+
+	"umi/internal/cache"
+)
+
+// FuzzAnalyzerProfile feeds arbitrary address profiles — random geometry,
+// random density, random addresses, random alpha — through the profile
+// analyzer and checks the numeric contract every consumer assumes: no
+// panic, every miss ratio in [0,1] and never NaN, stride confidences in
+// [0,1], and the delinquent set restricted to profiled loads. A second
+// analyzer replaying the same profile must land on identical results
+// (determinism is what makes the pipeline's out-of-band analysis legal).
+func FuzzAnalyzerProfile(f *testing.F) {
+	f.Add(uint8(2), uint8(8), uint8(30), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(uint8(1), uint8(1), uint8(0), []byte{})
+	f.Add(uint8(7), uint8(31), uint8(100), []byte{255, 0, 255, 0, 128, 64, 32, 16})
+	f.Fuzz(func(t *testing.T, nOpsRaw, rowsRaw, alphaRaw uint8, data []byte) {
+		nOps := 1 + int(nOpsRaw%8)
+		rows := 1 + int(rowsRaw%32)
+		alpha := float64(alphaRaw%101) / 100
+
+		cursor := 0
+		next := func() byte {
+			if cursor >= len(data) {
+				return 0
+			}
+			b := data[cursor]
+			cursor++
+			return b
+		}
+
+		ops := make([]uint64, nOps)
+		isLoad := make([]bool, nOps)
+		for i := range ops {
+			ops[i] = 0x400000 + uint64(i)*4
+			isLoad[i] = next()%4 != 0 // mostly loads, as in real traces
+		}
+		p := NewAddressProfile(ops, isLoad, rows)
+		for r := 0; r < rows; r++ {
+			row, ok := p.OpenRow()
+			if !ok {
+				t.Fatalf("profile full after %d of %d rows", r, rows)
+			}
+			for c := 0; c < nOps; c++ {
+				if next()%4 == 0 {
+					continue // unrecorded cell (partial trace execution)
+				}
+				addr := (uint64(next())<<8 | uint64(next())) * 8
+				p.Record(row, c, addr)
+			}
+		}
+
+		cfg := DefaultConfig(cache.P4L2)
+		invCycles := uint64(next()) * 100_000
+		run := func() *Analyzer {
+			an := NewAnalyzer(&cfg)
+			an.BeginInvocation(invCycles)
+			an.AnalyzeProfile(p, alpha)
+			return an
+		}
+		an := run()
+
+		checkRatio := func(what string, r float64) {
+			if math.IsNaN(r) || r < 0 || r > 1 {
+				t.Fatalf("%s = %v, want a ratio in [0,1]", what, r)
+			}
+		}
+		checkRatio("analyzer miss ratio", an.MissRatio())
+		loads := make(map[uint64]bool)
+		for i, pc := range ops {
+			if isLoad[i] {
+				loads[pc] = true
+			}
+		}
+		for pc, st := range an.OpStats() {
+			checkRatio("op stat miss ratio", st.MissRatio())
+			if st.Misses > st.Accesses {
+				t.Fatalf("op %#x: misses %d exceed accesses %d", pc, st.Misses, st.Accesses)
+			}
+		}
+		for pc := range an.Delinquent() {
+			if !loads[pc] {
+				t.Fatalf("non-load %#x labelled delinquent", pc)
+			}
+			if _, ok := an.Column(pc); !ok {
+				t.Fatalf("delinquent %#x has no recorded column", pc)
+			}
+		}
+		for pc, si := range an.Strides() {
+			checkRatio("stride confidence", si.Confidence)
+			if !loads[pc] {
+				t.Fatalf("non-load %#x has a stride", pc)
+			}
+			if si.Stride == 0 {
+				t.Fatalf("load %#x: zero stride should not be recorded", pc)
+			}
+		}
+
+		// Determinism: an independent analyzer over the same profile must
+		// reproduce every cumulative result.
+		again := run()
+		if again.MissRatio() != an.MissRatio() ||
+			again.SimulatedRefs != an.SimulatedRefs ||
+			len(again.Delinquent()) != len(an.Delinquent()) {
+			t.Fatalf("replay diverged: %v vs %v", again, an)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package umi
+
+import (
+	"fmt"
+	"strings"
+
+	"umi/internal/metrics"
+	"umi/internal/rio"
+)
+
+// Self-observability for the UMI runtime. The paper's claim is that
+// introspection is cheap enough to leave on in production; this file is
+// how the runtime continuously measures its own cost instead of asserting
+// it. Every System carries a Metrics set: atomic counters, gauges, and
+// latency histograms updated on the thread that owns each event — the
+// guest thread for region-selection and instrumentation events, the
+// sequencer goroutine for analysis events — so a snapshot is safe from any
+// goroutine and the hot-path cost is a handful of uncontended atomic adds.
+//
+// Metric names, by layer:
+//
+//	umi.traces.*        region selector / instrumentor events
+//	umi.candidates.*    operation filtering (§4.1) accounting
+//	umi.profiles.*      address-profile fill events
+//	umi.analyzer.*      profile-analyzer invocations and latency
+//	umi.pool.*          asynchronous pipeline health (queue depths, busy time)
+//	minisim.*           the analyzer's logical cache (accesses, misses, evictions)
+//	rio.*               substrate counters mirrored at snapshot points
+type Metrics struct {
+	reg *metrics.Registry
+
+	// Region selector / instrumentor (guest thread).
+	TracesSeen           *metrics.Counter
+	TracesInstrumented   *metrics.Counter
+	TracesDeinstrumented *metrics.Counter
+	TracesBarren         *metrics.Counter
+	CandidatesKept       *metrics.Counter
+	CandidatesFiltered   *metrics.Counter
+	ProfileFills         *metrics.Counter // per-trace profile reached capacity
+	GlobalFills          *metrics.Counter // global trace-profile trigger (§4.2)
+	ProfilesCollected    *metrics.Counter
+	AdaptiveAlphaSteps   *metrics.Counter
+	AdaptiveFreqSteps    *metrics.Counter
+
+	// Analyzer (sequencer goroutine, or guest thread on the inline path).
+	Invocations      *metrics.Counter
+	Flushes          *metrics.Counter
+	SimulatedRefs    *metrics.Counter
+	MiniSimAccesses  *metrics.Counter
+	MiniSimMisses    *metrics.Counter
+	MiniSimEvictions *metrics.Counter
+	AnalysisLatency  *metrics.Histogram // wall ns per analyzer invocation
+
+	// Pipeline (pool.go).
+	Submits       *metrics.Counter
+	SyncFallbacks *metrics.Counter // invocations forced inline despite workers >= 2
+	PrepQueue     *metrics.Gauge   // prepQ depth at submit (value / high-water)
+	SeqBacklog    *metrics.Gauge   // whole invocations queued behind the sequencer
+	RecycleQueue  *metrics.Gauge   // idle recycled buffers
+	RecycleHits   *metrics.Counter // instrumentations served from a recycled buffer
+	RecycleMisses *metrics.Counter // instrumentations that had to allocate
+	PrepBusyNs    *metrics.Counter // cumulative preparation-worker busy time
+	SeqBusyNs     *metrics.Counter // cumulative sequencer busy time
+}
+
+// analysisLatencyBuckets is the fixed histogram scheme for analyzer
+// invocation latency: 1µs doubling through ~8s (24 buckets), wide enough
+// for a whole-profile mini-simulation at either end.
+var analysisLatencyBuckets = metrics.ExpBuckets(1_000, 24)
+
+func newMetrics() *Metrics {
+	reg := metrics.NewRegistry()
+	return &Metrics{
+		reg:                  reg,
+		TracesSeen:           reg.Counter("umi.traces.seen"),
+		TracesInstrumented:   reg.Counter("umi.traces.instrumented"),
+		TracesDeinstrumented: reg.Counter("umi.traces.deinstrumented"),
+		TracesBarren:         reg.Counter("umi.traces.barren"),
+		CandidatesKept:       reg.Counter("umi.candidates.kept"),
+		CandidatesFiltered:   reg.Counter("umi.candidates.filtered"),
+		ProfileFills:         reg.Counter("umi.profiles.fills"),
+		GlobalFills:          reg.Counter("umi.profiles.global_fills"),
+		ProfilesCollected:    reg.Counter("umi.profiles.collected"),
+		AdaptiveAlphaSteps:   reg.Counter("umi.adaptive.alpha_steps"),
+		AdaptiveFreqSteps:    reg.Counter("umi.adaptive.freq_steps"),
+		Invocations:          reg.Counter("umi.analyzer.invocations"),
+		Flushes:              reg.Counter("umi.analyzer.flushes"),
+		SimulatedRefs:        reg.Counter("umi.analyzer.refs"),
+		MiniSimAccesses:      reg.Counter("minisim.accesses"),
+		MiniSimMisses:        reg.Counter("minisim.misses"),
+		MiniSimEvictions:     reg.Counter("minisim.evictions"),
+		AnalysisLatency:      reg.Histogram("umi.analyzer.latency_ns", analysisLatencyBuckets),
+		Submits:              reg.Counter("umi.pool.submits"),
+		SyncFallbacks:        reg.Counter("umi.pool.sync_fallbacks"),
+		PrepQueue:            reg.Gauge("umi.pool.prep_queue"),
+		SeqBacklog:           reg.Gauge("umi.pool.seq_backlog"),
+		RecycleQueue:         reg.Gauge("umi.pool.recycle_queue"),
+		RecycleHits:          reg.Counter("umi.pool.recycle_hits"),
+		RecycleMisses:        reg.Counter("umi.pool.recycle_misses"),
+		PrepBusyNs:           reg.Counter("umi.pool.prep_busy_ns"),
+		SeqBusyNs:            reg.Counter("umi.pool.seq_busy_ns"),
+	}
+}
+
+// syncRIO mirrors the substrate's counters into the registry. Called on
+// the guest thread (which owns the runtime) at snapshot points.
+func (m *Metrics) syncRIO(rt *rio.Runtime) {
+	c := rt.Counters()
+	m.reg.Counter("rio.blocks_built").Store(uint64(c.BlocksBuilt))
+	m.reg.Counter("rio.traces_built").Store(uint64(c.TracesBuilt))
+	m.reg.Counter("rio.block_flushes").Store(uint64(c.BlockFlushes))
+	m.reg.Counter("rio.dispatches").Store(c.Dispatches)
+	m.reg.Counter("rio.indirect_lookups").Store(c.IndirectLookups)
+	m.reg.Counter("rio.samples").Store(c.Samples)
+	m.reg.Counter("rio.sample_hits").Store(c.SampleHits)
+}
+
+// syncCache mirrors the analyzer's logical-cache statistics. The caller
+// must hold analyzer ownership (pipeline drained, or running on the
+// sequencer).
+func (m *Metrics) syncCache(a *Analyzer) {
+	cs := a.cache.Stats()
+	m.MiniSimAccesses.Store(cs.Accesses)
+	m.MiniSimMisses.Store(cs.Misses)
+	m.MiniSimEvictions.Store(cs.Evictions)
+}
+
+// FilterRate returns the fraction of candidate memory operations the
+// instrumentor filtered out (§4.1; the paper reports ~80%), and false when
+// no candidates were seen.
+func FilterRate(s metrics.Snapshot) (float64, bool) {
+	kept := s.Counter("umi.candidates.kept")
+	filtered := s.Counter("umi.candidates.filtered")
+	if kept+filtered == 0 {
+		return 0, false
+	}
+	return float64(filtered) / float64(kept+filtered), true
+}
+
+// MetricsSnapshot returns a point-in-time copy of every runtime metric,
+// synchronizing with the analysis pipeline first so analyzer-side values
+// are complete through the last hand-off.
+func (s *System) MetricsSnapshot() metrics.Snapshot {
+	if s.pool != nil {
+		s.pool.drain()
+	}
+	s.met.syncCache(s.an)
+	s.met.syncRIO(s.rt)
+	return s.met.reg.Snapshot()
+}
+
+// Metrics exposes the live metric set (for tests and in-process sinks).
+func (s *System) Metrics() *Metrics { return s.met }
+
+// emitMetrics delivers a snapshot to the OnMetrics sink, if one is set.
+// Runs on the guest thread at analyzer-invocation boundaries; on the
+// asynchronous path the snapshot reflects analyses completed so far, not
+// the invocation just handed off (those appear in later emissions and in
+// the final snapshot from Finish).
+func (s *System) emitMetrics() {
+	if s.OnMetrics == nil {
+		return
+	}
+	s.met.syncRIO(s.rt)
+	s.OnMetrics(s.met.reg.Snapshot())
+}
+
+// FormatMetrics renders a snapshot as the CLI's self-overhead section:
+// derived headline rates first (filter rate, analysis latency summary,
+// queue high-water marks), then the full registry dump.
+func FormatMetrics(snap metrics.Snapshot) string {
+	var sb strings.Builder
+	if rate, ok := FilterRate(snap); ok {
+		fmt.Fprintf(&sb, "filter rate:      %.1f%% of candidate ops filtered (%d kept, %d filtered)\n",
+			100*rate, snap.Counter("umi.candidates.kept"), snap.Counter("umi.candidates.filtered"))
+	}
+	lat := snap.Histogram("umi.analyzer.latency_ns")
+	if lat.Count > 0 {
+		fmt.Fprintf(&sb, "analysis latency: %d invocations, mean %.0fns p50=%dns p99=%dns max=%dns\n",
+			lat.Count, lat.Mean(), lat.Quantile(0.50), lat.Quantile(0.99), lat.Max)
+	}
+	fmt.Fprintf(&sb, "queue pressure:   prep %d (max %d), sequencer %d (max %d), recycle %d (max %d)\n",
+		snap.Gauge("umi.pool.prep_queue").Value, snap.Gauge("umi.pool.prep_queue").Max,
+		snap.Gauge("umi.pool.seq_backlog").Value, snap.Gauge("umi.pool.seq_backlog").Max,
+		snap.Gauge("umi.pool.recycle_queue").Value, snap.Gauge("umi.pool.recycle_queue").Max)
+	sb.WriteString(snap.String())
+	return sb.String()
+}

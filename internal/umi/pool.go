@@ -1,6 +1,9 @@
 package umi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file is the asynchronous profile-analysis pipeline. The paper runs
 // the analyzer synchronously: the guest stalls while every live profile is
@@ -65,6 +68,7 @@ const (
 type analyzerPool struct {
 	an        *Analyzer
 	consumers []ProfileConsumer
+	met       *Metrics
 
 	prepQ   chan *analysisJob
 	seqQ    chan invocation
@@ -75,10 +79,11 @@ type analyzerPool struct {
 	closed bool
 }
 
-func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, workers int) *analyzerPool {
+func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, workers int) *analyzerPool {
 	p := &analyzerPool{
 		an:        an,
 		consumers: consumers,
+		met:       met,
 		prepQ:     make(chan *analysisJob, 2*workers),
 		seqQ:      make(chan invocation, seqDepth),
 		recycle:   make(chan *AddressProfile, recycleDepth),
@@ -99,7 +104,9 @@ func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, workers int) *an
 func (p *analyzerPool) prepWorker() {
 	defer p.prepWG.Done()
 	for job := range p.prepQ {
+		start := time.Now()
 		job.prep = prepareProfile(job.profile)
+		p.met.PrepBusyNs.Add(uint64(time.Since(start)))
 		close(job.ready)
 	}
 }
@@ -115,6 +122,10 @@ func (p *analyzerPool) sequencer() {
 			close(inv.barrier)
 			continue
 		}
+		// The latency observation spans the whole invocation, including
+		// waits on preparation workers — it is the end-to-end time an
+		// inline run would have stalled the guest for.
+		start := time.Now()
 		p.an.BeginInvocation(inv.cycles)
 		for _, job := range inv.jobs {
 			<-job.ready
@@ -127,6 +138,10 @@ func (p *analyzerPool) sequencer() {
 			default: // recycling is best-effort; let the GC have it
 			}
 		}
+		elapsed := uint64(time.Since(start))
+		p.met.AnalysisLatency.Observe(elapsed)
+		p.met.SeqBusyNs.Add(elapsed)
+		p.met.RecycleQueue.Set(int64(len(p.recycle)))
 	}
 }
 
@@ -140,6 +155,12 @@ func (p *analyzerPool) submit(cycles uint64, jobs []*analysisJob) {
 		p.prepQ <- job
 	}
 	p.seqQ <- invocation{cycles: cycles, jobs: jobs}
+	p.met.Submits.Inc()
+	// Channel lengths are instantaneous, but the gauges' high-water marks
+	// are what the self-overhead report cares about: sustained depth at
+	// submit time means the guest is outrunning analysis.
+	p.met.PrepQueue.Set(int64(len(p.prepQ)))
+	p.met.SeqBacklog.Set(int64(len(p.seqQ)))
 }
 
 // drain blocks until every invocation submitted so far has been fully

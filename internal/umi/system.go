@@ -3,7 +3,9 @@ package umi
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"umi/internal/metrics"
 	"umi/internal/rio"
 )
 
@@ -42,6 +44,12 @@ type System struct {
 	// the trace's code from then on. The software prefetcher hangs here.
 	OnAnalyzed func(clean *rio.Fragment, an *Analyzer) *rio.Fragment
 
+	// OnMetrics, when set, receives a metrics snapshot after each analyzer
+	// invocation triggered on the guest thread — the periodic emitter
+	// behind pkg/umi's WithMetricsSink. It runs on the guest thread and
+	// must not call back into the System.
+	OnMetrics func(metrics.Snapshot)
+
 	traces     map[uint64]*traceState
 	globalRows int
 	consumers  []ProfileConsumer
@@ -59,6 +67,13 @@ type System struct {
 	profiledPCs       map[uint64]bool
 	candidatePCs      map[uint64]bool
 	instrumentEvents  int
+
+	// met is the self-observability registry (metrics.go); always present,
+	// always collecting — the snapshot surfaces decide whether anyone
+	// looks. Collection never feeds back into modelled overhead or
+	// reported results, so metrics-on and metrics-off reports are
+	// byte-identical by construction.
+	met *Metrics
 }
 
 // Attach installs UMI onto the runtime. It must be called before the
@@ -73,7 +88,9 @@ func Attach(rt *rio.Runtime, cfg Config) *System {
 		profiledPCs:  make(map[uint64]bool),
 		candidatePCs: make(map[uint64]bool),
 	}
+	s.met = newMetrics()
 	s.an = NewAnalyzer(&s.cfg)
+	s.an.met = s.met
 	rt.SamplePeriod = cfg.SamplePeriod
 	rt.OnTrace = s.onTrace
 	rt.OnSample = s.onSample
@@ -95,9 +112,16 @@ func (s *System) onTrace(f *rio.Fragment) {
 	ts := &traceState{clean: f, alpha: s.cfg.clampAlpha(s.cfg.DelinquencyInit),
 		freqThresh: s.cfg.FrequencyThreshold}
 	s.traces[f.Start] = ts
+	s.met.TracesSeen.Inc()
 	// Record candidate operations for Table 3 accounting even if the
 	// trace is never instrumented.
 	_, _, _ = s.noteCandidates(f)
+	// Filter accounting (§4.1): what the instrumentor would keep vs. drop
+	// for this trace, counted once at trace creation so the rate is
+	// per-operation, not weighted by reinstrumentation count.
+	kept, _, cand := selectOps(f, s.cfg.FilterOps, s.cfg.AddressProfileOps)
+	s.met.CandidatesKept.Add(uint64(len(kept)))
+	s.met.CandidatesFiltered.Add(uint64(cand - len(kept)))
 	if !s.cfg.UseSampling {
 		s.instrument(ts)
 	}
@@ -147,6 +171,7 @@ func (s *System) instrument(ts *traceState) {
 	ops, isLoad, _ := selectOps(ts.clean, s.cfg.FilterOps, s.cfg.AddressProfileOps)
 	if len(ops) == 0 {
 		ts.barren = true
+		s.met.TracesBarren.Inc()
 		return
 	}
 	switch {
@@ -159,6 +184,9 @@ func (s *System) instrument(ts *traceState) {
 		}
 		if ts.profile == nil {
 			ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
+			s.met.RecycleMisses.Inc()
+		} else {
+			s.met.RecycleHits.Inc()
 		}
 	case len(ts.profile.Ops) != len(ops):
 		ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
@@ -187,6 +215,11 @@ func (s *System) instrument(ts *traceState) {
 	inst.Instr = &rio.Instrumentation{
 		Prolog: func() bool {
 			if ts.profile.Full() || s.globalRows >= s.cfg.TraceProfileLen {
+				if ts.profile.Full() {
+					s.met.ProfileFills.Inc()
+				} else {
+					s.met.GlobalFills.Inc()
+				}
 				s.runAnalyzer(ts)
 				return false
 			}
@@ -202,6 +235,7 @@ func (s *System) instrument(ts *traceState) {
 	}
 	ts.instr = inst
 	s.instrumentEvents++
+	s.met.TracesInstrumented.Inc()
 	s.rt.AddOverhead(s.cfg.InstrumentCost)
 	s.rt.ReplaceTrace(inst)
 }
@@ -237,7 +271,7 @@ func (s *System) asyncActive() bool {
 		return false
 	}
 	if s.pool == nil {
-		s.pool = newAnalyzerPool(s.an, s.consumers, s.cfg.AnalyzerWorkers)
+		s.pool = newAnalyzerPool(s.an, s.consumers, s.met, s.cfg.AnalyzerWorkers)
 	}
 	return true
 }
@@ -255,13 +289,22 @@ func (s *System) runAnalyzer(trigger *traceState) {
 	}
 	if s.cfg.Adaptive {
 		trigger.alpha = s.cfg.clampAlpha(trigger.alpha - s.cfg.DelinquencyStep)
+		s.met.AdaptiveAlphaSteps.Inc()
 	}
 	s.globalRows = 0
+	s.emitMetrics()
 }
 
 // analyzeInline is the synchronous path: the guest thread runs the full
 // mini-simulation before continuing, as in the paper.
 func (s *System) analyzeInline(live []*traceState) {
+	if s.cfg.AnalyzerWorkers >= 2 {
+		// A pipeline was requested but this invocation could not use it
+		// (synchronous hook, or post-Finish): the guest is paying the
+		// stall the workers were meant to hide.
+		s.met.SyncFallbacks.Inc()
+	}
+	start := time.Now()
 	cost := s.cfg.AnalyzerFixed
 	s.an.BeginInvocation(s.rt.M.Cycles)
 	for _, ts := range live {
@@ -273,9 +316,11 @@ func (s *System) analyzeInline(live []*traceState) {
 			s.tuneFrequency(ts)
 		}
 		s.profilesCollected++
+		s.met.ProfilesCollected.Inc()
 		ts.profile.Reset()
 		s.deinstrument(ts)
 	}
+	s.met.AnalysisLatency.Observe(uint64(time.Since(start)))
 	s.rt.AddOverhead(cost)
 }
 
@@ -295,6 +340,7 @@ func (s *System) submitAnalysis(live []*traceState) {
 		jobs = append(jobs, &analysisJob{profile: ts.profile, alpha: ts.alpha})
 		ts.profile = nil
 		s.profilesCollected++
+		s.met.ProfilesCollected.Inc()
 		s.deinstrument(ts)
 	}
 	s.pool.submit(cycles, jobs)
@@ -311,6 +357,7 @@ func (s *System) tuneFrequency(ts *traceState) {
 			break
 		}
 	}
+	s.met.AdaptiveFreqSteps.Inc()
 	if interesting {
 		ts.freqThresh /= 2
 		if ts.freqThresh < 1 {
@@ -330,6 +377,7 @@ func (s *System) tuneFrequency(ts *traceState) {
 func (s *System) deinstrument(ts *traceState) {
 	ts.instr = nil
 	ts.rowOpen = false
+	s.met.TracesDeinstrumented.Inc()
 	ts.everAnalyzed = true
 	ts.analyses++
 	ts.lastAnalyzed = s.rt.M.Instrs
@@ -403,6 +451,12 @@ func (s *System) Report() *Report {
 }
 
 func (r *Report) String() string {
+	if r.TracesSeen == 0 {
+		// An empty session (the program halted before any region got hot)
+		// is a legitimate outcome, not a formatting edge case: say so
+		// explicitly instead of rendering a row of ambiguous zeros.
+		return "umi.Report{no traces instrumented}"
+	}
 	return fmt.Sprintf("umi.Report{traces %d, profiled %d/%d ops, %d profiles, %d invocations, sim miss %.4f, |P|=%d}",
 		r.TracesSeen, r.ProfiledOps, r.CandidateOps, r.ProfilesCollected,
 		r.AnalyzerInvocations, r.SimMissRatio, len(r.Delinquent))

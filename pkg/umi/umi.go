@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"umi/internal/cache"
+	"umi/internal/metrics"
 	"umi/internal/prefetch"
 	"umi/internal/program"
 	"umi/internal/rio"
@@ -38,6 +39,11 @@ type (
 	OpStat = iumi.OpStat
 	// StrideInfo is a discovered dominant stride.
 	StrideInfo = iumi.StrideInfo
+	// MetricsSnapshot is a point-in-time copy of the runtime's
+	// self-observability metrics: counters, gauges with high-water marks,
+	// and latency histograms. It marshals with encoding/json and renders
+	// deterministically with String.
+	MetricsSnapshot = metrics.Snapshot
 	// Program is an assembled guest program.
 	Program = program.Program
 	// Builder constructs guest programs.
@@ -132,15 +138,35 @@ func WithAnalyzerWorkers(n int) Option {
 // WithMaxInstructions bounds the run (default 200M).
 func WithMaxInstructions(n uint64) Option { return func(s *Session) { s.maxInstrs = n } }
 
+// WithMetricsSink registers a periodic self-observability emitter: fn
+// receives a MetricsSnapshot after each analyzer invocation, on the guest
+// thread. Collection is always on regardless of this option — the sink
+// only adds delivery — so profiling results are identical with or without
+// it. fn must not call back into the Session.
+func WithMetricsSink(fn func(MetricsSnapshot)) Option {
+	return func(s *Session) { s.metricsSink = fn }
+}
+
+// FormatMetrics renders a snapshot as the CLIs' self-overhead section:
+// headline rates (candidate filter rate, analysis latency summary, queue
+// pressure) followed by the full name-sorted registry dump.
+func FormatMetrics(snap MetricsSnapshot) string { return iumi.FormatMetrics(snap) }
+
+// FilterRate extracts the candidate-operation filter rate from a snapshot
+// (the paper reports ~80% of candidate memory operations filtered); ok is
+// false when the session saw no candidates.
+func FilterRate(snap MetricsSnapshot) (rate float64, ok bool) { return iumi.FilterRate(snap) }
+
 // Session executes one program under the full UMI stack.
 type Session struct {
-	prog       *Program
-	machine    Machine
-	hwPrefetch bool
-	swPrefetch bool
-	ntBypass   bool
-	maxInstrs  uint64
-	cfgEdit    []func(*iumi.Config)
+	prog        *Program
+	machine     Machine
+	hwPrefetch  bool
+	swPrefetch  bool
+	ntBypass    bool
+	maxInstrs   uint64
+	cfgEdit     []func(*iumi.Config)
+	metricsSink func(MetricsSnapshot)
 
 	wantWorkingSet bool
 	wantPatterns   bool
@@ -148,6 +174,7 @@ type Session struct {
 
 	// populated by Run
 	report     *Report
+	metrics    MetricsSnapshot
 	hierarchy  *cache.Hierarchy
 	runtime    *rio.Runtime
 	optimizer  *prefetch.Optimizer
@@ -207,6 +234,9 @@ func (s *Session) Run() (*Report, error) {
 	if len(hooks) > 0 {
 		sys.OnAnalyzed = prefetch.Chain(hooks...)
 	}
+	if s.metricsSink != nil {
+		sys.OnMetrics = s.metricsSink
+	}
 	if s.wantWorkingSet {
 		s.workingSet = iumi.NewWorkingSet(l2.LineSize)
 		sys.AddConsumer(s.workingSet)
@@ -224,6 +254,7 @@ func (s *Session) Run() (*Report, error) {
 	}
 	sys.Finish()
 	s.report = sys.Report()
+	s.metrics = sys.MetricsSnapshot()
 	s.hierarchy = h
 	s.runtime = rt
 	return s.report, nil
@@ -231,6 +262,12 @@ func (s *Session) Run() (*Report, error) {
 
 // Report returns the profiling report (nil before Run).
 func (s *Session) Report() *Report { return s.report }
+
+// Metrics returns the final self-observability snapshot of the run: what
+// the runtime's introspection cost, from instrumentation and filter
+// counts through analysis latency and pipeline queue pressure. The zero
+// Snapshot before Run.
+func (s *Session) Metrics() MetricsSnapshot { return s.metrics }
 
 // HardwareMissRatio returns the ground-truth L2 miss ratio the modelled
 // hardware observed (what a performance counter would report).
