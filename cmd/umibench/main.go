@@ -44,7 +44,7 @@ func main() {
 		args = []string{"table1", "table2", "table3", "table4", "table5", "table6",
 			"fig2", "fig3", "fig4", "fig5", "fig6",
 			"sens-threshold", "sens-profile", "sens-geometry", "linuxapps",
-			"counters-vs-umi", "self-overhead"}
+			"counters-vs-umi", "self-overhead", "timeline"}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -86,6 +86,7 @@ experiments:
   linuxapps       Linux application miss ratios (Section 6.3)
   counters-vs-umi PMU sampling quality per overhead vs UMI (Section 1.2)
   self-overhead   modelled UMI cost vs the runtime's own metrics
+  timeline        delinquent-set evolution per analyzer invocation
   all             everything above
   list            print workload names
 `)
@@ -198,6 +199,12 @@ func run(exp string, names []string) (any, string, error) {
 			return nil, "", err
 		}
 		return r, r.String() + r.LiveString(), nil
+	case "timeline":
+		r, err := harness.Timeline(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
 	default:
 		return nil, "", fmt.Errorf("unknown experiment %q", exp)
 	}

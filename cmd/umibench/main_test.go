@@ -37,3 +37,17 @@ func TestRunSmallExperiment(t *testing.T) {
 		t.Errorf("table6 output wrong: %q", text)
 	}
 }
+
+func TestRunTimelineExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a UMI experiment")
+	}
+	v, text, err := run("timeline", []string{"em3d"})
+	if err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	if v == nil || !strings.Contains(text, "delinquent-set evolution") ||
+		!strings.Contains(text, "em3d") {
+		t.Errorf("timeline output wrong: %q", text)
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
-//	        [-metrics] [-metrics-json file] <workload>
+//	        [-metrics] [-metrics-json file] [-trace-out file]
+//	        [-http addr] [-http-linger d] <workload>
 //	umiprof -list
 package main
 
@@ -16,10 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"umi/internal/harness"
+	"umi/internal/introspect"
 	"umi/internal/prefetch"
 	"umi/internal/rio"
+	"umi/internal/tracelog"
 	"umi/internal/umi"
 	"umi/internal/vm"
 	"umi/internal/workloads"
@@ -46,6 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	whatIf := fs.Bool("whatif", false, "mini-simulate alternative cache sizes over the same profiles")
 	showMetrics := fs.Bool("metrics", false, "append the runtime's self-overhead metrics snapshot")
 	metricsJSON := fs.String("metrics-json", "", "write the metrics snapshot as JSON to this file")
+	traceOut := fs.String("trace-out", "",
+		"write the run's event timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+	httpAddr := fs.String("http", "",
+		"serve live introspection (/metrics, /events, /debug/pprof) on this address during the run")
+	httpLinger := fs.Duration("http-linger", 0,
+		"keep the -http server up this long after the report prints (0: stop immediately)")
 	list := fs.Bool("list", false, "list workloads and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +89,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	m := vm.New(w.Program(), h)
 	rt := rio.NewRuntime(m)
 	sys := umi.Attach(rt, cfg)
+	// The event timeline and the HTTP server are purely observational:
+	// neither touches modelled state, so everything printed to stdout is
+	// byte-identical with or without them (stderr carries their notes).
+	var elog *tracelog.Log
+	if *traceOut != "" || *httpAddr != "" {
+		elog = sys.EnableEventTrace(0)
+	}
+	if *httpAddr != "" {
+		srv := &introspect.Server{Metrics: sys.LiveMetricsSnapshot, Events: elog}
+		addr, stop, err := srv.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: http: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "umiprof: introspection server at http://%s/\n", addr)
+		defer stop()
+	}
 	var opt *prefetch.Optimizer
 	if *swpf {
 		opt = prefetch.NewOptimizer(prefetch.DefaultConfig)
@@ -188,6 +215,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: trace: %v\n", err)
+			return 1
+		}
+		werr := tracelog.WriteChromeTrace(f, elog.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "umiprof: trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "umiprof: wrote %d events (%d dropped) to %s\n",
+			len(elog.Events()), elog.Drops(), *traceOut)
+	}
+	if *httpAddr != "" && *httpLinger > 0 {
+		fmt.Fprintf(stderr, "umiprof: introspection server up for another %s\n", *httpLinger)
+		time.Sleep(*httpLinger)
 	}
 	return 0
 }

@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"umi/internal/metrics"
 )
@@ -128,5 +133,143 @@ func TestE2EMetricsJSONRoundTrip(t *testing.T) {
 	}
 	if snap.Counter("umi.pool.submits") == 0 {
 		t.Error("-workers=2 run recorded no pipeline submissions")
+	}
+}
+
+// TestE2ETraceOut: -trace-out must leave stdout byte-identical, and the
+// written file must be valid, schema-complete, byte-deterministic Chrome
+// trace-event JSON.
+func TestE2ETraceOut(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errs := runCLI(t, "-trace-out", path, "470.lbm")
+	if code != 0 {
+		t.Fatalf("-trace-out run exited %d, stderr %q", code, errs)
+	}
+	if out != plain {
+		t.Errorf("-trace-out perturbed stdout:\n--- plain ---\n%s--- traced ---\n%s", plain, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no traceEvents")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		phases[ph] = true
+	}
+	// Metadata, instants, and the analyzer spans must all be present.
+	for _, ph := range []string{"M", "i", "X"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events; phases: %v", ph, phases)
+		}
+	}
+	// Byte-determinism for a fixed workload at the default worker count.
+	path2 := filepath.Join(t.TempDir(), "trace2.json")
+	if code, _, _ := runCLI(t, "-trace-out", path2, "470.lbm"); code != 0 {
+		t.Fatal("second -trace-out run failed")
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("trace files differ across identical runs")
+	}
+}
+
+// syncBuffer lets the HTTP test read stderr while run() is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestE2EHTTP drives the live introspection endpoint end to end: the
+// server comes up on an ephemeral port, serves /metrics and /events while
+// the CLI lingers, and stdout stays byte-identical to a plain run.
+func TestE2EHTTP(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	var out bytes.Buffer
+	var errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-http", "127.0.0.1:0", "-http-linger", "3s", "470.lbm"}, &out, &errb)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)/`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server address never appeared on stderr: %q", errb.String())
+		}
+		if m := addrRe.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v", err)
+	}
+	var events struct {
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(get("/events?n=50"), &events); err != nil {
+		t.Fatalf("/events is not valid JSON: %v", err)
+	}
+	if !bytes.HasPrefix(get("/events/timeline"), []byte("timeline:")) {
+		t.Error("/events/timeline missing header")
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("-http run exited %d, stderr %q", code, errb.String())
+	}
+	if out.String() != plain {
+		t.Errorf("-http perturbed stdout:\n--- plain ---\n%s--- http ---\n%s", plain, out.String())
 	}
 }

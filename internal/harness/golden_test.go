@@ -210,6 +210,17 @@ func TestGoldenSelfOverhead(t *testing.T) {
 	golden(t, "self_overhead", r.String())
 }
 
+// TestGoldenTimeline pins the delinquent-set-evolution figure, the
+// event-tracing layer's deterministic render: every column derives from
+// the modelled cycle clock, so it is byte-stable like any other table.
+func TestGoldenTimeline(t *testing.T) {
+	r, err := Timeline([]string{"470.lbm", "em3d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "timeline", r.String())
+}
+
 // TestGoldenUMIReport pins the umi.Report rendering itself, the string
 // every consumer above the harness sees.
 func TestGoldenUMIReport(t *testing.T) {
@@ -242,6 +253,7 @@ func TestEmptyRenderers(t *testing.T) {
 		{"Table3Result", (&Table3Result{}).String(), "Table 3: no benchmarks selected\n"},
 		{"Table6Result", (&Table6Result{}).String(), "Table 6: no benchmarks selected\n"},
 		{"SelfOverheadResult", (&SelfOverheadResult{}).String(), "Self-overhead: no workloads selected\n"},
+		{"TimelineResult", (&TimelineResult{}).String(), "Timeline: no benchmarks selected\n"},
 	}
 	for _, c := range cases {
 		if !strings.Contains(c.got, strings.TrimSuffix(c.want, "\n")) {

@@ -7,12 +7,14 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"umi/internal/cache"
 	"umi/internal/cachegrind"
 	"umi/internal/metrics"
 	"umi/internal/prefetch"
 	"umi/internal/rio"
+	"umi/internal/tracelog"
 	"umi/internal/umi"
 	"umi/internal/vm"
 	"umi/internal/workloads"
@@ -94,6 +96,15 @@ type UMIRun struct {
 	// Metrics is the run's final self-observability snapshot (filter
 	// counts, analysis latency, pipeline queue pressure).
 	Metrics metrics.Snapshot
+	// Events is the run's structured event timeline. The harness always
+	// records it: recording is observational (every experiment's modelled
+	// numbers are byte-identical with or without it), and the timeline
+	// experiments read it back.
+	Events *tracelog.Log
+	// Wall is the measured wall-clock duration of the guest run — the
+	// denominator for events/sec and other live rates. Nondeterministic;
+	// never renders into a golden surface.
+	Wall time.Duration
 }
 
 // TotalCycles is the modelled running time under UMI.
@@ -106,16 +117,20 @@ func RunUMI(w *workloads.Workload, p *Platform, cfg umi.Config, hwPrefetch, with
 	m := vm.New(w.Program(), h)
 	rt := rio.NewRuntime(m)
 	s := umi.Attach(rt, cfg)
+	elog := s.EnableEventTrace(0)
 	var opt *prefetch.Optimizer
 	if withPrefetch {
 		opt = prefetch.NewOptimizer(prefetch.DefaultConfig)
 		s.OnAnalyzed = opt.Hook()
 	}
+	start := time.Now()
 	if err := rt.Run(MaxInstrs); err != nil {
 		return nil, fmt.Errorf("%s umi: %w", w.Name, err)
 	}
 	s.Finish()
-	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt, Metrics: s.MetricsSnapshot()}, nil
+	wall := time.Since(start)
+	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt,
+		Metrics: s.MetricsSnapshot(), Events: elog, Wall: wall}, nil
 }
 
 // RunCachegrind executes the workload natively while feeding every memory

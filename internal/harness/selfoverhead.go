@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"umi/internal/metrics"
 	"umi/internal/stats"
@@ -32,10 +33,17 @@ type SelfOverheadRow struct {
 	GlobalFills     uint64
 	Invocations     uint64
 	SimulatedRefs   uint64
+	// Event-timeline accounting: how many lifecycle events the run
+	// emitted and how many the ring discarded. Both follow the modelled
+	// execution alone (the harness runs the inline analyzer path), so
+	// they belong to the deterministic render.
+	Events uint64
+	Drops  uint64
 
 	// Measured quantities (wall clock; vary run to run, excluded from the
 	// deterministic render).
 	Latency metrics.HistogramValue // per-invocation analysis latency, ns
+	Wall    time.Duration          // guest run wall time (events/sec denominator)
 }
 
 // SelfOverheadResult is the umibench "self-overhead" experiment.
@@ -74,7 +82,10 @@ func SelfOverhead(names []string) (*SelfOverheadResult, error) {
 			GlobalFills:   snap.Counter("umi.profiles.global_fills"),
 			Invocations:   snap.Counter("umi.analyzer.invocations"),
 			SimulatedRefs: snap.Counter("umi.analyzer.refs"),
+			Events:        run.Events.Total(),
+			Drops:         run.Events.Drops(),
 			Latency:       snap.Histogram("umi.analyzer.latency_ns"),
+			Wall:          run.Wall,
 		}
 		row.ModelledOvhdPct = 100 * (float64(row.UMICycles)/float64(row.NativeCycles) - 1)
 		if rate, ok := umi.FilterRate(snap); ok {
@@ -98,7 +109,7 @@ func (r *SelfOverheadResult) String() string {
 	}
 	t := stats.NewTable("Self-overhead: modelled UMI cost vs runtime event counts",
 		"Benchmark", "Modelled Ovhd", "Traces", "Instrumented", "Filter Rate",
-		"Fills (prof/glob)", "Invocations", "Sim Refs")
+		"Fills (prof/glob)", "Invocations", "Sim Refs", "Events (drops)")
 	for _, row := range r.Rows {
 		t.AddRow(row.Name,
 			fmt.Sprintf("%.2f%%", row.ModelledOvhdPct),
@@ -107,13 +118,15 @@ func (r *SelfOverheadResult) String() string {
 			fmt.Sprintf("%.1f%%", row.FilterRatePct),
 			fmt.Sprintf("%d/%d", row.ProfileFills, row.GlobalFills),
 			fmt.Sprint(row.Invocations),
-			fmt.Sprint(row.SimulatedRefs))
+			fmt.Sprint(row.SimulatedRefs),
+			fmt.Sprintf("%d (%d)", row.Events, row.Drops))
 	}
 	return t.String()
 }
 
-// LiveString renders the measured half: wall-clock analysis latency per
-// workload. Nondeterministic by nature — never golden-compare it.
+// LiveString renders the measured half: wall-clock analysis latency and
+// event-tracing throughput per workload. Nondeterministic by nature —
+// never golden-compare it.
 func (r *SelfOverheadResult) LiveString() string {
 	var sb strings.Builder
 	sb.WriteString("Measured analysis latency (wall clock, varies run to run):\n")
@@ -125,6 +138,16 @@ func (r *SelfOverheadResult) LiveString() string {
 		fmt.Fprintf(&sb, "  %-16s n=%d mean=%.0fns p50=%dns p99=%dns max=%dns\n",
 			row.Name, row.Latency.Count, row.Latency.Mean(),
 			row.Latency.Quantile(0.50), row.Latency.Quantile(0.99), row.Latency.Max)
+	}
+	sb.WriteString("Event tracing throughput (wall clock, varies run to run):\n")
+	for _, row := range r.Rows {
+		if row.Wall <= 0 {
+			fmt.Fprintf(&sb, "  %-16s no wall-clock measurement\n", row.Name)
+			continue
+		}
+		rate := float64(row.Events) / row.Wall.Seconds()
+		fmt.Fprintf(&sb, "  %-16s %d events in %v (%.0f events/sec, %d dropped)\n",
+			row.Name, row.Events, row.Wall.Round(time.Millisecond), rate, row.Drops)
 	}
 	return sb.String()
 }

@@ -1,0 +1,167 @@
+// Package introspect is the runtime's live observation surface: a small
+// stdlib-only HTTP server exposing the self-observability metrics and the
+// structured event timeline of a running (or finished) UMI session.
+//
+// The paper's position is that introspection should be cheap enough to
+// leave on in production; this package is the operational payoff — point a
+// browser or a scraper at a running profiler and watch it profile itself:
+//
+//	/metrics          current metrics snapshot (JSON)
+//	/metrics/delta    change since the previous /metrics/delta scrape (JSON)
+//	/events           recent ring contents with drop accounting (JSON)
+//	/events/timeline  deterministic plain-text timeline
+//	/events/trace     Chrome trace-event JSON (load in Perfetto)
+//	/debug/pprof/     the Go runtime's own profiles
+//
+// Handlers only read atomics (the metrics registry, the event ring), so
+// serving concurrently with a running guest is safe and perturbs nothing:
+// the guest never blocks on an observer. The metrics source is pulled per
+// request; pass the session's live snapshot function, not a stale copy.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"umi/internal/metrics"
+	"umi/internal/tracelog"
+)
+
+// Server serves one session's observability state. Zero-value fields are
+// legal: a nil Metrics source serves empty snapshots, a nil Events log
+// serves an empty timeline.
+type Server struct {
+	// Metrics returns the current self-observability snapshot. It is
+	// called once per request and must be safe from any goroutine (the
+	// session's LiveMetricsSnapshot, not the draining MetricsSnapshot).
+	Metrics func() metrics.Snapshot
+	// Events is the session's event ring (may be nil).
+	Events *tracelog.Log
+
+	// delta state: the snapshot taken by the previous /metrics/delta
+	// request, so each scrape reports one interval.
+	mu   sync.Mutex
+	prev metrics.Snapshot
+}
+
+func (s *Server) snapshot() metrics.Snapshot {
+	if s.Metrics == nil {
+		return metrics.Snapshot{}
+	}
+	return s.Metrics()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.snapshot())
+	})
+	mux.HandleFunc("/metrics/delta", func(w http.ResponseWriter, r *http.Request) {
+		cur := s.snapshot()
+		s.mu.Lock()
+		d := cur.Diff(s.prev)
+		s.prev = cur
+		s.mu.Unlock()
+		writeJSON(w, d)
+	})
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/events/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tracelog.Timeline(s.Events.Events(), s.Events.Drops()))
+	})
+	mux.HandleFunc("/events/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tracelog.WriteChromeTrace(w, s.Events.Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `umi runtime introspection
+
+/metrics          current self-observability snapshot (JSON)
+/metrics/delta    change since the previous /metrics/delta scrape (JSON)
+/events           recent lifecycle events (JSON; ?n=100 limits)
+/events/timeline  deterministic plain-text timeline
+/events/trace     Chrome trace-event JSON (open in Perfetto)
+/debug/pprof/     Go runtime profiles
+`)
+}
+
+// eventsPayload is the /events response: ring accounting plus the
+// retained events, oldest first.
+type eventsPayload struct {
+	Total  uint64           `json:"total"`
+	Drops  uint64           `json:"drops"`
+	Cap    int              `json:"cap"`
+	Events []tracelog.Event `json:"events"`
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	evs := s.Events.Recent(n)
+	if evs == nil {
+		evs = []tracelog.Event{}
+	}
+	writeJSON(w, eventsPayload{
+		Total: s.Events.Total(), Drops: s.Events.Drops(),
+		Cap: s.Events.Cap(), Events: evs,
+	})
+}
+
+// Serve starts the server on addr (e.g. ":8080", "127.0.0.1:0") and
+// returns the bound listener address and a stop function that shuts the
+// server down and waits for it to exit. Serving happens on a background
+// goroutine; the caller's thread is never involved.
+func (s *Server) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}

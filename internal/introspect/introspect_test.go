@@ -1,0 +1,191 @@
+package introspect
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"umi/internal/metrics"
+	"umi/internal/tracelog"
+)
+
+func testServer() (*Server, *metrics.Registry, *tracelog.Log) {
+	reg := metrics.NewRegistry()
+	l := tracelog.NewLog(16)
+	return &Server{Metrics: reg.Snapshot, Events: l}, reg, l
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, reg, _ := testServer()
+	reg.Counter("umi.traces.seen").Add(7)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Counter("umi.traces.seen") != 7 {
+		t.Errorf("counter = %d, want 7", snap.Counter("umi.traces.seen"))
+	}
+}
+
+func TestMetricsDeltaEndpoint(t *testing.T) {
+	s, reg, _ := testServer()
+	c := reg.Counter("c")
+	c.Add(5)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// First scrape diffs against the zero snapshot: cumulative values.
+	_, body := get(t, ts, "/metrics/delta")
+	var d metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counter("c") != 5 {
+		t.Errorf("first delta = %d, want 5", d.Counter("c"))
+	}
+	// Second scrape reports only the interval.
+	c.Add(3)
+	_, body = get(t, ts, "/metrics/delta")
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counter("c") != 3 {
+		t.Errorf("second delta = %d, want 3", d.Counter("c"))
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	s, _, l := testServer()
+	for i := 0; i < 20; i++ { // ring cap 16: four drops
+		l.Emit(tracelog.Event{Type: tracelog.EvTracePromoted, Cycles: uint64(i)})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/events")
+	var p struct {
+		Total  uint64           `json:"total"`
+		Drops  uint64           `json:"drops"`
+		Cap    int              `json:"cap"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/events is not valid JSON: %v\n%s", err, body)
+	}
+	if p.Total != 20 || p.Drops != 4 || p.Cap != 16 || len(p.Events) != 16 {
+		t.Errorf("payload = total %d drops %d cap %d events %d, want 20/4/16/16",
+			p.Total, p.Drops, p.Cap, len(p.Events))
+	}
+	if p.Events[0]["type"] != "trace.promoted" {
+		t.Errorf("event type = %v, want trace.promoted", p.Events[0]["type"])
+	}
+
+	// ?n limits to the most recent n.
+	_, body = get(t, ts, "/events?n=3")
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 3 {
+		t.Errorf("?n=3 returned %d events", len(p.Events))
+	}
+
+	if code, _ := get(t, ts, "/events?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("?n=bogus status = %d, want 400", code)
+	}
+}
+
+func TestTimelineAndTraceEndpoints(t *testing.T) {
+	s, _, l := testServer()
+	l.Emit(tracelog.Event{Type: tracelog.EvAnalyzerEnd, Cycles: 100, Dur: 9,
+		Arg1: 10, Arg2: 2, Arg3: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/events/timeline")
+	if !strings.HasPrefix(body, "timeline: 1 events") {
+		t.Errorf("/events/timeline = %q", body)
+	}
+	_, body = get(t, ts, "/events/trace")
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/events/trace is not trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("/events/trace has no traceEvents")
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	s, _, _ := testServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _ := get(t, ts, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get(t, ts, "/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", code)
+	}
+}
+
+// TestNilSources: a server with no metrics source and no event log must
+// serve empty payloads, not panic — the disabled-observability state.
+func TestNilSources(t *testing.T) {
+	ts := httptest.NewServer((&Server{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/metrics/delta", "/events", "/events/timeline", "/events/trace"} {
+		if code, _ := get(t, ts, path); code != http.StatusOK {
+			t.Errorf("%s status = %d with nil sources", path, code)
+		}
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	s, reg, _ := testServer()
+	reg.Counter("x").Add(1)
+	addr, stop, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET bound server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}

@@ -292,6 +292,53 @@ func (s Snapshot) Gauge(name string) GaugeValue { return s.Gauges[name] }
 // Histogram returns a snapshotted histogram (zero value when absent).
 func (s Snapshot) Histogram(name string) HistogramValue { return s.Histograms[name] }
 
+// Diff returns the change from prev to s, the interval view a periodic
+// scraper (the /metrics/delta endpoint, a rate display) wants. Counters
+// subtract; a counter absent from prev diffs against zero, and a counter
+// that went backwards (an externally synced mirror that was re-stored
+// lower) clamps to zero rather than wrapping. Gauges are levels, not
+// accumulations, so the current value and high-water mark pass through
+// unchanged. Histograms subtract count, sum, and per-bucket counts
+// (bucket-by-bucket — the bounds are fixed at registration); min and max
+// pass through, since the interval's extremes are not recoverable from
+// two cumulative snapshots.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]GaugeValue, len(s.Gauges)),
+		Histograms: make(map[string]HistogramValue, len(s.Histograms)),
+	}
+	for name, cur := range s.Counters {
+		old := prev.Counters[name]
+		if cur < old {
+			old = cur
+		}
+		d.Counters[name] = cur - old
+	}
+	for name, g := range s.Gauges {
+		d.Gauges[name] = g
+	}
+	for name, cur := range s.Histograms {
+		old := prev.Histograms[name]
+		hv := HistogramValue{Min: cur.Min, Max: cur.Max}
+		if cur.Count >= old.Count {
+			hv.Count = cur.Count - old.Count
+		}
+		if cur.Sum >= old.Sum {
+			hv.Sum = cur.Sum - old.Sum
+		}
+		hv.Buckets = make([]Bucket, 0, len(cur.Buckets))
+		for i, b := range cur.Buckets {
+			if i < len(old.Buckets) && old.Buckets[i].Le == b.Le && b.Count >= old.Buckets[i].Count {
+				b.Count -= old.Buckets[i].Count
+			}
+			hv.Buckets = append(hv.Buckets, b)
+		}
+		d.Histograms[name] = hv
+	}
+	return d
+}
+
 // String renders the snapshot as an aligned, name-sorted plain-text block:
 // counters first, then gauges (value / high-water mark), then histograms
 // (count, mean, p50/p90/p99, max). Deterministic ordering; the values

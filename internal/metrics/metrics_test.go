@@ -165,3 +165,62 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Errorf("gauge max = %d, want 999", snap.Gauge("g").Max)
 	}
 }
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{10, 100})
+
+	c.Add(5)
+	g.Set(7)
+	h.Observe(3)
+	h.Observe(50)
+	prev := r.Snapshot()
+
+	c.Add(4)
+	g.Set(2) // level drops; high-water stays 7
+	h.Observe(3)
+	h.Observe(1_000) // overflow bucket
+	cur := r.Snapshot()
+
+	d := cur.Diff(prev)
+	if got := d.Counter("c"); got != 4 {
+		t.Errorf("counter diff = %d, want 4", got)
+	}
+	// Gauges are levels: current value and high-water pass through.
+	if gv := d.Gauge("g"); gv.Value != 2 || gv.Max != 7 {
+		t.Errorf("gauge diff = %+v, want value 2, max 7", gv)
+	}
+	hd := d.Histogram("h")
+	if hd.Count != 2 || hd.Sum != 1_003 {
+		t.Errorf("histogram diff count=%d sum=%d, want 2, 1003", hd.Count, hd.Sum)
+	}
+	wantBuckets := []uint64{1, 0, 1} // le=10, le=100, overflow
+	for i, b := range hd.Buckets {
+		if b.Count != wantBuckets[i] {
+			t.Errorf("bucket %d diff = %d, want %d", i, b.Count, wantBuckets[i])
+		}
+	}
+	// Min/max pass through from the cumulative snapshot.
+	if hd.Min != cur.Histogram("h").Min || hd.Max != 1_000 {
+		t.Errorf("histogram diff min=%d max=%d, want pass-through", hd.Min, hd.Max)
+	}
+}
+
+func TestSnapshotDiffEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("new").Add(3)
+	cur := r.Snapshot()
+	// Diff against an empty previous snapshot is the snapshot itself.
+	d := cur.Diff(Snapshot{})
+	if d.Counter("new") != 3 {
+		t.Errorf("diff vs empty = %d, want 3", d.Counter("new"))
+	}
+	// A mirrored counter stored backwards clamps to zero, never wraps.
+	prev := r.Snapshot()
+	r.Counter("new").Store(1)
+	if got := r.Snapshot().Diff(prev).Counter("new"); got != 0 {
+		t.Errorf("backwards counter diff = %d, want 0 (clamped)", got)
+	}
+}

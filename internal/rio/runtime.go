@@ -6,6 +6,7 @@ import (
 
 	"umi/internal/isa"
 	"umi/internal/program"
+	"umi/internal/tracelog"
 	"umi/internal/vm"
 )
 
@@ -81,6 +82,11 @@ type Runtime struct {
 	BlockCacheCap int
 	OnTrace       TraceObserver
 	OnSample      SampleObserver
+	// EventLog, when non-nil, receives the runtime's own lifecycle events
+	// (trace promotions, block-cache flushes) stamped with the guest cycle
+	// clock. Recording never feeds back into the overhead model, so runs
+	// with and without a log are byte-identical.
+	EventLog *tracelog.Log
 
 	blocks map[uint64]*Fragment
 	traces map[uint64]*Fragment
@@ -242,6 +248,8 @@ func (rt *Runtime) buildBlock(pc uint64) *Fragment {
 		// Cache full: flush everything and start over (DynamoRIO's
 		// all-at-once eviction). Links into flushed blocks resolve by
 		// target PC, so traces are unaffected.
+		rt.EventLog.Emit(tracelog.Event{Type: tracelog.EvBlockCacheFlush,
+			Cycles: rt.M.Cycles, Arg1: uint64(rt.blockInstrs)})
 		rt.blocks = make(map[uint64]*Fragment)
 		rt.blockInstrs = 0
 		rt.BlockFlushes++
@@ -401,6 +409,8 @@ func (rt *Runtime) finishRecording() {
 	rt.traces[f.Start] = f
 	rt.TracesBuilt++
 	rt.Overhead += rt.Cost.TraceBuild + rt.Cost.TracePerInstr*uint64(len(f.Instrs))
+	rt.EventLog.Emit(tracelog.Event{Type: tracelog.EvTracePromoted,
+		Cycles: rt.M.Cycles, TracePC: f.Start, Arg1: uint64(len(f.Instrs))})
 	if rt.OnTrace != nil {
 		rt.OnTrace(f)
 	}

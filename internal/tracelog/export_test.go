@@ -1,0 +1,140 @@
+package tracelog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeTrace parses Chrome trace-event JSON into the generic container
+// shape Perfetto's importer reads.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, data)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no traceEvents")
+	}
+	return doc.TraceEvents
+}
+
+// TestChromeTraceSchema checks every exported event against the
+// trace-event format's required keys (what Perfetto validates on import):
+// name, ph, ts, pid, tid, plus dur on complete ("X") spans.
+func TestChromeTraceSchema(t *testing.T) {
+	evs, _ := fixedEvents()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	phs := map[string]int{}
+	for i, ev := range decodeTrace(t, buf.Bytes()) {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		phs[ph]++
+		if ph == "X" {
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete span missing dur: %v", ev)
+			}
+		}
+	}
+	// The synthetic lifecycle must produce all four phases: metadata,
+	// instants, the analyzer span, and the derived counter tracks.
+	for _, ph := range []string{"M", "i", "X", "C"} {
+		if phs[ph] == 0 {
+			t.Errorf("export produced no %q events; phases seen: %v", ph, phs)
+		}
+	}
+}
+
+// TestChromeTraceDeterministic: identical modelled content must serialize
+// byte-identically, whatever the append order or wall-clock values.
+func TestChromeTraceDeterministic(t *testing.T) {
+	evs, _ := fixedEvents()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	perturbed := make([]Event, len(evs))
+	for i, e := range evs {
+		e.Seq += 1000
+		e.WallNs *= 7
+		perturbed[len(evs)-1-i] = e
+	}
+	if err := WriteChromeTrace(&b, perturbed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("Chrome export depends on Seq/WallNs/append order:\n--- a ---\n%s--- b ---\n%s",
+			a.String(), b.String())
+	}
+}
+
+// TestChromeTraceWellFormedUnderOverflow: a wrapped ring (events dropped
+// oldest-first) must still export well-formed, schema-complete JSON.
+func TestChromeTraceWellFormedUnderOverflow(t *testing.T) {
+	l := NewLog(8)
+	for i := 0; i < 100; i++ {
+		l.Emit(Event{Type: Type(i % int(numTypes)), Cycles: uint64(i * 10),
+			TracePC: 0x400, Arg1: uint64(i), Dur: uint64(i % 3)})
+	}
+	if l.Drops() == 0 {
+		t.Fatal("test setup: ring did not overflow")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, l.Events()); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range decodeTrace(t, buf.Bytes()) {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event %d missing required key %q after overflow: %v", i, key, ev)
+			}
+		}
+	}
+}
+
+// TestEventJSONNamedArgs: the live /events marshalling renders the type
+// by name and the arguments by their per-type names, with the wall-clock
+// annotation in its separated field.
+func TestEventJSONNamedArgs(t *testing.T) {
+	e := Event{Seq: 7, Cycles: 9000, Type: EvAnalyzerEnd, Dur: 2168,
+		Arg1: 768, Arg2: 91, Arg3: 2, WallNs: 12345}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["type"] != "analyzer.end" {
+		t.Errorf("type = %v, want analyzer.end", m["type"])
+	}
+	if m["wall_ns"] != float64(12345) {
+		t.Errorf("wall_ns = %v, want 12345", m["wall_ns"])
+	}
+	args, _ := m["args"].(map[string]any)
+	if args["refs"] != float64(768) || args["misses"] != float64(91) || args["delinquent"] != float64(2) {
+		t.Errorf("args = %v, want named refs/misses/delinquent", args)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); ty < numTypes; ty++ {
+		if ty.String() == "" {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+	if got := Type(200).String(); got != "tracelog.Type(200)" {
+		t.Errorf("unknown type renders %q", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"umi/internal/cache"
+	"umi/internal/tracelog"
 )
 
 // OpStat accumulates the mini-simulated behaviour of one memory operation
@@ -44,6 +45,10 @@ type Analyzer struct {
 	// sequencer goroutine — they are atomics, safe to snapshot from the
 	// guest thread at any time.
 	met *Metrics
+	// tlog, when non-nil, receives analyzer lifecycle events (cache
+	// flushes). Same ownership story as met: inline-path emits happen on
+	// the guest thread, pipeline-path emits on the sequencer.
+	tlog *tracelog.Log
 
 	lastRun   uint64 // guest cycles at last invocation
 	ranBefore bool
@@ -93,6 +98,8 @@ func (a *Analyzer) BeginInvocation(nowCycles uint64) {
 		if a.met != nil {
 			a.met.Flushes.Inc()
 		}
+		a.tlog.Emit(tracelog.Event{Type: tracelog.EvCacheFlush,
+			Cycles: nowCycles, Arg1: nowCycles - a.lastRun})
 	}
 	a.lastRun = nowCycles
 	a.ranBefore = true

@@ -149,6 +149,16 @@ func (s *System) MetricsSnapshot() metrics.Snapshot {
 	return s.met.reg.Snapshot()
 }
 
+// LiveMetricsSnapshot copies the registry as-is, without draining the
+// pipeline or mirroring substrate counters. Unlike MetricsSnapshot it is
+// safe to call from any goroutine while the guest is mid-run — the
+// registry is all atomics — which is what the HTTP introspection endpoint
+// needs. Analyzer-side values may lag by in-flight invocations, and the
+// rio.* / minisim.* mirrors hold their last synced values.
+func (s *System) LiveMetricsSnapshot() metrics.Snapshot {
+	return s.met.reg.Snapshot()
+}
+
 // Metrics exposes the live metric set (for tests and in-process sinks).
 func (s *System) Metrics() *Metrics { return s.met }
 

@@ -3,6 +3,8 @@ package umi
 import (
 	"sync"
 	"time"
+
+	"umi/internal/tracelog"
 )
 
 // This file is the asynchronous profile-analysis pipeline. The paper runs
@@ -48,7 +50,11 @@ type analysisJob struct {
 // run would.
 type invocation struct {
 	cycles uint64
-	jobs   []*analysisJob
+	// cost is the modelled analysis cost the guest charged at hand-off,
+	// carried along so the sequencer's analyzer-end event reports the same
+	// span duration an inline run would.
+	cost uint64
+	jobs []*analysisJob
 	// barrier, when non-nil, marks a synchronization point instead of an
 	// invocation: the sequencer closes it without touching the analyzer.
 	barrier chan struct{}
@@ -69,6 +75,7 @@ type analyzerPool struct {
 	an        *Analyzer
 	consumers []ProfileConsumer
 	met       *Metrics
+	tlog      *tracelog.Log
 
 	prepQ   chan *analysisJob
 	seqQ    chan invocation
@@ -79,11 +86,12 @@ type analyzerPool struct {
 	closed bool
 }
 
-func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, workers int) *analyzerPool {
+func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, tlog *tracelog.Log, workers int) *analyzerPool {
 	p := &analyzerPool{
 		an:        an,
 		consumers: consumers,
 		met:       met,
+		tlog:      tlog,
 		prepQ:     make(chan *analysisJob, 2*workers),
 		seqQ:      make(chan invocation, seqDepth),
 		recycle:   make(chan *AddressProfile, recycleDepth),
@@ -126,6 +134,7 @@ func (p *analyzerPool) sequencer() {
 		// waits on preparation workers — it is the end-to-end time an
 		// inline run would have stalled the guest for.
 		start := time.Now()
+		refs0, miss0 := p.an.SimulatedRefs, p.an.totalMiss
 		p.an.BeginInvocation(inv.cycles)
 		for _, job := range inv.jobs {
 			<-job.ready
@@ -142,6 +151,13 @@ func (p *analyzerPool) sequencer() {
 		p.met.AnalysisLatency.Observe(elapsed)
 		p.met.SeqBusyNs.Add(elapsed)
 		p.met.RecycleQueue.Set(int64(len(p.recycle)))
+		// The span is stamped with the hand-off cycles and the modelled
+		// cost — the same deterministic (ts, dur) an inline run reports —
+		// while the wall-clock pipeline latency lives in WallNs.
+		p.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerEnd,
+			Cycles: inv.cycles, Dur: inv.cost,
+			Arg1: p.an.SimulatedRefs - refs0, Arg2: p.an.totalMiss - miss0,
+			Arg3: uint64(len(p.an.delinquent))})
 	}
 }
 
@@ -149,12 +165,12 @@ func (p *analyzerPool) sequencer() {
 // the fixed merge order; ownership of every job's profile transfers to
 // the pipeline. The call blocks when the bounded queues are full — the
 // backpressure that keeps the guest from racing ahead of analysis.
-func (p *analyzerPool) submit(cycles uint64, jobs []*analysisJob) {
+func (p *analyzerPool) submit(cycles, cost uint64, jobs []*analysisJob) {
 	for _, job := range jobs {
 		job.ready = make(chan struct{})
 		p.prepQ <- job
 	}
-	p.seqQ <- invocation{cycles: cycles, jobs: jobs}
+	p.seqQ <- invocation{cycles: cycles, cost: cost, jobs: jobs}
 	p.met.Submits.Inc()
 	// Channel lengths are instantaneous, but the gauges' high-water marks
 	// are what the self-overhead report cares about: sustained depth at

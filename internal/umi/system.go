@@ -2,11 +2,13 @@ package umi
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"umi/internal/metrics"
 	"umi/internal/rio"
+	"umi/internal/tracelog"
 )
 
 // traceState tracks one code trace through the UMI lifecycle.
@@ -74,6 +76,12 @@ type System struct {
 	// reported results, so metrics-on and metrics-off reports are
 	// byte-identical by construction.
 	met *Metrics
+
+	// tlog is the structured event timeline (internal/tracelog), nil until
+	// EnableEventTrace. Like met it is purely observational: every emit is
+	// keyed to the modelled cycle clock and never feeds back into modelled
+	// state, so trace-on and trace-off reports are byte-identical.
+	tlog *tracelog.Log
 }
 
 // Attach installs UMI onto the runtime. It must be called before the
@@ -96,6 +104,23 @@ func Attach(rt *rio.Runtime, cfg Config) *System {
 	rt.OnSample = s.onSample
 	return s
 }
+
+// EnableEventTrace attaches a structured event log of the given ring
+// capacity (0 selects tracelog.DefaultCapacity) and wires it through the
+// region selector, instrumentor, analyzer, pipeline, and the underlying
+// rio runtime. Must be called before the runtime starts executing; the
+// returned log may be snapshotted from any goroutine at any time.
+func (s *System) EnableEventTrace(capacity int) *tracelog.Log {
+	l := tracelog.NewLog(capacity)
+	s.tlog = l
+	s.an.tlog = l
+	s.rt.EventLog = l
+	return l
+}
+
+// EventLog returns the attached event log (nil unless EnableEventTrace
+// was called).
+func (s *System) EventLog() *tracelog.Log { return s.tlog }
 
 // Analyzer exposes the profile analyzer and its cumulative results. When
 // the asynchronous pipeline is running, the call synchronizes with it
@@ -187,6 +212,9 @@ func (s *System) instrument(ts *traceState) {
 			s.met.RecycleMisses.Inc()
 		} else {
 			s.met.RecycleHits.Inc()
+			s.tlog.Emit(tracelog.Event{Type: tracelog.EvPipelineRecycle,
+				Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start,
+				Arg1: uint64(s.cfg.AddressProfileRows)})
 		}
 	case len(ts.profile.Ops) != len(ops):
 		ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
@@ -215,11 +243,16 @@ func (s *System) instrument(ts *traceState) {
 	inst.Instr = &rio.Instrumentation{
 		Prolog: func() bool {
 			if ts.profile.Full() || s.globalRows >= s.cfg.TraceProfileLen {
+				global := uint64(0)
 				if ts.profile.Full() {
 					s.met.ProfileFills.Inc()
 				} else {
 					s.met.GlobalFills.Inc()
+					global = 1
 				}
+				s.tlog.Emit(tracelog.Event{Type: tracelog.EvProfileFill,
+					Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start,
+					Arg1: uint64(ts.profile.Rows()), Arg2: global})
 				s.runAnalyzer(ts)
 				return false
 			}
@@ -236,6 +269,8 @@ func (s *System) instrument(ts *traceState) {
 	ts.instr = inst
 	s.instrumentEvents++
 	s.met.TracesInstrumented.Inc()
+	s.tlog.Emit(tracelog.Event{Type: tracelog.EvTraceInstrumented,
+		Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start, Arg1: uint64(len(ops))})
 	s.rt.AddOverhead(s.cfg.InstrumentCost)
 	s.rt.ReplaceTrace(inst)
 }
@@ -271,7 +306,7 @@ func (s *System) asyncActive() bool {
 		return false
 	}
 	if s.pool == nil {
-		s.pool = newAnalyzerPool(s.an, s.consumers, s.met, s.cfg.AnalyzerWorkers)
+		s.pool = newAnalyzerPool(s.an, s.consumers, s.met, s.tlog, s.cfg.AnalyzerWorkers)
 	}
 	return true
 }
@@ -282,6 +317,8 @@ func (s *System) asyncActive() bool {
 // and charges the modelled analysis cost.
 func (s *System) runAnalyzer(trigger *traceState) {
 	live := s.liveTraces()
+	s.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerBegin,
+		Cycles: s.rt.M.Cycles, Arg1: uint64(len(live))})
 	if s.asyncActive() {
 		s.submitAnalysis(live)
 	} else {
@@ -290,6 +327,9 @@ func (s *System) runAnalyzer(trigger *traceState) {
 	if s.cfg.Adaptive {
 		trigger.alpha = s.cfg.clampAlpha(trigger.alpha - s.cfg.DelinquencyStep)
 		s.met.AdaptiveAlphaSteps.Inc()
+		s.tlog.Emit(tracelog.Event{Type: tracelog.EvAdaptiveStep,
+			Cycles: s.rt.M.Cycles, TracePC: trigger.clean.Start,
+			Arg1: math.Float64bits(trigger.alpha)})
 	}
 	s.globalRows = 0
 	s.emitMetrics()
@@ -305,8 +345,10 @@ func (s *System) analyzeInline(live []*traceState) {
 		s.met.SyncFallbacks.Inc()
 	}
 	start := time.Now()
+	startCycles := s.rt.M.Cycles
+	refs0, miss0 := s.an.SimulatedRefs, s.an.totalMiss
 	cost := s.cfg.AnalyzerFixed
-	s.an.BeginInvocation(s.rt.M.Cycles)
+	s.an.BeginInvocation(startCycles)
 	for _, ts := range live {
 		cost += s.an.AnalyzeProfile(ts.profile, ts.alpha)
 		for _, c := range s.consumers {
@@ -321,6 +363,10 @@ func (s *System) analyzeInline(live []*traceState) {
 		s.deinstrument(ts)
 	}
 	s.met.AnalysisLatency.Observe(uint64(time.Since(start)))
+	s.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerEnd,
+		Cycles: startCycles, Dur: cost,
+		Arg1: s.an.SimulatedRefs - refs0, Arg2: s.an.totalMiss - miss0,
+		Arg3: uint64(len(s.an.delinquent))})
 	s.rt.AddOverhead(cost)
 }
 
@@ -343,7 +389,10 @@ func (s *System) submitAnalysis(live []*traceState) {
 		s.met.ProfilesCollected.Inc()
 		s.deinstrument(ts)
 	}
-	s.pool.submit(cycles, jobs)
+	s.pool.submit(cycles, cost, jobs)
+	s.tlog.Emit(tracelog.Event{Type: tracelog.EvPipelineSubmit,
+		Cycles: cycles, Arg1: uint64(len(jobs)),
+		Arg2: uint64(len(s.pool.prepQ)), Arg3: uint64(len(s.pool.seqQ))})
 	s.rt.AddOverhead(cost)
 }
 
@@ -378,6 +427,8 @@ func (s *System) deinstrument(ts *traceState) {
 	ts.instr = nil
 	ts.rowOpen = false
 	s.met.TracesDeinstrumented.Inc()
+	s.tlog.Emit(tracelog.Event{Type: tracelog.EvTraceDeinstrumented,
+		Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start, Arg1: uint64(ts.analyses + 1)})
 	ts.everAnalyzed = true
 	ts.analyses++
 	ts.lastAnalyzed = s.rt.M.Instrs

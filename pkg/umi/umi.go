@@ -21,12 +21,14 @@ package umi
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"umi/internal/cache"
 	"umi/internal/metrics"
 	"umi/internal/prefetch"
 	"umi/internal/program"
 	"umi/internal/rio"
+	"umi/internal/tracelog"
 	iumi "umi/internal/umi"
 	"umi/internal/vm"
 )
@@ -44,6 +46,16 @@ type (
 	// and latency histograms. It marshals with encoding/json and renders
 	// deterministically with String.
 	MetricsSnapshot = metrics.Snapshot
+	// Event is one structured lifecycle event recorded by WithEventTrace:
+	// a typed record (trace promoted/instrumented/deinstrumented, profile
+	// fill, analyzer invocation span, cache flush, pipeline hand-off)
+	// stamped with the modelled guest-cycle clock. The Seq and WallNs
+	// fields are the only non-deterministic content.
+	Event = tracelog.Event
+	// EventLog is the ring-buffered event timeline: bounded memory,
+	// oldest events dropped (and counted) on overflow, snapshot-safe from
+	// any goroutine.
+	EventLog = tracelog.Log
 	// Program is an assembled guest program.
 	Program = program.Program
 	// Builder constructs guest programs.
@@ -147,6 +159,33 @@ func WithMetricsSink(fn func(MetricsSnapshot)) Option {
 	return func(s *Session) { s.metricsSink = fn }
 }
 
+// WithEventTrace attaches a structured event timeline of the given ring
+// capacity (0 selects the default, 65536 events). Recording is purely
+// observational — every event is stamped with the modelled cycle clock and
+// never feeds back into modelled state — so profiling reports are
+// byte-identical with or without it. Snapshot the log at any time via
+// Events(); render with tracelog.Timeline or export Chrome trace-event
+// JSON (loadable in Perfetto) with WriteChromeTrace.
+func WithEventTrace(capacity int) Option {
+	return func(s *Session) {
+		s.traceEvents = true
+		s.traceCapacity = capacity
+	}
+}
+
+// WriteChromeTrace serializes recorded events as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing: analyzer invocations as
+// duration spans per component track, lifecycle events as instants, and
+// derived counter tracks for delinquent-set size and pipeline queue depth.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return tracelog.WriteChromeTrace(w, events)
+}
+
+// FormatTimeline renders events as the deterministic plain-text timeline.
+func FormatTimeline(events []Event, drops uint64) string {
+	return tracelog.Timeline(events, drops)
+}
+
 // FormatMetrics renders a snapshot as the CLIs' self-overhead section:
 // headline rates (candidate filter rate, analysis latency summary, queue
 // pressure) followed by the full name-sorted registry dump.
@@ -168,6 +207,9 @@ type Session struct {
 	cfgEdit     []func(*iumi.Config)
 	metricsSink func(MetricsSnapshot)
 
+	traceEvents   bool
+	traceCapacity int
+
 	wantWorkingSet bool
 	wantPatterns   bool
 	whatIfConfigs  []CacheConfig
@@ -182,6 +224,7 @@ type Session struct {
 	workingSet *WorkingSet
 	patterns   *PatternCensus
 	whatIf     *WhatIf
+	events     *tracelog.Log
 }
 
 // NewSession prepares a session for the program.
@@ -237,6 +280,9 @@ func (s *Session) Run() (*Report, error) {
 	if s.metricsSink != nil {
 		sys.OnMetrics = s.metricsSink
 	}
+	if s.traceEvents {
+		s.events = sys.EnableEventTrace(s.traceCapacity)
+	}
 	if s.wantWorkingSet {
 		s.workingSet = iumi.NewWorkingSet(l2.LineSize)
 		sys.AddConsumer(s.workingSet)
@@ -268,6 +314,16 @@ func (s *Session) Report() *Report { return s.report }
 // counts through analysis latency and pipeline queue pressure. The zero
 // Snapshot before Run.
 func (s *Session) Metrics() MetricsSnapshot { return s.metrics }
+
+// EventLog returns the structured event timeline (nil unless the session
+// was built WithEventTrace). Safe to snapshot from any goroutine, during
+// or after the run.
+func (s *Session) EventLog() *EventLog { return s.events }
+
+// Events returns the retained lifecycle events in emission order, with
+// Drops() on the log reporting how many older events the ring discarded.
+// Nil unless the session was built WithEventTrace.
+func (s *Session) Events() []Event { return s.events.Events() }
 
 // HardwareMissRatio returns the ground-truth L2 miss ratio the modelled
 // hardware observed (what a performance counter would report).

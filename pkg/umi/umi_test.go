@@ -1,6 +1,8 @@
 package umi
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"testing"
 
@@ -147,6 +149,43 @@ func TestSessionAnalysesNilBeforeOptIn(t *testing.T) {
 	}
 	if sess.WorkingSet() != nil || sess.Patterns() != nil || sess.WhatIfResults() != nil {
 		t.Error("analyses must be nil without opt-in")
+	}
+}
+
+func TestSessionEventTrace(t *testing.T) {
+	p := demo(t)
+	plain := NewSession(p)
+	if _, err := plain.Run(); err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	if plain.EventLog() != nil || plain.Events() != nil {
+		t.Error("event log must be nil without WithEventTrace")
+	}
+	traced := NewSession(p, WithEventTrace(0))
+	if _, err := traced.Run(); err != nil {
+		t.Fatalf("traced: %v", err)
+	}
+	evs := traced.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Tracing must not perturb the modelled run.
+	if got, want := traced.TotalCycles(), plain.TotalCycles(); got != want {
+		t.Errorf("TotalCycles with trace = %d, without = %d", got, want)
+	}
+	if got, want := traced.Report().String(), plain.Report().String(); got != want {
+		t.Errorf("Report with trace = %s, without = %s", got, want)
+	}
+	// The renderers are reachable through the public surface.
+	if out := FormatTimeline(evs, traced.EventLog().Drops()); out == "" {
+		t.Error("FormatTimeline returned empty output")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("Chrome trace is not valid JSON")
 	}
 }
 
