@@ -1,7 +1,14 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test check bench fuzz
+# The perf-trajectory micro-benchmarks: the hot paths every simulated
+# reference crosses. bench-json pins -benchtime/-count so BENCH_umi.json
+# baselines are comparable run to run on one machine.
+BENCH_HOT = ^Benchmark(CacheAccess|AnalyzeProfile|PipelineEndToEnd)$$
+BENCH_TIME ?= 300ms
+BENCH_COUNT ?= 3
+
+.PHONY: build test check bench bench-json bench-compare fuzz
 
 build:
 	$(GO) build ./...
@@ -9,17 +16,34 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: static vetting plus the full suite under
-# the race detector (the analyzer pipeline and harness fan-out are
-# concurrent; -race is what validates their synchronization). The harness
-# package runs every experiment driver; under the race detector's ~10x
-# slowdown that outgrows go test's default 10m per-package timeout.
+# check is the pre-merge gate: static vetting, the zero-allocation tests in
+# a plain pass (they are !race — the detector's instrumentation skews
+# allocation counts), then the full suite under the race detector (the
+# analyzer pipeline and harness fan-out are concurrent; -race is what
+# validates their synchronization). The harness package runs every
+# experiment driver; under the race detector's ~10x slowdown that outgrows
+# go test's default 10m per-package timeout.
 check:
 	$(GO) vet ./...
+	$(GO) test -run ZeroAllocs ./internal/cache ./internal/umi
 	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json refreshes the committed perf baseline from the hot-path
+# micro-benchmarks. Run it on a quiet machine when a PR moves ns/ref.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem \
+		-benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_umi.json
+
+# bench-compare measures the same suite and diffs it against the committed
+# baseline, warning (never failing) past a 15% headline regression.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchmem \
+		-benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_umi.json -warn-pct 15
 
 # fuzz gives each fuzz target a short randomized run (FUZZTIME each; the
 # corpus-replay cases also run under plain `make test`). Go allows one

@@ -331,20 +331,65 @@ func BenchmarkRIOExecution(b *testing.B) {
 	}
 }
 
-func BenchmarkMiniSimAnalyze(b *testing.B) {
+// BenchmarkAnalyzeProfile measures the analyzer's inner loop — the
+// mini-simulation every recorded reference funnels through — on a profile
+// shaped like the paper's defaults (§4.2 geometry, mixed hit/miss columns).
+// ns/ref is the perf-trajectory headline (BENCH_umi.json); allocs/op must
+// stay 0 in steady state (TestAnalyzeProfileZeroAllocs is the CI gate).
+func BenchmarkAnalyzeProfile(b *testing.B) {
 	cfg := iumi.DefaultConfig(cache.P4L2)
 	an := iumi.NewAnalyzer(&cfg)
-	prof := iumi.NewAddressProfile([]uint64{1, 2, 3, 4}, []bool{true, true, false, true}, 256)
-	for r := 0; r < 256; r++ {
+	const nOps, rows = 16, 256
+	ops := make([]uint64, nOps)
+	isLoad := make([]bool, nOps)
+	for i := range ops {
+		ops[i] = uint64(0x1000 + i*16)
+		isLoad[i] = i%4 != 3
+	}
+	prof := iumi.NewAddressProfile(ops, isLoad, rows)
+	for r := 0; r < rows; r++ {
 		row, _ := prof.OpenRow()
-		for c := 0; c < 4; c++ {
-			prof.Record(row, c, uint64(r*64+c*4096))
+		for c := 0; c < nOps; c++ {
+			// Half the columns stream (miss-heavy), half cycle a small
+			// resident set (hit-heavy), so both Access outcomes are hot.
+			if c%2 == 0 {
+				prof.Record(row, c, uint64(r)*4096+uint64(c)*64)
+			} else {
+				prof.Record(row, c, uint64(r%8)*64+uint64(c)*8192)
+			}
 		}
 	}
+	refsPerOp := uint64(prof.Recorded())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		an.BeginInvocation(uint64(i))
 		an.AnalyzeProfile(prof, 0.9)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refsPerOp), "ns/ref")
+}
+
+// BenchmarkPipelineEndToEnd runs a full workload through the asynchronous
+// analysis pipeline (4 preparation workers + sequencer) — guest execution,
+// instrumentation, profile recording, hand-off, mini-simulation, merge —
+// and reports wall time per simulated reference.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	w, ok := workloads.ByName("181.mcf")
+	if !ok {
+		b.Fatal("workload 181.mcf missing")
+	}
+	cfg := harness.UMIParams(harness.P4)
+	cfg.AnalyzerWorkers = 4
+	var refs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := harness.RunUMI(w, harness.P4, cfg, false, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += run.Report.SimulatedRefs
+	}
+	if refs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(refs), "ns/ref")
 	}
 }
 

@@ -1,0 +1,221 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_umi.json perf trajectory, and diffs a fresh run
+// against a committed baseline.
+//
+// Capture mode (the `make bench-json` target):
+//
+//	go test -run '^$' -bench ... -benchmem -count 3 . | benchjson -out BENCH_umi.json
+//
+// Compare mode (the CI regression step; warn-only, since CI machines vary):
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -compare BENCH_umi.json -warn-pct 15
+//
+// Repeated -count runs of one benchmark are averaged into a single entry,
+// and entries are sorted by name, so the JSON is stable for a fixed set of
+// measurements.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"` // total across runs
+	Metrics    map[string]float64 `json:"metrics"`    // unit -> mean value
+}
+
+// File is the BENCH_umi.json schema: a flat, sorted list of benchmark
+// results. Environment identification (Go version, CPU) stays out so the
+// committed baseline does not churn with toolchain bumps; the `go test`
+// header lines carry that context in CI logs.
+type File struct {
+	Schema     string   `json:"schema"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+const schemaName = "umi-bench/v1"
+
+// benchLine matches one result line: name (with optional -GOMAXPROCS
+// suffix), iteration count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parse reads `go test -bench` output and aggregates per-benchmark means.
+func parse(r io.Reader) (*File, error) {
+	type acc struct {
+		runs  int
+		iters int64
+		sums  map[string]float64
+		n     map[string]int
+	}
+	byName := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		a := byName[m[1]]
+		if a == nil {
+			a = &acc{sums: map[string]float64{}, n: map[string]int{}}
+			byName[m[1]] = a
+		}
+		a.runs++
+		a.iters += iters
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q for %q", m[1], fields[i], fields[i+1])
+			}
+			a.sums[fields[i+1]] += v
+			a.n[fields[i+1]]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	f := &File{Schema: schemaName}
+	for name, a := range byName {
+		res := Result{Name: name, Runs: a.runs, Iterations: a.iters,
+			Metrics: make(map[string]float64, len(a.sums))}
+		for unit, sum := range a.sums {
+			res.Metrics[unit] = sum / float64(a.n[unit])
+		}
+		f.Benchmarks = append(f.Benchmarks, res)
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return f, nil
+}
+
+// headline picks the metric a regression check compares: per-reference cost
+// when the benchmark reports it, per-op wall time otherwise.
+func headline(r Result) (string, float64, bool) {
+	if v, ok := r.Metrics["ns/ref"]; ok {
+		return "ns/ref", v, true
+	}
+	if v, ok := r.Metrics["ns/op"]; ok {
+		return "ns/op", v, true
+	}
+	return "", 0, false
+}
+
+// compare diffs cur against the baseline and writes a report. It returns
+// the number of benchmarks whose headline metric regressed past warnPct.
+func compare(w io.Writer, baseline, cur *File, warnPct float64) int {
+	base := map[string]Result{}
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	regressions := 0
+	for _, r := range cur.Benchmarks {
+		unit, now, ok := headline(r)
+		if !ok {
+			continue
+		}
+		b, inBase := base[r.Name]
+		if !inBase {
+			fmt.Fprintf(w, "%-28s %10.2f %s (no baseline)\n", r.Name, now, unit)
+			continue
+		}
+		old, okBase := b.Metrics[unit]
+		if !okBase || old == 0 {
+			fmt.Fprintf(w, "%-28s %10.2f %s (baseline lacks %s)\n", r.Name, now, unit, unit)
+			continue
+		}
+		pct := 100 * (now - old) / old
+		fmt.Fprintf(w, "%-28s %10.2f -> %10.2f %s  %+6.1f%%\n", r.Name, old, now, unit, pct)
+		if pct > warnPct {
+			regressions++
+			// GitHub Actions annotation; inert noise elsewhere.
+			fmt.Fprintf(w, "::warning::%s regressed %.1f%% (%s %.2f -> %.2f, threshold %.0f%%)\n",
+				r.Name, pct, unit, old, now, warnPct)
+		}
+	}
+	for name := range base {
+		found := false
+		for _, r := range cur.Benchmarks {
+			if r.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-28s missing from this run (baseline only)\n", name)
+		}
+	}
+	return regressions
+}
+
+// run is the testable entry point: parses flags against args, reads bench
+// output from stdin, and writes to stdout/stderr. Returns the process exit
+// code (compare mode is warn-only: regressions annotate, they do not fail).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write aggregated benchmark JSON to this file")
+	baselinePath := fs.String("compare", "", "diff stdin's run against this baseline JSON")
+	warnPct := fs.Float64("warn-pct", 15, "warn when a headline metric regresses past this percentage")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cur, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
+		return 1
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		var baseline File
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", *baselinePath, err)
+			return 1
+		}
+		n := compare(stdout, &baseline, cur, *warnPct)
+		fmt.Fprintf(stdout, "%d benchmark(s) past the %.0f%% warn threshold\n", n, *warnPct)
+		return 0
+	}
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmark(s) to %s\n", len(cur.Benchmarks), *out)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

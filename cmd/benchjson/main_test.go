@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: umi
+cpu: Example CPU @ 2.10GHz
+BenchmarkCacheAccess    	59188197	        20.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheAccess    	66214640	        22.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAnalyzeProfile 	    3380	     69448 ns/op	        16.95 ns/ref	      21 B/op	       0 allocs/op
+PASS
+ok  	umi	7.918s
+`
+
+func TestParseAggregatesAndSorts(t *testing.T) {
+	f, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != schemaName {
+		t.Errorf("schema = %q", f.Schema)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	if f.Benchmarks[0].Name != "BenchmarkAnalyzeProfile" || f.Benchmarks[1].Name != "BenchmarkCacheAccess" {
+		t.Errorf("not sorted by name: %v, %v", f.Benchmarks[0].Name, f.Benchmarks[1].Name)
+	}
+	ca := f.Benchmarks[1]
+	if ca.Runs != 2 || ca.Iterations != 59188197+66214640 {
+		t.Errorf("CacheAccess runs=%d iters=%d", ca.Runs, ca.Iterations)
+	}
+	if got := ca.Metrics["ns/op"]; got != 21.0 {
+		t.Errorf("mean ns/op = %v, want 21.0", got)
+	}
+	ap := f.Benchmarks[0]
+	if unit, v, ok := headline(ap); !ok || unit != "ns/ref" || v != 16.95 {
+		t.Errorf("headline = %v %v %v, want ns/ref 16.95", unit, v, ok)
+	}
+	if unit, _, _ := headline(ca); unit != "ns/op" {
+		t.Errorf("headline without ns/ref = %v, want ns/op", unit)
+	}
+}
+
+func TestCompareWarnsPastThreshold(t *testing.T) {
+	baseline, _ := parse(strings.NewReader(
+		"BenchmarkCacheAccess-8 100 20.0 ns/op\nBenchmarkGone-8 100 5.0 ns/op\n"))
+	cur, _ := parse(strings.NewReader(
+		"BenchmarkCacheAccess-8 100 30.0 ns/op\nBenchmarkNew-8 100 1.0 ns/op\n"))
+	var sb strings.Builder
+	if n := compare(&sb, baseline, cur, 15); n != 1 {
+		t.Errorf("regressions = %d, want 1 (50%% past a 15%% threshold)", n)
+	}
+	out := sb.String()
+	for _, want := range []string{"::warning::BenchmarkCacheAccess", "+50.0%",
+		"BenchmarkNew", "no baseline", "BenchmarkGone", "baseline only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if n := compare(&sb, baseline, cur, 60); n != 0 {
+		t.Errorf("regressions = %d at a 60%% threshold, want 0", n)
+	}
+}
+
+func TestRunCaptureAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_umi.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-out", path}, strings.NewReader(sampleOutput), &out, &errb); code != 0 {
+		t.Fatalf("capture exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("emitted JSON invalid: %v", err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("round-trip lost benchmarks: %d", len(f.Benchmarks))
+	}
+
+	// Compare the same output against itself: zero regressions, exit 0.
+	out.Reset()
+	if code := run([]string{"-compare", path}, strings.NewReader(sampleOutput), &out, &errb); code != 0 {
+		t.Fatalf("compare exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "0 benchmark(s) past") {
+		t.Errorf("self-compare should report no regressions:\n%s", out.String())
+	}
+
+	// Empty input is an error.
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &errb); code != 1 {
+		t.Errorf("empty input exit = %d, want 1", code)
+	}
+}

@@ -68,28 +68,50 @@ var (
 	K7L2  = Config{Name: "K7-L2", Size: 256 * 1024, Assoc: 16, LineSize: 64}
 )
 
-type line struct {
+// hotLine holds the fields a demand-access probe reads: the tag compare and
+// the LRU recency stamp. Splitting these from the prefetch bookkeeping keeps
+// a set's probe footprint to one hardware cache line for typical
+// associativities, so the mini-simulator's inner loop stays resident.
+type hotLine struct {
 	tag     uint64
+	lastUse uint64 // logical time of last touch (LRU); install time for FIFO
 	valid   bool
-	lastUse uint64 // logical time of last touch (LRU)
-	// prefetched marks a line installed by a prefetcher and not yet
-	// touched by a demand access; used for prefetch coverage accounting.
-	prefetched bool
+}
+
+// coldLine holds the prefetch bookkeeping a demand access only touches when
+// prefetch state actually exists (coldActive): coverage marking and the
+// in-flight fill deadline.
+type coldLine struct {
 	// readyAt is the logical time at which an in-flight fill completes. A
 	// demand access arriving earlier pays a late-fill penalty.
 	readyAt uint64
+	// prefetched marks a line installed by a prefetcher and not yet
+	// touched by a demand access; used for prefetch coverage accounting.
+	prefetched bool
 }
 
 // Cache is one set-associative cache level with true-LRU replacement, as in
 // the paper's mini-simulator ("an empty line, or the oldest line, is
 // selected"; "we use a counter to simulate time").
+//
+// Lines live in two contiguous backing arrays indexed by set*assoc+way: hot
+// probe fields in hot, prefetch fields in cold. The flat layout removes the
+// per-probe pointer dereference and bounds check a [][]line representation
+// costs, and the hot/cold split halves the bytes a demand scan touches.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	hot       []hotLine // Sets()*Assoc entries, way-major within each set
+	cold      []coldLine
+	assoc     int
 	setMask   uint64
 	lineShift uint
 	setBits   uint
 	clock     uint64
+
+	// coldActive is set by the first Install and cleared by Flush/Reset;
+	// while false, every cold entry is zero and the LRU demand fast path
+	// can skip prefetch bookkeeping entirely.
+	coldActive bool
 
 	policy   Policy
 	rngState uint64   // Random policy state
@@ -125,11 +147,6 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets())
-	backing := make([]line, cfg.Sets()*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
-	}
 	shift := uint(0)
 	for 1<<shift != cfg.LineSize {
 		shift++
@@ -138,7 +155,9 @@ func New(cfg Config) *Cache {
 	for 1<<setBits != cfg.Sets() {
 		setBits++
 	}
-	c := &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1), lineShift: shift,
+	n := cfg.Sets() * cfg.Assoc
+	c := &Cache{cfg: cfg, hot: make([]hotLine, n), cold: make([]coldLine, n),
+		assoc: cfg.Assoc, setMask: uint64(cfg.Sets() - 1), lineShift: shift,
 		setBits: setBits, policy: cfg.Policy, rngState: rngSeed}
 	if cfg.Policy == PLRU {
 		c.plruBits = make([]uint64, cfg.Sets())
@@ -171,24 +190,74 @@ type AccessResult struct {
 // Access performs one demand access. On miss the line is installed
 // (demand fill completes immediately).
 func (c *Cache) Access(addr uint64) AccessResult {
+	if c.policy == LRU && !c.coldActive {
+		return c.accessLRUDemand(addr)
+	}
+	return c.accessSlow(addr)
+}
+
+// accessLRUDemand is the specialized fast path for the configuration the
+// profile analyzer always runs: LRU replacement with no prefetch state. One
+// fused scan over the set's hot lines resolves the tag compare, the LRU
+// victim, and the first invalid way, touching no cold fields. Behaviour is
+// exactly accessSlow's under these preconditions (cold entries are all zero
+// while coldActive is false, and plruTouch is a no-op for LRU).
+func (c *Cache) accessLRUDemand(addr uint64) AccessResult {
+	c.clock++
+	c.stats.Accesses++
+	l := addr >> c.lineShift
+	tag := l >> c.setBits
+	base := int(l&c.setMask) * c.assoc
+	hot := c.hot[base : base+c.assoc]
+	invalid := -1
+	lruWay, lruUse := 0, ^uint64(0)
+	for i := range hot {
+		h := &hot[i]
+		if !h.valid {
+			if invalid < 0 {
+				invalid = i
+			}
+			continue
+		}
+		if h.tag == tag {
+			h.lastUse = c.clock
+			return AccessResult{Hit: true}
+		}
+		if h.lastUse < lruUse {
+			lruWay, lruUse = i, h.lastUse
+		}
+	}
+	c.stats.Misses++
+	victim := invalid
+	if victim < 0 {
+		victim = lruWay
+		c.stats.Evictions++
+	}
+	hot[victim] = hotLine{tag: tag, lastUse: c.clock, valid: true}
+	return AccessResult{}
+}
+
+// accessSlow is the general demand access: any policy, prefetch state live.
+func (c *Cache) accessSlow(addr uint64) AccessResult {
 	c.clock++
 	c.stats.Accesses++
 	set, tag := c.setAndTag(addr)
-	lines := c.sets[set]
-	for i := range lines {
-		ln := &lines[i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		h := &c.hot[base+i]
+		if h.valid && h.tag == tag {
 			res := AccessResult{Hit: true}
-			if ln.prefetched {
+			cd := &c.cold[base+i]
+			if cd.prefetched {
 				res.PrefetchedHit = true
-				ln.prefetched = false
+				cd.prefetched = false
 			}
-			if ln.readyAt > c.clock {
+			if cd.readyAt > c.clock {
 				res.Late = true
-				ln.readyAt = 0
+				cd.readyAt = 0
 			}
 			if c.policy != FIFO {
-				ln.lastUse = c.clock // FIFO keeps install time
+				h.lastUse = c.clock // FIFO keeps install time
 			}
 			c.plruTouch(set, i)
 			return res
@@ -202,9 +271,10 @@ func (c *Cache) Access(addr uint64) AccessResult {
 // Probe reports whether addr is resident without updating any state.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.setAndTag(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		h := &c.hot[base+i]
+		if h.valid && h.tag == tag {
 			return true
 		}
 	}
@@ -212,44 +282,61 @@ func (c *Cache) Probe(addr uint64) bool {
 }
 
 // Install brings addr's line in as a prefetch that completes after delay
-// further accesses. It does nothing if the line is already resident.
+// further accesses. When the line is already resident with a fill still in
+// flight, the re-issued prefetch clamps the completion time to
+// min(readyAt, clock+delay): a closer prefetch accelerates the fill, and a
+// farther one never pushes it back. A resident, completed line is untouched.
 func (c *Cache) Install(addr uint64, delay uint64) {
 	set, tag := c.setAndTag(addr)
-	for i := range c.sets[set] {
-		ln := &c.sets[set][i]
-		if ln.valid && ln.tag == tag {
+	base := int(set) * c.assoc
+	for i := 0; i < c.assoc; i++ {
+		h := &c.hot[base+i]
+		if h.valid && h.tag == tag {
+			if cd := &c.cold[base+i]; c.clock+delay < cd.readyAt {
+				cd.readyAt = c.clock + delay
+			}
 			return
 		}
 	}
+	c.coldActive = true
 	c.install(set, tag, true, c.clock+delay)
 }
 
 func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
-	lines := c.sets[set]
+	base := int(set) * c.assoc
 	victim := -1
-	for i := range lines {
-		if !lines[i].valid {
+	for i := 0; i < c.assoc; i++ {
+		if !c.hot[base+i].valid {
 			victim = i
 			break
 		}
 	}
 	if victim < 0 {
-		victim = c.victim(set, lines)
+		victim = c.victim(set, c.hot[base:base+c.assoc])
 		c.stats.Evictions++
 	}
-	lines[victim] = line{tag: tag, valid: true, lastUse: c.clock, prefetched: prefetched, readyAt: readyAt}
+	c.hot[base+victim] = hotLine{tag: tag, valid: true, lastUse: c.clock}
+	c.cold[base+victim] = coldLine{prefetched: prefetched, readyAt: readyAt}
 	c.plruTouch(set, victim)
 }
 
-// Flush invalidates the entire cache. The paper's analyzer flushes its
-// logical cache when more than 1M cycles have elapsed since it last ran, to
-// avoid long-term contamination.
+// Flush invalidates the entire cache, including replacement-policy recency
+// state: with every line gone, stale PLRU tree bits would otherwise steer
+// victim selection by pre-flush history. The clock and statistics keep
+// running — the paper's analyzer flushes its logical cache when more than
+// 1M cycles have elapsed since it last ran, to avoid long-term
+// contamination, and that is a pause within one logical run, not a restart.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i] = line{}
-		}
+	for i := range c.hot {
+		c.hot[i] = hotLine{}
 	}
+	for i := range c.cold {
+		c.cold[i] = coldLine{}
+	}
+	for i := range c.plruBits {
+		c.plruBits[i] = 0
+	}
+	c.coldActive = false
 }
 
 // Clone returns a deep copy of the cache: geometry, line contents, the
@@ -263,9 +350,9 @@ func (c *Cache) Clone() *Cache {
 	n.clock = c.clock
 	n.rngState = c.rngState
 	n.stats = c.stats
-	for s := range c.sets {
-		copy(n.sets[s], c.sets[s])
-	}
+	n.coldActive = c.coldActive
+	copy(n.hot, c.hot)
+	copy(n.cold, c.cold)
 	copy(n.plruBits, c.plruBits)
 	return n
 }
@@ -276,23 +363,18 @@ func (c *Cache) Clone() *Cache {
 // wants — Reset makes a reused cache indistinguishable from a fresh one,
 // which is what a harness reusing an analyzer across runs needs.
 func (c *Cache) Reset() {
-	c.Flush()
+	c.Flush() // clears lines, prefetch state, and PLRU bits
 	c.clock = 0
 	c.rngState = rngSeed
 	c.stats = Stats{}
-	for i := range c.plruBits {
-		c.plruBits[i] = 0
-	}
 }
 
 // Resident counts valid lines (for tests).
 func (c *Cache) Resident() int {
 	n := 0
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				n++
-			}
+	for i := range c.hot {
+		if c.hot[i].valid {
+			n++
 		}
 	}
 	return n

@@ -133,6 +133,100 @@ func TestInstallIdempotentWhenResident(t *testing.T) {
 	}
 }
 
+// TestReissuedPrefetchAcceleratesFill is the regression test for the
+// Install/readyAt bug: a prefetch re-issued for an in-flight line with a
+// shorter delay must pull the completion time forward (the early return used
+// to leave the stale later deadline in place, over-reporting Late hits) —
+// and a longer re-issue must never push it back.
+func TestReissuedPrefetchAcceleratesFill(t *testing.T) {
+	c := New(tiny)
+	c.Install(0x1000, 100) // speculative far-ahead prefetch
+	c.Access(0x0)
+	c.Access(0x40)
+	c.Install(0x1000, 2) // re-issued much closer to use
+	c.Access(0x80)
+	c.Access(0xc0)
+	c.Access(0x100) // 3 ticks since the re-issue: the clamped fill is done
+	if res := c.Access(0x1000); !res.Hit || res.Late {
+		t.Errorf("re-issued shorter prefetch must accelerate the fill, got %+v", res)
+	}
+
+	c2 := New(tiny)
+	c2.Install(0x2000, 1)
+	c2.Install(0x2000, 100) // farther re-issue: must not delay the fill
+	c2.Access(0x0)
+	c2.Access(0x40)
+	if res := c2.Access(0x2000); !res.Hit || res.Late {
+		t.Errorf("re-issue with longer delay must not push readyAt back, got %+v", res)
+	}
+}
+
+// TestStrideReissueLateFill drives the clamp through StrideStreams, the way
+// the hierarchy's late-fill model exercises it: a trained stream at depth 2
+// issues each line twice (first at distance 2, then at distance 1), and the
+// nearer re-issue — modelled with a proportionally shorter delay — must
+// govern the fill time.
+func TestStrideReissueLateFill(t *testing.T) {
+	// 256 sets x 4 ways: roomy enough that the filler accesses below cannot
+	// evict the in-flight stream target before the probe.
+	c := New(Config{Name: "t", Size: 64 * 1024, Assoc: 4, LineSize: 64})
+	pf := NewStrideStreams(64, 2)
+	install := func(lineAddr uint64, miss bool) {
+		for i, target := range pf.Observe(lineAddr, miss) {
+			// Delay scales with prefetch distance: a line fetched d lines
+			// ahead has d access-times to complete.
+			c.Install(target, uint64(i+1)*8)
+		}
+	}
+	// Train a unit-stride miss stream far from the probe addresses.
+	base := uint64(1 << 16)
+	for i := uint64(0); i < 8; i++ {
+		addr := base + i*64
+		miss := !c.Access(addr).Hit
+		install(addr, miss)
+	}
+	// The last Observe issued lines base+8*64 (distance 1, delay 8) and
+	// base+9*64 (distance 2, delay 16); the previous one had already issued
+	// base+8*64 at distance 2 with the longer delay. The re-issue must have
+	// clamped it: 9 further ticks is enough for the distance-1 deadline but
+	// not the stale distance-2 one.
+	for i := uint64(0); i < 9; i++ {
+		c.Access(uint64(0x100000) + i*64)
+	}
+	res := c.Access(base + 8*64)
+	if !res.Hit || !res.PrefetchedHit {
+		t.Fatalf("stream target must be a prefetched hit, got %+v", res)
+	}
+	if res.Late {
+		t.Error("re-issued stream prefetch must have accelerated the in-flight fill")
+	}
+}
+
+// TestFlushClearsPLRUState is the regression test for the Flush/PLRU bug: a
+// flushed-then-refilled PLRU cache must evict exactly like one whose sets
+// were never populated. Flush invalidates every line, so the replacement
+// tree bits describing pre-flush recency must be discarded with them.
+func TestFlushClearsPLRUState(t *testing.T) {
+	cfg := Config{Name: "plru", Size: 32 * 1024, Assoc: 4, LineSize: 64, Policy: PLRU}
+	dirty := New(cfg)
+	// Contaminate the tree bits with a skewed access history: repeated
+	// touches of high ways in every set.
+	for i := 0; i < 4096; i++ {
+		dirty.Access(uint64(i%11) * 64 * uint64(cfg.Sets()))
+		dirty.Access(uint64(i*13) * 64)
+	}
+	dirty.Flush()
+	if n := dirty.Resident(); n != 0 {
+		t.Fatalf("%d lines resident after flush", n)
+	}
+	// Replay an eviction-heavy sequence on the flushed cache and on a
+	// never-populated one; the hit/miss streams must be identical. (The
+	// clocks differ, but PLRU victim selection reads only the tree bits.)
+	if i := firstDivergence(dirty, New(cfg), cloneSequence()); i >= 0 {
+		t.Errorf("flushed PLRU cache diverged from a fresh one at access %d", i)
+	}
+}
+
 func TestFlush(t *testing.T) {
 	c := New(tiny)
 	for i := uint64(0); i < 16; i++ {

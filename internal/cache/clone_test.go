@@ -41,6 +41,34 @@ func TestCloneReplaysIdentically(t *testing.T) {
 	}
 }
 
+// TestClonePreservesPrefetchState forks a cache with in-flight and
+// untouched-prefetched lines under every policy and checks the full
+// AccessResult stream — PrefetchedHit and Late included, not just Hit —
+// matches between original and clone. The flat hot/cold layout keeps these
+// in separate arrays; Clone must copy both.
+func TestClonePreservesPrefetchState(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Random, PLRU} {
+		cfg := Config{Name: "t", Size: 32 * 1024, Assoc: 4, LineSize: 64, Policy: pol}
+		orig := New(cfg)
+		for _, a := range cloneSequence()[:512] {
+			orig.Access(a)
+		}
+		orig.Install(0x10000, 0)  // completed prefetch, not yet demanded
+		orig.Install(0x20000, 50) // in-flight fill
+		clone := orig.Clone()
+		probes := []uint64{0x10000, 0x20000, 0x10000, 0x20000, 0x40, 0x80}
+		for i, a := range probes {
+			or, cr := orig.Access(a), clone.Access(a)
+			if or != cr {
+				t.Fatalf("%v: probe %d: original %+v, clone %+v", pol, i, or, cr)
+			}
+		}
+		if orig.Stats() != clone.Stats() {
+			t.Errorf("%v: stats diverged: %+v vs %+v", pol, orig.Stats(), clone.Stats())
+		}
+	}
+}
+
 func TestCloneIsIndependent(t *testing.T) {
 	cfg := Config{Name: "t", Size: 8 * 1024, Assoc: 2, LineSize: 64}
 	orig := New(cfg)

@@ -36,8 +36,9 @@ func (p Policy) String() string {
 func (p Policy) Valid() bool { return p >= LRU && p <= PLRU }
 
 // victim picks the way to replace in a full set according to the cache's
-// policy. lines has no invalid entries when victim is called.
-func (c *Cache) victim(set uint64, lines []line) int {
+// policy. lines is the set's slice of the flat hot array and has no invalid
+// entries when victim is called.
+func (c *Cache) victim(set uint64, lines []hotLine) int {
 	switch c.policy {
 	case FIFO:
 		// installedAt is tracked in lastUse for FIFO (never refreshed on

@@ -67,6 +67,9 @@ type Analyzer struct {
 	// Per-invocation scratch, keyed by column, reused across profiles.
 	invAcc  []uint64
 	invMiss []uint64
+	// prep is the inline path's reusable preparation buffer (the pipeline
+	// hands in precomputed preps instead and recycles its own buffers).
+	prep prepBuf
 }
 
 // NewAnalyzer builds an analyzer for the config.
@@ -135,21 +138,45 @@ type colPrep struct {
 	frac   float64
 }
 
-// prepareProfile computes the stateless per-column work for a profile:
-// address columns and dominant strides for every load column. It reads
-// only the profile and is safe to run concurrently with preparations of
-// other profiles — but not with further recording into this one.
-func prepareProfile(p *AddressProfile) []colPrep {
-	preps := make([]colPrep, len(p.Ops))
-	for c := range p.Ops {
+// prepBuf owns the reusable buffers one profile preparation fills: the
+// per-column colPrep entries (whose col slices are recycled by appending
+// into spare capacity) and the delta scratch for stride discovery. A warm
+// prepBuf makes preparation allocation-free; the pipeline recycles one per
+// in-flight job, and the inline analyzer path keeps its own.
+type prepBuf struct {
+	preps  []colPrep
+	deltas []int64
+}
+
+// prepare computes the stateless per-column work for a profile: address
+// columns and dominant strides for every load column. It reads only the
+// profile and is safe to run concurrently with preparations of other
+// profiles — but not with further recording into this one. The returned
+// slice and its columns are owned by the prepBuf and valid until the next
+// prepare call on it.
+func (b *prepBuf) prepare(p *AddressProfile) []colPrep {
+	n := len(p.Ops)
+	if cap(b.preps) < n {
+		b.preps = append(b.preps[:cap(b.preps)], make([]colPrep, n-cap(b.preps))...)
+	}
+	b.preps = b.preps[:n]
+	for c := 0; c < n; c++ {
+		pr := &b.preps[c]
 		if !p.IsLoadOp[c] {
+			pr.col, pr.stride, pr.frac = pr.col[:0], 0, 0
 			continue
 		}
-		col := p.Column(c)
-		stride, frac := DominantStride(col)
-		preps[c] = colPrep{col: col, stride: stride, frac: frac}
+		pr.col = p.columnInto(pr.col[:0], c)
+		pr.stride, pr.frac, b.deltas = dominantStride(pr.col, b.deltas)
 	}
-	return preps
+	return b.preps
+}
+
+// prepareProfile is the buffer-less convenience wrapper (tests, one-shot
+// callers); pipeline workers and the inline path reuse prepBufs instead.
+func prepareProfile(p *AddressProfile) []colPrep {
+	var b prepBuf
+	return b.prepare(p)
 }
 
 // AnalyzeProfile mini-simulates one address profile: rows in recording
@@ -170,7 +197,7 @@ func (a *Analyzer) analyzeWithPrep(p *AddressProfile, alpha float64, preps []col
 		return 0
 	}
 	if preps == nil {
-		preps = prepareProfile(p)
+		preps = a.prep.prepare(p)
 	}
 	if cap(a.invAcc) < nOps {
 		a.invAcc = make([]uint64, nOps)
@@ -182,19 +209,31 @@ func (a *Analyzer) analyzeWithPrep(p *AddressProfile, alpha float64, preps []col
 		a.invAcc[i], a.invMiss[i] = 0, 0
 	}
 
+	// Replay rows straight off the flat cell array: one running index
+	// instead of a per-cell At() multiply and bounds-checked re-slice. The
+	// warm-up boundary splits the walk into two plain loops so the
+	// per-reference work carries no row-threshold branch.
 	refs := uint64(0)
-	for r := 0; r < p.Rows(); r++ {
-		warm := r >= a.cfg.WarmupRows
-		for c := 0; c < nOps; c++ {
-			addr, ok := p.At(r, c)
-			if !ok {
+	cells := p.cells[:p.Rows()*nOps]
+	warmEnd := a.cfg.WarmupRows * nOps
+	if warmEnd > len(cells) {
+		warmEnd = len(cells)
+	}
+	for _, addr := range cells[:warmEnd] {
+		if addr == noAddr {
+			continue
+		}
+		refs++
+		a.cache.Access(addr)
+	}
+	for base := warmEnd; base < len(cells); base += nOps {
+		row := cells[base : base+nOps]
+		for c, addr := range row {
+			if addr == noAddr {
 				continue
 			}
 			refs++
 			res := a.cache.Access(addr)
-			if !warm {
-				continue
-			}
 			a.invAcc[c]++
 			a.totalAcc++
 			if !res.Hit {
@@ -222,8 +261,11 @@ func (a *Analyzer) analyzeWithPrep(p *AddressProfile, alpha float64, preps []col
 			if ratio > alpha {
 				a.delinquent[pc] = true
 				// Keep the raw column so optimizers can tune against the
-				// recorded history (e.g. prefetch distance selection).
-				a.columns[pc] = preps[c].col
+				// recorded history (e.g. prefetch distance selection). Copy
+				// into the analyzer-owned slice: preps[c].col lives in a
+				// recycled preparation buffer that the next profile will
+				// overwrite.
+				a.columns[pc] = append(a.columns[pc][:0], preps[c].col...)
 			}
 		}
 		// Stride discovery feeds the prefetcher (§8).

@@ -41,7 +41,11 @@ type analysisJob struct {
 	profile *AddressProfile
 	alpha   float64
 	prep    []colPrep
-	ready   chan struct{} // closed by the preparation worker
+	// buf owns prep's backing storage. The worker that prepares the job
+	// attaches a recycled (or fresh) prepBuf; the sequencer returns it to
+	// the pool once the job's analysis has consumed prep.
+	buf   *prepBuf
+	ready chan struct{} // closed by the preparation worker
 }
 
 // invocation is one analyzer invocation's worth of jobs, already in the
@@ -80,6 +84,12 @@ type analyzerPool struct {
 	prepQ   chan *analysisJob
 	seqQ    chan invocation
 	recycle chan *AddressProfile
+	// prepBufs recycles preparation buffers from the sequencer (which
+	// finishes with them) back to the workers (which fill them), so
+	// steady-state preparation allocates nothing. Same best-effort
+	// discipline as the profile recycle queue: an empty pool means the
+	// worker allocates, a full one lets the GC take the buffer.
+	prepBufs chan *prepBuf
 
 	prepWG sync.WaitGroup
 	seqWG  sync.WaitGroup
@@ -95,6 +105,7 @@ func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, tl
 		prepQ:     make(chan *analysisJob, 2*workers),
 		seqQ:      make(chan invocation, seqDepth),
 		recycle:   make(chan *AddressProfile, recycleDepth),
+		prepBufs:  make(chan *prepBuf, 2*workers+seqDepth),
 	}
 	p.prepWG.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -113,7 +124,12 @@ func (p *analyzerPool) prepWorker() {
 	defer p.prepWG.Done()
 	for job := range p.prepQ {
 		start := time.Now()
-		job.prep = prepareProfile(job.profile)
+		select {
+		case job.buf = <-p.prepBufs:
+		default:
+			job.buf = new(prepBuf)
+		}
+		job.prep = job.buf.prepare(job.profile)
 		p.met.PrepBusyNs.Add(uint64(time.Since(start)))
 		close(job.ready)
 	}
@@ -139,6 +155,13 @@ func (p *analyzerPool) sequencer() {
 		for _, job := range inv.jobs {
 			<-job.ready
 			p.an.analyzeWithPrep(job.profile, job.alpha, job.prep)
+			// The analysis copied everything it keeps (columns included),
+			// so the preparation buffer can go back to the workers.
+			select {
+			case p.prepBufs <- job.buf:
+			default:
+			}
+			job.prep, job.buf = nil, nil
 			for _, c := range p.consumers {
 				c.Consume(job.profile)
 			}

@@ -2,6 +2,7 @@ package umi
 
 import (
 	"fmt"
+	"slices"
 
 	"umi/internal/rio"
 )
@@ -106,13 +107,21 @@ func (p *AddressProfile) Reinit(ops []uint64, isLoad []bool, rows int) {
 // Column returns the recorded address sequence of one operation across
 // executions, skipping unrecorded cells.
 func (p *AddressProfile) Column(col int) []uint64 {
-	out := make([]uint64, 0, p.rowUsed)
-	for r := 0; r < p.rowUsed; r++ {
-		if a, ok := p.At(r, col); ok {
-			out = append(out, a)
+	return p.columnInto(make([]uint64, 0, p.rowUsed), col)
+}
+
+// columnInto appends the column's recorded addresses to dst and returns it.
+// The profile-preparation hot path materializes every load column per
+// analysis; appending into a recycled buffer keeps that allocation-free in
+// steady state.
+func (p *AddressProfile) columnInto(dst []uint64, col int) []uint64 {
+	stride := len(p.Ops)
+	for i := col; i < p.rowUsed*stride; i += stride {
+		if a := p.cells[i]; a != noAddr {
+			dst = append(dst, a)
 		}
 	}
-	return out
+	return dst
 }
 
 func (p *AddressProfile) String() string {
@@ -154,23 +163,39 @@ func selectOps(f *rio.Fragment, filter bool, maxOps int) (pcs []uint64, isLoad [
 // (§8: "calculate the stride distance between successive memory references
 // for individual loads").
 func DominantStride(addrs []uint64) (stride int64, frac float64) {
+	stride, frac, _ = dominantStride(addrs, nil)
+	return stride, frac
+}
+
+// dominantStride is DominantStride with a caller-owned scratch buffer for
+// the delta sequence, so the preparation hot path runs allocation-free once
+// warm. It counts run lengths over the sorted deltas instead of hashing
+// them; ties are broken by smaller magnitude, then by preferring the
+// positive stride (the map-based predecessor left the equal-count,
+// equal-magnitude case to hash iteration order).
+func dominantStride(addrs []uint64, scratch []int64) (stride int64, frac float64, _ []int64) {
 	if len(addrs) < 3 {
-		return 0, 0
+		return 0, 0, scratch
 	}
-	counts := make(map[int64]int)
-	total := 0
+	deltas := scratch[:0]
 	for i := 1; i < len(addrs); i++ {
-		d := int64(addrs[i] - addrs[i-1])
-		counts[d]++
-		total++
+		deltas = append(deltas, int64(addrs[i]-addrs[i-1]))
 	}
+	slices.Sort(deltas)
 	best, bestN := int64(0), 0
-	for d, n := range counts {
-		if n > bestN || (n == bestN && abs64(d) < abs64(best)) {
+	for i := 0; i < len(deltas); {
+		j := i + 1
+		for j < len(deltas) && deltas[j] == deltas[i] {
+			j++
+		}
+		d, n := deltas[i], j-i
+		if n > bestN ||
+			(n == bestN && (abs64(d) < abs64(best) || (abs64(d) == abs64(best) && d > best))) {
 			best, bestN = d, n
 		}
+		i = j
 	}
-	return best, float64(bestN) / float64(total)
+	return best, float64(bestN) / float64(len(deltas)), deltas
 }
 
 func abs64(x int64) int64 {
