@@ -10,6 +10,13 @@
 //
 //	go test -run '^$' -bench ... -benchmem . | benchjson -compare BENCH_umi.json -warn-pct 15
 //
+// History mode (the CI trend step): -append accumulates runs into a
+// history file — a JSON list of umi-bench/v1 runs, oldest first — and
+// -trend diffs the oldest retained run against the newest, catching the
+// slow multi-PR drift the single-step compare misses:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson -append BENCH_history.json -trend BENCH_history.json
+//
 // Repeated -count runs of one benchmark are averaged into a single entry,
 // and entries are sorted by name, so the JSON is stable for a fixed set of
 // measurements.
@@ -162,6 +169,71 @@ func compare(w io.Writer, baseline, cur *File, warnPct float64) int {
 	return regressions
 }
 
+// loadHistory reads a history file: a JSON list of schema-stamped runs,
+// oldest first. A missing file is an empty history, not an error (the
+// first CI run after a cache miss starts from scratch).
+func loadHistory(path string) ([]File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hist []File
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	for i, f := range hist {
+		if f.Schema != schemaName {
+			return nil, fmt.Errorf("%s: run %d has schema %q, want %q", path, i, f.Schema, schemaName)
+		}
+	}
+	return hist, nil
+}
+
+// trend diffs the oldest retained run against the newest and writes a
+// report. It returns the number of benchmarks whose headline metric
+// drifted past warnPct cumulatively — the regression a sequence of
+// under-threshold single-step changes accumulates.
+func trend(w io.Writer, hist []File, warnPct float64) int {
+	if len(hist) < 2 {
+		fmt.Fprintf(w, "history holds %d run(s); need 2 for a trend\n", len(hist))
+		return 0
+	}
+	oldest, newest := hist[0], hist[len(hist)-1]
+	base := map[string]Result{}
+	for _, r := range oldest.Benchmarks {
+		base[r.Name] = r
+	}
+	drifts := 0
+	fmt.Fprintf(w, "trend across %d runs (oldest retained -> newest):\n", len(hist))
+	for _, r := range newest.Benchmarks {
+		unit, now, ok := headline(r)
+		if !ok {
+			continue
+		}
+		b, inBase := base[r.Name]
+		if !inBase {
+			fmt.Fprintf(w, "%-28s %10.2f %s (not in oldest run)\n", r.Name, now, unit)
+			continue
+		}
+		old, okBase := b.Metrics[unit]
+		if !okBase || old == 0 {
+			fmt.Fprintf(w, "%-28s %10.2f %s (oldest run lacks %s)\n", r.Name, now, unit, unit)
+			continue
+		}
+		pct := 100 * (now - old) / old
+		fmt.Fprintf(w, "%-28s %10.2f -> %10.2f %s  %+6.1f%%\n", r.Name, old, now, unit, pct)
+		if pct > warnPct {
+			drifts++
+			fmt.Fprintf(w, "::warning::%s drifted %.1f%% across %d runs (%s %.2f -> %.2f, threshold %.0f%%)\n",
+				r.Name, pct, len(hist), unit, old, now, warnPct)
+		}
+	}
+	return drifts
+}
+
 // run is the testable entry point: parses flags against args, reads bench
 // output from stdin, and writes to stdout/stderr. Returns the process exit
 // code (compare mode is warn-only: regressions annotate, they do not fail).
@@ -171,8 +243,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write aggregated benchmark JSON to this file")
 	baselinePath := fs.String("compare", "", "diff stdin's run against this baseline JSON")
 	warnPct := fs.Float64("warn-pct", 15, "warn when a headline metric regresses past this percentage")
+	appendPath := fs.String("append", "", "append this run to a history file (JSON list of runs, oldest first)")
+	trendPath := fs.String("trend", "", "report cumulative oldest-to-newest drift across this history file")
+	historyMax := fs.Int("history-max", 50, "most-recent runs to retain when appending (0: unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *trendPath != "" && *appendPath == "" {
+		// Pure trend mode reads only the history file, no stdin run.
+		hist, err := loadHistory(*trendPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		n := trend(stdout, hist, *warnPct)
+		fmt.Fprintf(stdout, "%d benchmark(s) past the %.0f%% drift threshold\n", n, *warnPct)
+		return 0
 	}
 	cur, err := parse(stdin)
 	if err != nil {
@@ -182,6 +268,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(cur.Benchmarks) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark result lines on stdin")
 		return 1
+	}
+	if *appendPath != "" {
+		hist, err := loadHistory(*appendPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		hist = append(hist, *cur)
+		if *historyMax > 0 && len(hist) > *historyMax {
+			hist = hist[len(hist)-*historyMax:]
+		}
+		data, err := json.MarshalIndent(hist, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*appendPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "appended run %d to %s (%d benchmark(s))\n",
+			len(hist), *appendPath, len(cur.Benchmarks))
+		if *trendPath != "" {
+			n := trend(stdout, hist, *warnPct)
+			fmt.Fprintf(stdout, "%d benchmark(s) past the %.0f%% drift threshold\n", n, *warnPct)
+		}
+		return 0
 	}
 	if *baselinePath != "" {
 		data, err := os.ReadFile(*baselinePath)

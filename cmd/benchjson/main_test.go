@@ -104,3 +104,91 @@ func TestRunCaptureAndCompare(t *testing.T) {
 		t.Errorf("empty input exit = %d, want 1", code)
 	}
 }
+
+// TestRunAppendAndTrend drives the history mode end to end: three appended
+// runs with a slowly drifting headline metric, -history-max trimming, and
+// a trend report that flags cumulative drift the single-step compare
+// would pass.
+func TestRunAppendAndTrend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.json")
+	bench := func(ns string) string {
+		return "BenchmarkCacheAccess-8 100 " + ns + " ns/op\n"
+	}
+	var out, errb strings.Builder
+
+	// First append starts from a missing file.
+	if code := run([]string{"-append", path}, strings.NewReader(bench("20.0")), &out, &errb); code != 0 {
+		t.Fatalf("append 1 exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "appended run 1 to") {
+		t.Errorf("append note missing:\n%s", out.String())
+	}
+
+	// Two more runs, each +10% — under a 15% single-step threshold but
+	// +21% cumulative.
+	for _, ns := range []string{"22.0", "24.2"} {
+		out.Reset()
+		if code := run([]string{"-append", path, "-trend", path}, strings.NewReader(bench(ns)), &out, &errb); code != 0 {
+			t.Fatalf("append exit %d: %s", code, errb.String())
+		}
+	}
+	hist, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history holds %d runs, want 3", len(hist))
+	}
+	if !strings.Contains(out.String(), "::warning::BenchmarkCacheAccess drifted 21.0%") {
+		t.Errorf("cumulative drift not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1 benchmark(s) past the 15% drift threshold") {
+		t.Errorf("trend summary missing:\n%s", out.String())
+	}
+
+	// Pure trend mode reads only the file — no stdin run required.
+	out.Reset()
+	if code := run([]string{"-trend", path}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("pure trend exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "trend across 3 runs") {
+		t.Errorf("pure trend report missing:\n%s", out.String())
+	}
+
+	// -history-max trims to the most recent runs.
+	out.Reset()
+	if code := run([]string{"-append", path, "-history-max", "2"}, strings.NewReader(bench("24.2")), &out, &errb); code != 0 {
+		t.Fatalf("trimmed append exit %d: %s", code, errb.String())
+	}
+	hist, err = loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Errorf("trimmed history holds %d runs, want 2", len(hist))
+	}
+
+	// A corrupt history is an error, not silent data loss.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"schema":"wrong/v0"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-append", bad}, strings.NewReader(bench("20.0")), &out, &errb); code != 1 {
+		t.Errorf("corrupt history exit = %d, want 1", code)
+	}
+
+	// Short history: trend declines politely.
+	single := filepath.Join(dir, "single.json")
+	out.Reset()
+	if code := run([]string{"-append", single}, strings.NewReader(bench("20.0")), &out, &errb); code != 0 {
+		t.Fatal("single append failed")
+	}
+	out.Reset()
+	if code := run([]string{"-trend", single}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatal("single trend failed")
+	}
+	if !strings.Contains(out.String(), "need 2 for a trend") {
+		t.Errorf("short-history note missing:\n%s", out.String())
+	}
+}

@@ -44,7 +44,7 @@ func main() {
 		args = []string{"table1", "table2", "table3", "table4", "table5", "table6",
 			"fig2", "fig3", "fig4", "fig5", "fig6",
 			"sens-threshold", "sens-profile", "sens-geometry", "linuxapps",
-			"counters-vs-umi", "self-overhead", "timeline"}
+			"counters-vs-umi", "self-overhead", "timeline", "phases"}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -87,6 +87,7 @@ experiments:
   counters-vs-umi PMU sampling quality per overhead vs UMI (Section 1.2)
   self-overhead   modelled UMI cost vs the runtime's own metrics
   timeline        delinquent-set evolution per analyzer invocation
+  phases          windowed miss-ratio and delinquent-set churn history
   all             everything above
   list            print workload names
 `)
@@ -201,6 +202,12 @@ func run(exp string, names []string) (any, string, error) {
 		return r, r.String() + r.LiveString(), nil
 	case "timeline":
 		r, err := harness.Timeline(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
+	case "phases":
+		r, err := harness.Phases(names)
 		if err != nil {
 			return nil, "", err
 		}

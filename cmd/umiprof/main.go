@@ -7,6 +7,7 @@
 //
 //	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
 //	        [-metrics] [-metrics-json file] [-trace-out file]
+//	        [-history] [-history-out file]
 //	        [-http addr] [-http-linger d] <workload>
 //	umiprof -list
 package main
@@ -52,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsJSON := fs.String("metrics-json", "", "write the metrics snapshot as JSON to this file")
 	traceOut := fs.String("trace-out", "",
 		"write the run's event timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+	showHistory := fs.Bool("history", false,
+		"append the per-invocation phase history (window miss ratios, delinquent-set churn)")
+	historyOut := fs.String("history-out", "",
+		"write the profile-history snapshot as JSON to this file")
 	httpAddr := fs.String("http", "",
 		"serve live introspection (/metrics, /events, /debug/pprof) on this address during the run")
 	httpLinger := fs.Duration("http-linger", 0,
@@ -97,7 +102,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		elog = sys.EnableEventTrace(0)
 	}
 	if *httpAddr != "" {
-		srv := &introspect.Server{Metrics: sys.LiveMetricsSnapshot, Events: elog}
+		srv := &introspect.Server{
+			Metrics: sys.LiveMetricsSnapshot,
+			Events:  elog,
+			History: sys.LiveHistory,
+		}
 		addr, stop, err := srv.Serve(*httpAddr)
 		if err != nil {
 			fmt.Fprintf(stderr, "umiprof: http: %v\n", err)
@@ -215,6 +224,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	if *showHistory {
+		hv := sys.History()
+		fmt.Fprintf(stdout, "\n%s", umi.FormatHistory(hv.Windows))
+	}
+	if *historyOut != "" {
+		hv := sys.History()
+		data, err := json.MarshalIndent(hv, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: history: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*historyOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "umiprof: history: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "umiprof: wrote %d of %d windows to %s\n",
+			len(hv.Windows), hv.Total, *historyOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

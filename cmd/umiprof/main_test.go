@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -271,5 +272,178 @@ func TestE2EHTTP(t *testing.T) {
 	}
 	if out.String() != plain {
 		t.Errorf("-http perturbed stdout:\n--- plain ---\n%s--- http ---\n%s", plain, out.String())
+	}
+}
+
+// TestE2EHistoryOut: -history-out must leave stdout untouched, write a
+// schema-complete history export, and produce byte-identical files across
+// runs and across worker counts — the pipeline's sequencer stamps windows
+// with modelled hand-off cycles, so async history equals inline history.
+func TestE2EHistoryOut(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	path := filepath.Join(t.TempDir(), "history.json")
+	code, out, errs := runCLI(t, "-history-out", path, "470.lbm")
+	if code != 0 {
+		t.Fatalf("-history-out run exited %d, stderr %q", code, errs)
+	}
+	if out != plain {
+		t.Errorf("-history-out perturbed stdout:\n--- plain ---\n%s--- history ---\n%s", plain, out)
+	}
+	if !strings.Contains(errs, "umiprof: wrote") {
+		t.Errorf("stderr missing write note: %q", errs)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("history file is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"schema", "total", "dropped", "cap", "phase_changes", "windows"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("history export missing key %q", key)
+		}
+	}
+	if doc["schema"] != "umi-history/v1" {
+		t.Errorf("schema = %v, want umi-history/v1", doc["schema"])
+	}
+	windows, _ := doc["windows"].([]any)
+	if len(windows) == 0 {
+		t.Fatal("history export has no windows")
+	}
+	w0, _ := windows[0].(map[string]any)
+	for _, key := range []string{"invocation", "cycles", "refs", "window_miss_ratio",
+		"cum_miss_ratio", "delinquent", "delinquent_hash", "jaccard", "phase_change"} {
+		if _, ok := w0[key]; !ok {
+			t.Errorf("window missing key %q: %v", key, w0)
+		}
+	}
+
+	// Determinism: workers=1 and workers=4 write byte-identical exports.
+	path1 := filepath.Join(t.TempDir(), "h1.json")
+	path4 := filepath.Join(t.TempDir(), "h4.json")
+	if code, _, _ := runCLI(t, "-workers=1", "-history-out", path1, "470.lbm"); code != 0 {
+		t.Fatal("workers=1 history run failed")
+	}
+	if code, _, _ := runCLI(t, "-workers=4", "-history-out", path4, "470.lbm"); code != 0 {
+		t.Fatal("workers=4 history run failed")
+	}
+	d1, err := os.ReadFile(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := os.ReadFile(path4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d4) {
+		t.Error("history exports differ between workers=1 and workers=4")
+	}
+}
+
+// TestE2EHistoryFlag: -history appends the phase-history section to stdout
+// after the plain report, leaving the report itself untouched.
+func TestE2EHistoryFlag(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	code, out, errs := runCLI(t, "-history", "470.lbm")
+	if code != 0 {
+		t.Fatalf("-history run exited %d, stderr %q", code, errs)
+	}
+	if !strings.HasPrefix(out, plain) {
+		t.Errorf("-history must extend plain stdout, not rewrite it:\n%s", out)
+	}
+	if !strings.Contains(out, "phase history: ") {
+		t.Errorf("-history output missing phase-history section:\n%s", out)
+	}
+}
+
+// TestE2EPromScrape scrapes /metrics/prom off a live run: the exposition
+// must parse (TYPE-declared families, parseable sample values) and carry
+// the stable counter names dashboards pin.
+func TestE2EPromScrape(t *testing.T) {
+	var out bytes.Buffer
+	var errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-http", "127.0.0.1:0", "-http-linger", "3s", "470.lbm"}, &out, &errb)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)/`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server address never appeared on stderr: %q", errb.String())
+		}
+		if m := addrRe.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics/prom")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want a 0.0.4 exposition", ct)
+	}
+	types := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("line %d: unparseable value in %q", ln+1, line)
+		}
+	}
+	// The stable names dashboards depend on: at least one counter, one
+	// gauge, one histogram from the registry, plus the history families.
+	wantTypes := map[string]string{
+		"umi_phase_windows_total": "counter",
+		"umi_phase_changes_total": "counter",
+	}
+	for name, typ := range wantTypes {
+		if types[name] != typ {
+			t.Errorf("family %s = %q, want %q; all: %v", name, types[name], typ, types)
+		}
+	}
+	var haveCounter, haveGauge, haveHist bool
+	for _, typ := range types {
+		switch typ {
+		case "counter":
+			haveCounter = true
+		case "gauge":
+			haveGauge = true
+		case "histogram":
+			haveHist = true
+		}
+	}
+	if !haveCounter || !haveGauge || !haveHist {
+		t.Errorf("exposition lacks a metric kind: counter=%v gauge=%v histogram=%v",
+			haveCounter, haveGauge, haveHist)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("-http run exited %d, stderr %q", code, errb.String())
 	}
 }

@@ -108,10 +108,14 @@ type Cache struct {
 	setBits   uint
 	clock     uint64
 
-	// coldActive is set by the first Install and cleared by Flush/Reset;
-	// while false, every cold entry is zero and the LRU demand fast path
-	// can skip prefetch bookkeeping entirely.
+	// coldActive is true while any cold entry is non-zero, so the LRU
+	// demand fast path can skip prefetch bookkeeping entirely while false.
+	// coldLive counts those entries exactly: it rises when a prefetch
+	// installs state and falls when a demand hit consumes it or an eviction
+	// overwrites it, so coldActive clears — and the fast path re-engages —
+	// as soon as the last prefetched line is gone, not only at Flush.
 	coldActive bool
+	coldLive   int
 
 	policy   Policy
 	rngState uint64   // Random policy state
@@ -247,14 +251,20 @@ func (c *Cache) accessSlow(addr uint64) AccessResult {
 		h := &c.hot[base+i]
 		if h.valid && h.tag == tag {
 			res := AccessResult{Hit: true}
-			cd := &c.cold[base+i]
-			if cd.prefetched {
-				res.PrefetchedHit = true
-				cd.prefetched = false
-			}
-			if cd.readyAt > c.clock {
-				res.Late = true
-				cd.readyAt = 0
+			if cd := &c.cold[base+i]; cd.prefetched || cd.readyAt != 0 {
+				if cd.prefetched {
+					res.PrefetchedHit = true
+				}
+				if cd.readyAt > c.clock {
+					res.Late = true
+				}
+				// Clear the whole entry, not just the consumed fields: a
+				// stale readyAt at or before the clock can never fire again
+				// (the Late check and the Install clamp both require a
+				// future deadline), so zeroing it is behaviour-neutral and
+				// keeps coldLive an exact count of non-zero entries.
+				*cd = coldLine{}
+				c.coldDec()
 			}
 			if c.policy != FIFO {
 				h.lastUse = c.clock // FIFO keeps install time
@@ -298,7 +308,6 @@ func (c *Cache) Install(addr uint64, delay uint64) {
 			return
 		}
 	}
-	c.coldActive = true
 	c.install(set, tag, true, c.clock+delay)
 }
 
@@ -316,9 +325,30 @@ func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
 		c.stats.Evictions++
 	}
 	c.hot[base+victim] = hotLine{tag: tag, valid: true, lastUse: c.clock}
+	if cd := &c.cold[base+victim]; cd.prefetched || cd.readyAt != 0 {
+		c.coldDec() // evicting a line that still carried prefetch state
+	}
 	c.cold[base+victim] = coldLine{prefetched: prefetched, readyAt: readyAt}
+	if prefetched || readyAt != 0 {
+		c.coldLive++
+		c.coldActive = true
+	}
 	c.plruTouch(set, victim)
 }
+
+// coldDec retires one live cold entry, re-arming the fused LRU demand fast
+// path the moment the last one is gone.
+func (c *Cache) coldDec() {
+	c.coldLive--
+	if c.coldLive == 0 {
+		c.coldActive = false
+	}
+}
+
+// PrefetchResident counts lines still carrying prefetch state (coverage
+// marks or in-flight fill deadlines); the demand fast path is available
+// exactly while this is zero.
+func (c *Cache) PrefetchResident() int { return c.coldLive }
 
 // Flush invalidates the entire cache, including replacement-policy recency
 // state: with every line gone, stale PLRU tree bits would otherwise steer
@@ -337,6 +367,7 @@ func (c *Cache) Flush() {
 		c.plruBits[i] = 0
 	}
 	c.coldActive = false
+	c.coldLive = 0
 }
 
 // Clone returns a deep copy of the cache: geometry, line contents, the
@@ -351,6 +382,7 @@ func (c *Cache) Clone() *Cache {
 	n.rngState = c.rngState
 	n.stats = c.stats
 	n.coldActive = c.coldActive
+	n.coldLive = c.coldLive
 	copy(n.hot, c.hot)
 	copy(n.cold, c.cold)
 	copy(n.plruBits, c.plruBits)

@@ -466,3 +466,111 @@ func TestHierarchyFlushAndReset(t *testing.T) {
 		t.Error("ResetStats must zero statistics")
 	}
 }
+
+// TestColdFastPathReEntry is the regression test for permanent fast-path
+// loss: coldLive counts resident prefetch state exactly, so the fused LRU
+// demand path re-engages the moment the last prefetched or in-flight line
+// is consumed or evicted (it used to stay off for the lifetime of the
+// cache after the first Install).
+func TestColdFastPathReEntry(t *testing.T) {
+	c := New(tiny) // 2-way, 8 sets: set stride 512B, set 0 holds 0x1000/0x1200
+	if c.coldActive || c.PrefetchResident() != 0 {
+		t.Fatal("fresh cache must start on the fast path")
+	}
+	c.Install(0x1000, 0)
+	c.Install(0x1200, 0)
+	if !c.coldActive || c.PrefetchResident() != 2 {
+		t.Fatalf("after installs: coldActive=%v resident=%d, want true/2",
+			c.coldActive, c.PrefetchResident())
+	}
+
+	// Demand hit consumes one prefetch mark.
+	if res := c.Access(0x1000); !res.Hit || !res.PrefetchedHit {
+		t.Fatalf("prefetched access = %+v", res)
+	}
+	if c.PrefetchResident() != 1 || !c.coldActive {
+		t.Fatalf("after consume: resident=%d coldActive=%v, want 1/true",
+			c.PrefetchResident(), c.coldActive)
+	}
+
+	// Two demand misses to fresh lines in the same set evict both resident
+	// lines, including the remaining prefetched one: fast path re-engages.
+	c.Access(0x1400)
+	c.Access(0x1600)
+	if c.PrefetchResident() != 0 || c.coldActive {
+		t.Fatalf("after evictions: resident=%d coldActive=%v, want 0/false",
+			c.PrefetchResident(), c.coldActive)
+	}
+
+	// An in-flight (non-prefetched-hit-yet, future readyAt) install counts
+	// too, and a late demand hit retires it.
+	c.Install(0x2000, 100)
+	if c.PrefetchResident() != 1 {
+		t.Fatalf("in-flight install not counted: %d", c.PrefetchResident())
+	}
+	if res := c.Access(0x2000); !res.Late {
+		t.Fatalf("early demand hit = %+v, want late", res)
+	}
+	if c.PrefetchResident() != 0 || c.coldActive {
+		t.Fatal("late hit must retire the in-flight entry and re-arm the fast path")
+	}
+
+	// A prefetch evicting another prefetch keeps the count exact (dec then
+	// inc), and Flush clears everything at once.
+	c2 := New(tiny)
+	c2.Install(0x3000, 0)
+	c2.Install(0x3200, 0) // both ways of set 0 now carry prefetch marks
+	c2.Install(0x3400, 0) // same set: must evict one of them
+	if c2.PrefetchResident() != 2 {
+		t.Fatalf("prefetch-over-prefetch count = %d, want 2", c2.PrefetchResident())
+	}
+	c2.Flush()
+	if c2.PrefetchResident() != 0 || c2.coldActive {
+		t.Fatal("Flush must clear all prefetch state")
+	}
+
+	// Clone carries the count.
+	c.Install(0x4000, 0)
+	n := c.Clone()
+	if n.PrefetchResident() != 1 || !n.coldActive {
+		t.Fatalf("clone resident = %d, want 1", n.PrefetchResident())
+	}
+}
+
+// TestColdFastPathEquivalence pins the fast path's contract byte-exactly:
+// once prefetch state has drained, the fused demand path must produce the
+// same results, statistics, and replacement decisions the general path
+// would. Two identical caches run the same random demand mix — one with
+// coldActive pinned on so every access takes accessSlow — and must agree
+// on every access.
+func TestColdFastPathEquivalence(t *testing.T) {
+	fast := New(tiny)
+	slow := New(tiny)
+	// Exercise the drain path on both so they share pre-history.
+	for _, c := range []*Cache{fast, slow} {
+		c.Install(0x1000, 0)
+		c.Access(0x1000) // consume: coldLive back to 0
+	}
+	// Pin the reference cache off the fast path. coldLive stays 0, so its
+	// cold entries remain all-zero — exactly the fast path's precondition.
+	slow.coldActive = true
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20_000; i++ {
+		addr := uint64(rng.Intn(64)) * 64 // 64 lines over 8 sets: heavy reuse
+		if rng.Intn(4) == 0 {
+			addr += uint64(rng.Intn(64)) // sub-line offset noise
+		}
+		rf := fast.Access(addr)
+		rs := slow.Access(addr)
+		if rf != rs {
+			t.Fatalf("access %d (%#x): fast=%+v slow=%+v", i, addr, rf, rs)
+		}
+	}
+	if fast.Stats() != slow.Stats() {
+		t.Fatalf("stats diverged: fast=%+v slow=%+v", fast.Stats(), slow.Stats())
+	}
+	if fast.Resident() != slow.Resident() {
+		t.Fatalf("residency diverged: %d vs %d", fast.Resident(), slow.Resident())
+	}
+}

@@ -221,6 +221,17 @@ func TestGoldenTimeline(t *testing.T) {
 	golden(t, "timeline", r.String())
 }
 
+// TestGoldenPhases pins the phase-history figure: the windowed
+// miss-ratio/churn render drawn from the profile-history ring. Every
+// column derives from modelled state, so it is byte-stable.
+func TestGoldenPhases(t *testing.T) {
+	r, err := Phases([]string{"470.lbm", "em3d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "phases", r.String())
+}
+
 // TestGoldenUMIReport pins the umi.Report rendering itself, the string
 // every consumer above the harness sees.
 func TestGoldenUMIReport(t *testing.T) {
@@ -254,6 +265,8 @@ func TestEmptyRenderers(t *testing.T) {
 		{"Table6Result", (&Table6Result{}).String(), "Table 6: no benchmarks selected\n"},
 		{"SelfOverheadResult", (&SelfOverheadResult{}).String(), "Self-overhead: no workloads selected\n"},
 		{"TimelineResult", (&TimelineResult{}).String(), "Timeline: no benchmarks selected\n"},
+		{"PhasesResult", (&PhasesResult{}).String(), "Phases: no benchmarks selected\n"},
+		{"FormatHistory", umi.FormatHistory(nil), "phase history: no analyzer invocations\n"},
 	}
 	for _, c := range cases {
 		if !strings.Contains(c.got, strings.TrimSuffix(c.want, "\n")) {

@@ -101,6 +101,11 @@ type UMIRun struct {
 	// numbers are byte-identical with or without it), and the timeline
 	// experiments read it back.
 	Events *tracelog.Log
+	// History is the run's profile-history snapshot: one WindowSummary per
+	// analyzer invocation, with churn and phase-change accounting. Like
+	// Events it is always recorded (capture is observational) and fully
+	// deterministic, so the phases experiment can render it golden-tested.
+	History umi.HistoryView
 	// Wall is the measured wall-clock duration of the guest run — the
 	// denominator for events/sec and other live rates. Nondeterministic;
 	// never renders into a golden surface.
@@ -130,7 +135,8 @@ func RunUMI(w *workloads.Workload, p *Platform, cfg umi.Config, hwPrefetch, with
 	s.Finish()
 	wall := time.Since(start)
 	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt,
-		Metrics: s.MetricsSnapshot(), Events: elog, Wall: wall}, nil
+		Metrics: s.MetricsSnapshot(), Events: elog,
+		History: s.History(), Wall: wall}, nil
 }
 
 // RunCachegrind executes the workload natively while feeding every memory

@@ -8,6 +8,10 @@
 //
 //	/metrics          current metrics snapshot (JSON)
 //	/metrics/delta    change since the previous /metrics/delta scrape (JSON)
+//	/metrics/prom     Prometheus text exposition: full registry + latest
+//	                  phase-window gauges (scrape this from Prometheus)
+//	/history          profile-history ring: per-invocation window summaries
+//	                  with churn and phase-change flags (JSON)
 //	/events           recent ring contents with drop accounting (JSON)
 //	/events/timeline  deterministic plain-text timeline
 //	/events/trace     Chrome trace-event JSON (load in Perfetto)
@@ -30,6 +34,7 @@ import (
 
 	"umi/internal/metrics"
 	"umi/internal/tracelog"
+	"umi/internal/umi"
 )
 
 // Server serves one session's observability state. Zero-value fields are
@@ -42,6 +47,12 @@ type Server struct {
 	Metrics func() metrics.Snapshot
 	// Events is the session's event ring (may be nil).
 	Events *tracelog.Log
+	// History returns the current profile-history snapshot. Like Metrics
+	// it is called once per request and must be safe from any goroutine —
+	// the session's LiveHistory, which never drains the pipeline, so a
+	// scrape cannot block or reorder guest progress. Nil serves an empty
+	// (schema-stamped) view.
+	History func() umi.HistoryView
 
 	// delta state: the snapshot taken by the previous /metrics/delta
 	// request, so each scrape reports one interval.
@@ -54,6 +65,13 @@ func (s *Server) snapshot() metrics.Snapshot {
 		return metrics.Snapshot{}
 	}
 	return s.Metrics()
+}
+
+func (s *Server) history() umi.HistoryView {
+	if s.History == nil {
+		return (*umi.History)(nil).View()
+	}
+	return s.History()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -80,6 +98,14 @@ func (s *Server) Handler() http.Handler {
 		s.prev = cur
 		s.mu.Unlock()
 		writeJSON(w, d)
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		metrics.WritePrometheus(w, s.snapshot())
+		umi.WriteHistoryProm(w, s.history())
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.history())
 	})
 	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/events/timeline", func(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +134,8 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 
 /metrics          current self-observability snapshot (JSON)
 /metrics/delta    change since the previous /metrics/delta scrape (JSON)
+/metrics/prom     Prometheus text exposition (registry + phase gauges)
+/history          profile-history windows with phase-change flags (JSON)
 /events           recent lifecycle events (JSON; ?n=100 limits)
 /events/timeline  deterministic plain-text timeline
 /events/trace     Chrome trace-event JSON (open in Perfetto)

@@ -5,11 +5,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
 	"umi/internal/metrics"
 	"umi/internal/tracelog"
+	"umi/internal/umi"
 )
 
 func testServer() (*Server, *metrics.Registry, *tracelog.Log) {
@@ -187,5 +189,131 @@ func TestServeLifecycle(t *testing.T) {
 	stop()
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Error("server still reachable after stop")
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	s, _, _ := testServer()
+	s.History = func() umi.HistoryView {
+		return umi.HistoryView{
+			Schema: "umi-history/v1", Total: 5, Dropped: 2, Cap: 3, PhaseChanges: 1,
+			Windows: []umi.WindowSummary{
+				{Invocation: 3, Cycles: 100, Refs: 10},
+				{Invocation: 4, Cycles: 200, Refs: 20, PhaseChange: true},
+				{Invocation: 5, Cycles: 300, Refs: 30},
+			},
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history status = %d", code)
+	}
+	var v umi.HistoryView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("/history is not a HistoryView: %v\n%s", err, body)
+	}
+	if v.Schema != "umi-history/v1" || v.Total != 5 || v.Dropped != 2 || len(v.Windows) != 3 {
+		t.Errorf("history payload = %+v", v)
+	}
+	if v.Windows[1].Invocation != 4 || !v.Windows[1].PhaseChange {
+		t.Errorf("window payload = %+v", v.Windows[1])
+	}
+}
+
+// TestPromEndpoint: /metrics/prom must serve a valid text exposition
+// carrying at least one counter, one gauge, and one histogram from the
+// registry, plus the phase-history family.
+func TestPromEndpoint(t *testing.T) {
+	s, reg, _ := testServer()
+	reg.Counter("umi.traces.seen").Add(7)
+	reg.Gauge("umi.pool.depth").Set(2)
+	reg.Histogram("umi.analysis.latency", metrics.ExpBuckets(1, 4)).Observe(3)
+	s.History = func() umi.HistoryView {
+		return umi.HistoryView{Schema: "umi-history/v1", Total: 2,
+			Windows: []umi.WindowSummary{{Invocation: 2, Cycles: 500}}}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, metrics.PromContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// Structural validity: every sample preceded by its TYPE line, values
+	// parseable, bucket series cumulative with a final +Inf.
+	types := make(map[string]string)
+	var cum uint64
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("line %d: unparseable value in %q", ln+1, line)
+		}
+		if strings.HasPrefix(line, "umi_analysis_latency_bucket") {
+			v, _ := strconv.ParseUint(line[sp+1:], 10, 64)
+			if v < cum {
+				t.Fatalf("line %d: bucket not cumulative", ln+1)
+			}
+			cum = v
+		}
+	}
+	if types["umi_traces_seen"] != "counter" ||
+		types["umi_pool_depth"] != "gauge" ||
+		types["umi_analysis_latency"] != "histogram" {
+		t.Errorf("missing metric families: %v", types)
+	}
+	if types["umi_phase_windows_total"] != "counter" ||
+		types["umi_phase_last_cycles"] != "gauge" {
+		t.Errorf("missing phase-history families: %v", types)
+	}
+	if !strings.Contains(body, `umi_analysis_latency_bucket{le="+Inf"} 1`) {
+		t.Errorf("missing +Inf bucket:\n%s", body)
+	}
+	if !strings.Contains(body, "umi_phase_last_cycles 500\n") {
+		t.Errorf("missing latest-window gauge:\n%s", body)
+	}
+}
+
+// TestHistoryNilSource: both history surfaces must serve the empty view
+// when no history source is wired.
+func TestHistoryNilSource(t *testing.T) {
+	ts := httptest.NewServer((&Server{}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/history")
+	if code != http.StatusOK {
+		t.Fatalf("/history status = %d with nil source", code)
+	}
+	var v umi.HistoryView
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Schema == "" || v.Total != 0 || len(v.Windows) != 0 {
+		t.Errorf("nil-source history = %+v, want empty schema-stamped view", v)
+	}
+	if code, _ := get(t, ts, "/metrics/prom"); code != http.StatusOK {
+		t.Errorf("/metrics/prom status = %d with nil sources", code)
 	}
 }

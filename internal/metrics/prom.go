@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a Snapshot, so any
+// standard scraper can poll the runtime's self-observability registry
+// mid-run. The mapping:
+//
+//   - counters  → counter samples
+//   - gauges    → a gauge sample plus a companion <name>_max gauge for the
+//     high-water mark (Prometheus has no native max-tracking gauge)
+//   - histograms → classic cumulative-bucket histograms: the registry
+//     stores per-bucket counts, so buckets are accumulated here, with the
+//     overflow bucket rendered as le="+Inf" and _sum/_count appended
+//
+// Metric names are sanitized to the Prometheus grammar (dots and every
+// other illegal rune become underscores). Output is name-sorted, so a
+// fixed snapshot renders byte-identically.
+
+// PromContentType is the Content-Type an HTTP handler should serve the
+// exposition under.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name ("umi.traces.seen") into a
+// Prometheus metric name ("umi_traces_seen").
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders the snapshot as Prometheus text exposition.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := s.Gauges[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, g.Value)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, g.Max)
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.Le != math.MaxUint64 {
+				le = fmt.Sprintf("%d", b.Le)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		if len(h.Buckets) == 0 {
+			// An empty bucket list (a zero-valued HistogramValue, e.g. out
+			// of Snapshot.Diff against a never-observed name) still needs
+			// the +Inf bucket for the exposition to be a valid histogram.
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}

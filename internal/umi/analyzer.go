@@ -49,6 +49,11 @@ type Analyzer struct {
 	// flushes). Same ownership story as met: inline-path emits happen on
 	// the guest thread, pipeline-path emits on the sequencer.
 	tlog *tracelog.Log
+	// hist, when non-nil, receives one WindowSummary per invocation via
+	// captureWindow. Same ownership story again: capture runs on whichever
+	// thread owns the analyzer, so history state needs no extra locking
+	// beyond the ring's own snapshot mutex.
+	hist *History
 
 	lastRun   uint64 // guest cycles at last invocation
 	ranBefore bool
@@ -126,6 +131,7 @@ func (a *Analyzer) Reset() {
 	a.strides = make(map[uint64]StrideInfo)
 	a.columns = make(map[uint64][]uint64)
 	a.totalAcc, a.totalMiss = 0, 0
+	a.hist.reset()
 }
 
 // colPrep is the stateless half of one column's analysis: the materialized

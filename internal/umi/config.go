@@ -100,6 +100,20 @@ type Config struct {
 	// the host's L2 (§5).
 	MiniSimCache cache.Config
 
+	// HistoryWindows bounds the profile-history ring: how many trailing
+	// per-invocation WindowSummary records are retained (0 selects
+	// DefaultHistoryWindows; negative disables capture entirely). Capture
+	// derives only from modelled state and never feeds back into results,
+	// so reports are byte-identical at every setting.
+	HistoryWindows int
+
+	// Phase-change detection thresholds: a window is flagged as a phase
+	// transition when its miss ratio moved more than PhaseMissDelta from
+	// the previous window's, or when delinquent-set churn (1 − Jaccard
+	// similarity against the previous window) exceeds PhaseChurnDelta.
+	PhaseMissDelta  float64
+	PhaseChurnDelta float64
+
 	// AnalyzerWorkers sets the width of the asynchronous profile-analysis
 	// pipeline. At 0 or 1 the analyzer runs inline on the guest thread
 	// (the paper's synchronous model). At N ≥ 2 filled profiles are handed
@@ -153,6 +167,9 @@ func DefaultConfig(hostL2 cache.Config) Config {
 		TraceProfileLen:       8192,
 		WarmupRows:            2,
 		FlushCycleGap:         1_000_000,
+		HistoryWindows:        DefaultHistoryWindows,
+		PhaseMissDelta:        0.05,
+		PhaseChurnDelta:       0.5,
 		DelinquencyInit:       0.90,
 		DelinquencyStep:       0.10,
 		DelinquencyMin:        0.10,

@@ -1,7 +1,9 @@
 package umi
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 
 	"umi/internal/cache"
@@ -107,6 +109,64 @@ func FuzzAnalyzerProfile(f *testing.F) {
 			again.SimulatedRefs != an.SimulatedRefs ||
 			len(again.Delinquent()) != len(an.Delinquent()) {
 			t.Fatalf("replay diverged: %v vs %v", again, an)
+		}
+	})
+}
+
+// FuzzWindowSummary round-trips arbitrary window summaries through the
+// exported JSON layout (umiprof -history-out, /history). Every field must
+// survive: a silent drop here would corrupt the history export schema.
+func FuzzWindowSummary(f *testing.F) {
+	f.Add(1, uint64(1000), uint64(64), uint64(60), uint64(12), 3, -1, uint64(0xdeadbeef), int64(64), 5, 200, true)
+	f.Add(0, uint64(0), uint64(0), uint64(0), uint64(0), 0, 0, uint64(0), int64(0), 0, 0, false)
+	f.Fuzz(func(t *testing.T, inv int, cycles, refs, acc, miss uint64,
+		del, newDel int, hash uint64, stride int64, strided, ws int, phase bool) {
+		w := WindowSummary{
+			Invocation:     inv,
+			Cycles:         cycles,
+			Refs:           refs,
+			Accesses:       acc,
+			Misses:         miss,
+			CumMissRatio:   float64(miss%7) / 7,
+			Delinquent:     del,
+			NewDelinquent:  newDel,
+			DelinquentHash: hash,
+			Jaccard:        float64(acc%11) / 11,
+			PhaseChange:    phase,
+			StridedLoads:   strided,
+			TopStride:      stride,
+			WSLines:        ws,
+		}
+		if acc > 0 {
+			w.WindowMissRatio = float64(miss%acc) / float64(acc)
+		}
+		b, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back WindowSummary
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(w, back) {
+			t.Fatalf("round trip diverged:\n  in  %+v\n  out %+v", w, back)
+		}
+		// The view wrapper must round-trip too, including the schema stamp.
+		v := HistoryView{Schema: historySchema, Total: 1, Cap: 4,
+			Windows: []WindowSummary{w}}
+		if phase {
+			v.PhaseChanges = 1
+		}
+		vb, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal view: %v", err)
+		}
+		var vback HistoryView
+		if err := json.Unmarshal(vb, &vback); err != nil {
+			t.Fatalf("unmarshal view: %v", err)
+		}
+		if !reflect.DeepEqual(v, vback) {
+			t.Fatalf("view round trip diverged:\n  in  %+v\n  out %+v", v, vback)
 		}
 	})
 }

@@ -170,6 +170,10 @@ func (p *analyzerPool) sequencer() {
 			default: // recycling is best-effort; let the GC have it
 			}
 		}
+		// History capture runs here, on the analyzer's owner thread, with
+		// the hand-off cycle stamp — the same point and clock the inline
+		// path uses, so both paths record byte-identical windows.
+		p.an.captureWindow(inv.cycles, p.consumers)
 		elapsed := uint64(time.Since(start))
 		p.met.AnalysisLatency.Observe(elapsed)
 		p.met.SeqBusyNs.Add(elapsed)

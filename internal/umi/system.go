@@ -99,6 +99,9 @@ func Attach(rt *rio.Runtime, cfg Config) *System {
 	s.met = newMetrics()
 	s.an = NewAnalyzer(&s.cfg)
 	s.an.met = s.met
+	if cfg.HistoryWindows >= 0 {
+		s.an.hist = newHistory(cfg.HistoryWindows, cfg.PhaseMissDelta, cfg.PhaseChurnDelta)
+	}
 	rt.SamplePeriod = cfg.SamplePeriod
 	rt.OnTrace = s.onTrace
 	rt.OnSample = s.onSample
@@ -121,6 +124,22 @@ func (s *System) EnableEventTrace(capacity int) *tracelog.Log {
 // EventLog returns the attached event log (nil unless EnableEventTrace
 // was called).
 func (s *System) EventLog() *tracelog.Log { return s.tlog }
+
+// History snapshots the profile-history ring, synchronizing with the
+// analysis pipeline first so every invocation handed off so far is
+// reflected — the end-of-run (or checkpoint) view.
+func (s *System) History() HistoryView {
+	if s.pool != nil {
+		s.pool.drain()
+	}
+	return s.an.hist.View()
+}
+
+// LiveHistory snapshots the ring without draining the pipeline: windows
+// the sequencer has not reached yet are simply absent. This is the path
+// the introspection HTTP server scrapes mid-run — it must never block on,
+// or interleave with, pipeline progress.
+func (s *System) LiveHistory() HistoryView { return s.an.hist.View() }
 
 // Analyzer exposes the profile analyzer and its cumulative results. When
 // the asynchronous pipeline is running, the call synchronizes with it
@@ -362,6 +381,10 @@ func (s *System) analyzeInline(live []*traceState) {
 		ts.profile.Reset()
 		s.deinstrument(ts)
 	}
+	// The window summary is captured with the invocation's submit-time
+	// cycle stamp — the same clock the pipeline path stamps at hand-off —
+	// so inline and async histories are byte-identical.
+	s.an.captureWindow(startCycles, s.consumers)
 	s.met.AnalysisLatency.Observe(uint64(time.Since(start)))
 	s.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerEnd,
 		Cycles: startCycles, Dur: cost,

@@ -56,6 +56,15 @@ type (
 	// oldest events dropped (and counted) on overflow, snapshot-safe from
 	// any goroutine.
 	EventLog = tracelog.Log
+	// WindowSummary is one analyzer invocation's compact record of memory
+	// behaviour: window and cumulative miss ratios, delinquent-set size,
+	// membership hash and churn against the previous window, stride mix,
+	// and working-set lines, stamped with the modelled cycle clock.
+	WindowSummary = iumi.WindowSummary
+	// HistoryView is a snapshot of the profile-history ring: total and
+	// retained window counts, phase-change accounting, and the windows
+	// themselves, oldest first.
+	HistoryView = iumi.HistoryView
 	// Program is an assembled guest program.
 	Program = program.Program
 	// Builder constructs guest programs.
@@ -173,6 +182,21 @@ func WithEventTrace(capacity int) Option {
 	}
 }
 
+// WithHistory bounds the profile-history ring at n trailing windows
+// (0 keeps the default, 64; negative disables capture). Capture reads only
+// modelled analyzer state after each invocation and never feeds back into
+// results, so profiling reports are byte-identical at any setting.
+func WithHistory(n int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.HistoryWindows = n })
+	}
+}
+
+// FormatHistory renders window summaries as the CLIs' phase-history
+// section: one deterministic line per analyzer invocation with window and
+// cumulative miss ratios, delinquent-set churn, and phase-change markers.
+func FormatHistory(windows []WindowSummary) string { return iumi.FormatHistory(windows) }
+
 // WriteChromeTrace serializes recorded events as Chrome trace-event JSON,
 // loadable in Perfetto or chrome://tracing: analyzer invocations as
 // duration spans per component track, lifecycle events as instants, and
@@ -225,6 +249,7 @@ type Session struct {
 	patterns   *PatternCensus
 	whatIf     *WhatIf
 	events     *tracelog.Log
+	history    HistoryView
 }
 
 // NewSession prepares a session for the program.
@@ -301,6 +326,7 @@ func (s *Session) Run() (*Report, error) {
 	sys.Finish()
 	s.report = sys.Report()
 	s.metrics = sys.MetricsSnapshot()
+	s.history = sys.History()
 	s.hierarchy = h
 	s.runtime = rt
 	return s.report, nil
@@ -314,6 +340,17 @@ func (s *Session) Report() *Report { return s.report }
 // counts through analysis latency and pipeline queue pressure. The zero
 // Snapshot before Run.
 func (s *Session) Metrics() MetricsSnapshot { return s.metrics }
+
+// History returns the profile-history snapshot of the run: one
+// WindowSummary per analyzer invocation (bounded by WithHistory), with
+// delinquent-set churn and phase-change flags. The empty (schema-stamped)
+// view before Run.
+func (s *Session) History() HistoryView {
+	if s.report == nil {
+		return (*iumi.History)(nil).View()
+	}
+	return s.history
+}
 
 // EventLog returns the structured event timeline (nil unless the session
 // was built WithEventTrace). Safe to snapshot from any goroutine, during

@@ -198,3 +198,44 @@ func TestSessionCacheBypass(t *testing.T) {
 		t.Error("streaming load must be rewritten to bypass")
 	}
 }
+
+func TestSessionHistory(t *testing.T) {
+	p := demo(t)
+	sess := NewSession(p, WithHistory(4))
+	if v := sess.History(); v.Total != 0 || len(v.Windows) != 0 || v.Schema == "" {
+		t.Fatalf("pre-Run history = %+v, want empty schema-stamped view", v)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	v := sess.History()
+	if v.Schema != "umi-history/v1" {
+		t.Errorf("schema = %q", v.Schema)
+	}
+	if v.Total == 0 || len(v.Windows) == 0 {
+		t.Fatalf("history empty after a profiled run: %+v", v)
+	}
+	if v.Cap != 4 || len(v.Windows) > 4 {
+		t.Errorf("ring cap not honored: cap=%d retained=%d", v.Cap, len(v.Windows))
+	}
+	if int(v.Total) != sess.Report().AnalyzerInvocations {
+		t.Errorf("Total = %d, want %d analyzer invocations",
+			v.Total, sess.Report().AnalyzerInvocations)
+	}
+	out := FormatHistory(v.Windows)
+	if out == "" || out == FormatHistory(nil) {
+		t.Errorf("FormatHistory render = %q", out)
+	}
+
+	// WithHistory(-1) disables capture without touching the report.
+	off := NewSession(p, WithHistory(-1))
+	if _, err := off.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := off.History(); v.Total != 0 || len(v.Windows) != 0 {
+		t.Errorf("disabled history = %+v, want empty", v)
+	}
+	if a, b := off.Report().String(), sess.Report().String(); a != b {
+		t.Errorf("history setting perturbed the report:\n%s\nvs\n%s", a, b)
+	}
+}
