@@ -12,8 +12,9 @@
 //
 // History mode (the CI trend step): -append accumulates runs into a
 // history file — a JSON list of umi-bench/v1 runs, oldest first — and
-// -trend diffs the oldest retained run against the newest, catching the
-// slow multi-PR drift the single-step compare misses:
+// -trend diffs the oldest retained run against the newest — the headline
+// metric plus a series for every other reported metric (B/op, allocs/op) —
+// catching the slow multi-PR drift the single-step compare misses:
 //
 //	go test -run '^$' -bench ... -benchmem . | benchjson -append BENCH_history.json -trend BENCH_history.json
 //
@@ -193,9 +194,12 @@ func loadHistory(path string) ([]File, error) {
 }
 
 // trend diffs the oldest retained run against the newest and writes a
-// report. It returns the number of benchmarks whose headline metric
-// drifted past warnPct cumulatively — the regression a sequence of
-// under-threshold single-step changes accumulates.
+// report: the headline metric first, then a series line for every other
+// metric both runs report (B/op, allocs/op, ns/op under an ns/ref
+// headline), so allocation creep is caught alongside time drift. It
+// returns the number of benchmarks with any metric drifted past warnPct
+// cumulatively — the regression a sequence of under-threshold single-step
+// changes accumulates.
 func trend(w io.Writer, hist []File, warnPct float64) int {
 	if len(hist) < 2 {
 		fmt.Fprintf(w, "history holds %d run(s); need 2 for a trend\n", len(hist))
@@ -223,15 +227,60 @@ func trend(w io.Writer, hist []File, warnPct float64) int {
 			fmt.Fprintf(w, "%-28s %10.2f %s (oldest run lacks %s)\n", r.Name, now, unit, unit)
 			continue
 		}
+		drifted := false
 		pct := 100 * (now - old) / old
 		fmt.Fprintf(w, "%-28s %10.2f -> %10.2f %s  %+6.1f%%\n", r.Name, old, now, unit, pct)
 		if pct > warnPct {
-			drifts++
+			drifted = true
 			fmt.Fprintf(w, "::warning::%s drifted %.1f%% across %d runs (%s %.2f -> %.2f, threshold %.0f%%)\n",
 				r.Name, pct, len(hist), unit, old, now, warnPct)
 		}
+		for _, u := range sortedUnits(r.Metrics) {
+			if u == unit {
+				continue
+			}
+			nv := r.Metrics[u]
+			ov, inOld := b.Metrics[u]
+			if !inOld {
+				continue
+			}
+			switch {
+			case ov == 0 && nv == 0:
+				fmt.Fprintf(w, "  %-26s %10.2f -> %10.2f %s\n", "", ov, nv, u)
+			case ov == 0:
+				// A zero baseline has no percentage; any growth is drift
+				// (allocs/op leaving zero is exactly the regression the
+				// zero-alloc tests guard).
+				drifted = true
+				fmt.Fprintf(w, "  %-26s %10.2f -> %10.2f %s\n", "", ov, nv, u)
+				fmt.Fprintf(w, "::warning::%s %s grew from zero across %d runs (0 -> %.2f)\n",
+					r.Name, u, len(hist), nv)
+			default:
+				mpct := 100 * (nv - ov) / ov
+				fmt.Fprintf(w, "  %-26s %10.2f -> %10.2f %s  %+6.1f%%\n", "", ov, nv, u, mpct)
+				if mpct > warnPct {
+					drifted = true
+					fmt.Fprintf(w, "::warning::%s %s drifted %.1f%% across %d runs (%.2f -> %.2f, threshold %.0f%%)\n",
+						r.Name, u, mpct, len(hist), ov, nv, warnPct)
+				}
+			}
+		}
+		if drifted {
+			drifts++
+		}
 	}
 	return drifts
+}
+
+// sortedUnits returns the metric units in stable order, so series lines
+// and warnings do not reshuffle between runs.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 // run is the testable entry point: parses flags against args, reads bench

@@ -178,6 +178,35 @@ func TestRunAppendAndTrend(t *testing.T) {
 		t.Errorf("corrupt history exit = %d, want 1", code)
 	}
 
+	// Per-metric series: a steady headline must not mask B/op drift or
+	// allocs/op leaving zero; both get their own warning lines, and the
+	// benchmark counts once in the summary.
+	multi := filepath.Join(dir, "multi.json")
+	oldRun := "BenchmarkAnalyzeProfile-8 100 70000 ns/op 17.00 ns/ref 100 B/op 0 allocs/op\n"
+	newRun := "BenchmarkAnalyzeProfile-8 100 70000 ns/op 17.00 ns/ref 150 B/op 2 allocs/op\n"
+	for _, r := range []string{oldRun, newRun} {
+		out.Reset()
+		if code := run([]string{"-append", multi}, strings.NewReader(r), &out, &errb); code != 0 {
+			t.Fatalf("multi-metric append exit %d: %s", code, errb.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-trend", multi}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("multi-metric trend exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"::warning::BenchmarkAnalyzeProfile B/op drifted 50.0% across 2 runs",
+		"::warning::BenchmarkAnalyzeProfile allocs/op grew from zero across 2 runs (0 -> 2.00)",
+		"1 benchmark(s) past the 15% drift threshold",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("per-metric trend output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "::warning::BenchmarkAnalyzeProfile drifted") {
+		t.Errorf("steady headline must not warn:\n%s", out.String())
+	}
+
 	// Short history: trend declines politely.
 	single := filepath.Join(dir, "single.json")
 	out.Reset()

@@ -1,0 +1,147 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Equivalence suite for the fused per-policy fast paths and the batch
+// entry point. Three implementations must agree byte-exactly on every
+// access: the general path (accessSlow, pinned via coldActive), the
+// scalar fused paths (Access), and the batch loops (AccessBatch). The
+// configs cover all three LRU representations — narrow SWAR ages (2-way),
+// the sentinel-tag 8-way path, and wide packed timestamps (16-way) — and
+// every policy runs over each geometry.
+
+var equivConfigs = []Config{
+	{Name: "narrow2", Size: 1024, Assoc: 2, LineSize: 64},      // SWAR ages
+	{Name: "fused8", Size: 512 * 1024, Assoc: 8, LineSize: 64}, // sentinel LRU8
+	{Name: "wide16", Size: 64 * 1024, Assoc: 16, LineSize: 64}, // packed timestamps
+}
+
+// equivAddr draws a demand address with heavy set reuse: the line pool is
+// 4x the cache so hits, fills, and evictions all occur, plus occasional
+// sub-line offset noise so tag extraction is exercised off line boundaries.
+func equivAddr(rng *rand.Rand, cfg Config) uint64 {
+	lines := cfg.Size / cfg.LineSize * 4
+	addr := uint64(rng.Intn(lines)) * uint64(cfg.LineSize)
+	if rng.Intn(4) == 0 {
+		addr += uint64(rng.Intn(cfg.LineSize))
+	}
+	return addr
+}
+
+// TestFastSlowEquivalenceAllPolicies pins the scalar fused paths against
+// the general path for every policy and geometry: 20k random demand
+// accesses after a shared install/consume pre-history must produce
+// identical results, statistics, and residency.
+func TestFastSlowEquivalenceAllPolicies(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Random, PLRU} {
+		for _, base := range equivConfigs {
+			cfg := base
+			cfg.Policy = pol
+			t.Run(fmt.Sprintf("%s/%s", pol, base.Name), func(t *testing.T) {
+				fast := New(cfg)
+				slow := New(cfg)
+				for _, c := range []*Cache{fast, slow} {
+					c.Install(0x1000, 0)
+					c.Access(0x1000) // consume: cold state drains, fused path re-arms
+				}
+				slow.coldActive = true
+				slow.refast()
+				if slow.fast != fpSlow {
+					t.Fatal("pinned reference cache must dispatch to the general path")
+				}
+				if pol != Random && fast.fast == fpSlow {
+					t.Fatalf("%s/%s: fused path not engaged after drain", pol, base.Name)
+				}
+
+				rng := rand.New(rand.NewSource(42))
+				for i := 0; i < 20_000; i++ {
+					addr := equivAddr(rng, cfg)
+					rf := fast.Access(addr)
+					rs := slow.Access(addr)
+					if rf != rs {
+						t.Fatalf("access %d (%#x): fast=%+v slow=%+v", i, addr, rf, rs)
+					}
+				}
+				if fast.Stats() != slow.Stats() {
+					t.Fatalf("stats diverged: fast=%+v slow=%+v", fast.Stats(), slow.Stats())
+				}
+				if fast.Resident() != slow.Resident() {
+					t.Fatalf("residency diverged: %d vs %d", fast.Resident(), slow.Resident())
+				}
+			})
+		}
+	}
+}
+
+// TestBatchScalarEquivalence pins AccessBatch against per-element Access
+// for every policy and geometry: the same 20k-access stream, chopped into
+// random-size chunks on the batch side, must produce element-identical
+// results and final state. Prefetch installs are interleaved mid-stream so
+// the batch path also covers the general-dispatch fallback and the
+// re-arming of the fused path when the last cold entry drains inside a
+// chunk.
+func TestBatchScalarEquivalence(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Random, PLRU} {
+		for _, base := range equivConfigs {
+			cfg := base
+			cfg.Policy = pol
+			t.Run(fmt.Sprintf("%s/%s", pol, base.Name), func(t *testing.T) {
+				scalar := New(cfg)
+				batch := New(cfg)
+				rng := rand.New(rand.NewSource(1337))
+
+				addrs := make([]uint64, 0, 257)
+				want := make([]AccessResult, 0, 257)
+				got := make([]AccessResult, 257)
+				total := 0
+				for total < 20_000 {
+					// Periodically install the same prefetches on both
+					// caches: cold state knocks both onto the general path
+					// until demand traffic drains it.
+					if rng.Intn(16) == 0 {
+						a := equivAddr(rng, cfg) &^ uint64(cfg.LineSize-1)
+						ready := uint64(rng.Intn(3)) * 40
+						scalar.Install(a, ready)
+						batch.Install(a, ready)
+						// Re-reference the line with the next chunk half the
+						// time so consume-vs-evict draining both occur.
+						if rng.Intn(2) == 0 {
+							addrs = append(addrs, a)
+						}
+					}
+					n := rng.Intn(256) + 1
+					for len(addrs) < n {
+						addrs = append(addrs, equivAddr(rng, cfg))
+					}
+					for _, a := range addrs {
+						want = append(want, scalar.Access(a))
+					}
+					batch.AccessBatch(addrs, got[:len(addrs)])
+					for i := range addrs {
+						if got[i] != want[i] {
+							t.Fatalf("chunk at %d, element %d (%#x): batch=%+v scalar=%+v",
+								total, i, addrs[i], got[i], want[i])
+						}
+					}
+					total += len(addrs)
+					addrs = addrs[:0]
+					want = want[:0]
+				}
+				if scalar.Stats() != batch.Stats() {
+					t.Fatalf("stats diverged: scalar=%+v batch=%+v", scalar.Stats(), batch.Stats())
+				}
+				if scalar.Resident() != batch.Resident() {
+					t.Fatalf("residency diverged: %d vs %d", scalar.Resident(), batch.Resident())
+				}
+				if scalar.PrefetchResident() != batch.PrefetchResident() {
+					t.Fatalf("prefetch residency diverged: %d vs %d",
+						scalar.PrefetchResident(), batch.PrefetchResident())
+				}
+			})
+		}
+	}
+}

@@ -11,7 +11,10 @@
 //  3. as the engine of the Cachegrind-style offline simulator.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -31,6 +34,10 @@ func (c Config) Sets() int { return c.Size / (c.Assoc * c.LineSize) }
 func (c Config) Validate() error {
 	if c.Size <= 0 || c.Assoc <= 0 || c.LineSize <= 0 {
 		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.Assoc > 64 {
+		// One valid-bitmask word per set; real hardware tops out far below.
+		return fmt.Errorf("cache %s: associativity %d exceeds the 64-way limit", c.Name, c.Assoc)
 	}
 	if c.LineSize&(c.LineSize-1) != 0 {
 		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineSize)
@@ -68,16 +75,6 @@ var (
 	K7L2  = Config{Name: "K7-L2", Size: 256 * 1024, Assoc: 16, LineSize: 64}
 )
 
-// hotLine holds the fields a demand-access probe reads: the tag compare and
-// the LRU recency stamp. Splitting these from the prefetch bookkeeping keeps
-// a set's probe footprint to one hardware cache line for typical
-// associativities, so the mini-simulator's inner loop stays resident.
-type hotLine struct {
-	tag     uint64
-	lastUse uint64 // logical time of last touch (LRU); install time for FIFO
-	valid   bool
-}
-
 // coldLine holds the prefetch bookkeeping a demand access only touches when
 // prefetch state actually exists (coldActive): coverage marking and the
 // in-flight fill deadline.
@@ -90,26 +87,45 @@ type coldLine struct {
 	prefetched bool
 }
 
-// Cache is one set-associative cache level with true-LRU replacement, as in
-// the paper's mini-simulator ("an empty line, or the oldest line, is
-// selected"; "we use a counter to simulate time").
+// Cache is one set-associative cache level with true-LRU replacement by
+// default, as in the paper's mini-simulator ("an empty line, or the oldest
+// line, is selected"; "we use a counter to simulate time").
 //
-// Lines live in two contiguous backing arrays indexed by set*assoc+way: hot
-// probe fields in hot, prefetch fields in cold. The flat layout removes the
-// per-probe pointer dereference and bounds check a [][]line representation
-// costs, and the hot/cold split halves the bytes a demand scan touches.
+// Line state lives in parallel lanes indexed by set*assoc+way, way-major
+// within each set, so the bytes a demand scan touches are exactly the lane
+// it needs and nothing else:
+//
+//   - tags: the tag-compare lane the hit scan walks — 8 bytes per way, so
+//     a whole 8-way set's tags fit one host cache line;
+//   - lastUse: the recency lane (install time under FIFO), written on hit
+//     and read only by the LRU victim scan on an eviction;
+//   - valid: one bitmask word per set (bit w = way w valid), which turns
+//     validity checks, invalid-way selection, and residency counting into
+//     single bit operations;
+//   - cold: prefetch bookkeeping, consulted only while coldActive.
 type Cache struct {
-	cfg       Config
-	hot       []hotLine // Sets()*Assoc entries, way-major within each set
-	cold      []coldLine
+	cfg  Config
+	tags []uint64 // Sets()*Assoc entries, way-major within each set
+	// lastUse is the wide-LRU recency lane (packed timestamps, see
+	// packUse); allocated only for LRU caches wider than 8 ways. Narrow
+	// LRU caches keep their whole recency stack in ages instead.
+	lastUse []uint64
+	// ages holds one SWAR age vector per set (LRU, assoc ≤ 8 only): an
+	// age byte per way, 0 = most recent. See hotpath.go.
+	ages  []uint64
+	valid []uint64 // one word per set
+	cold  []coldLine
+
 	assoc     int
+	wayMask   uint64 // low Assoc bits set: a full set's valid word
+	wayBits   uint   // bits.Len(assoc-1): shift for packed recency stamps
 	setMask   uint64
 	lineShift uint
 	setBits   uint
 	clock     uint64
 
-	// coldActive is true while any cold entry is non-zero, so the LRU
-	// demand fast path can skip prefetch bookkeeping entirely while false.
+	// coldActive is true while any cold entry is non-zero, so the fused
+	// demand fast paths can skip prefetch bookkeeping entirely while false.
 	// coldLive counts those entries exactly: it rises when a prefetch
 	// installs state and falls when a demand hit consumes it or an eviction
 	// overwrites it, so coldActive clears — and the fast path re-engages —
@@ -117,9 +133,38 @@ type Cache struct {
 	coldActive bool
 	coldLive   int
 
+	// fast caches the fused-path selection (policy × layout × coldActive)
+	// as a single byte, so Access pays one load and one switch instead of
+	// re-deriving the choice per call. refast() recomputes it at every
+	// coldActive transition.
+	fast uint8
+
 	policy   Policy
 	rngState uint64   // Random policy state
 	plruBits []uint64 // PLRU tree bits, one word per set
+
+	// SWAR masks for the age-vector updates, restricted to the low assoc
+	// bytes: the per-byte increment (0x01s), the per-byte high bits
+	// (0x80s), and assoc-1 broadcast for the victim scan.
+	ageInc  uint64
+	ageGE   uint64
+	ageVict uint64
+
+	// fifoNext is FIFO's round-robin victim lane: ways fill in index order
+	// (fills always take the lowest invalid way and lines only invalidate
+	// wholesale at Flush), so once a set is full its oldest line is exactly
+	// the way this pointer names — no install-time scan needed. Every
+	// install path advances it to victim+1 mod assoc, which keeps it equal
+	// to the min-install-time scan the slow path used to do.
+	fifoNext []int32
+
+	// PLRU dispatch tables, built once per New: plruVict maps a set's tree
+	// bits straight to the victim way (assoc ≤ plruTableMaxAssoc only —
+	// the table is 2^(assoc-1) entries); plruOn/plruOff are per-way touch
+	// masks replacing the level-by-level tree walk on every touch.
+	plruVict []uint8
+	plruOn   []uint64
+	plruOff  []uint64
 
 	stats Stats
 }
@@ -138,12 +183,23 @@ type Stats struct {
 	Evictions uint64
 }
 
-// Stats returns the traffic counters accumulated so far.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns the traffic counters accumulated so far. The access count
+// is read straight off the recency clock: the clock ticks exactly once
+// per demand access (and never for prefetch installs), so the two were
+// always the same number and the hot paths only maintain one.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Accesses = c.clock
+	return s
+}
 
 // rngSeed is the initial xorshift state for the Random policy; fixed so
 // fresh, Reset, and Cloned caches replay identically.
 const rngSeed = 0x9E3779B97F4A7C15
+
+// plruTableMaxAssoc bounds the bits→victim lookup table: 16 ways is a
+// 32KiB table (2^15 entries); larger trees fall back to the walk.
+const plruTableMaxAssoc = 16
 
 // New builds a cache from the config, panicking on invalid geometry
 // (configurations are build-time constants in this codebase).
@@ -160,12 +216,42 @@ func New(cfg Config) *Cache {
 		setBits++
 	}
 	n := cfg.Sets() * cfg.Assoc
-	c := &Cache{cfg: cfg, hot: make([]hotLine, n), cold: make([]coldLine, n),
-		assoc: cfg.Assoc, setMask: uint64(cfg.Sets() - 1), lineShift: shift,
+	c := &Cache{cfg: cfg,
+		tags:  make([]uint64, n),
+		valid: make([]uint64, cfg.Sets()), cold: make([]coldLine, n),
+		assoc: cfg.Assoc, wayMask: ^uint64(0) >> (64 - uint(cfg.Assoc)),
+		wayBits: uint(bits.Len(uint(cfg.Assoc - 1))),
+		setMask: uint64(cfg.Sets() - 1), lineShift: shift,
 		setBits: setBits, policy: cfg.Policy, rngState: rngSeed}
-	if cfg.Policy == PLRU {
-		c.plruBits = make([]uint64, cfg.Sets())
+	// Invalid ways hold invalidTag so the 8-way fused path's sign-AND miss
+	// test is exact for partial sets too (see hotpath.go).
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	switch cfg.Policy {
+	case LRU:
+		if cfg.Assoc <= 8 {
+			c.ages = make([]uint64, cfg.Sets())
+			span := ^uint64(0)
+			if cfg.Assoc < 8 {
+				span = 1<<(8*uint(cfg.Assoc)) - 1
+			}
+			c.ageInc = lowBytes & span
+			c.ageGE = highBytes & span
+			c.ageVict = uint64(cfg.Assoc-1) * lowBytes
+		} else {
+			c.lastUse = make([]uint64, n)
+		}
+	case PLRU:
+		c.plruBits = make([]uint64, cfg.Sets())
+		c.plruOn, c.plruOff = plruTouchMasks(cfg.Assoc)
+		if cfg.Assoc <= plruTableMaxAssoc {
+			c.plruVict = plruVictimTable(cfg.Assoc)
+		}
+	case FIFO:
+		c.fifoNext = make([]int32, cfg.Sets())
+	}
+	c.refast()
 	return c
 }
 
@@ -191,87 +277,439 @@ type AccessResult struct {
 	Late bool
 }
 
+// Fused-path selector values (Cache.fast). fpSlow is the zero value so a
+// cache that never calls refast stays on the always-correct general path.
+const (
+	fpSlow uint8 = iota
+	fpLRU8
+	fpLRUNarrow
+	fpLRUWide
+	fpFIFO
+	fpPLRU
+)
+
+// refast recomputes the fused-path selector. Call after anything that
+// changes its inputs — in practice only coldActive transitions (policy and
+// layout are fixed at New).
+func (c *Cache) refast() {
+	if c.coldActive {
+		c.fast = fpSlow
+		return
+	}
+	switch c.policy {
+	case LRU:
+		switch {
+		case c.assoc == 8 && c.lineShift+c.setBits > 0:
+			// The 8-way path's exact sign-AND miss test needs invalidTag to
+			// be unreachable as a lookup tag, which one bit of shift
+			// guarantees (tag < 2^63). A degenerate 1-byte-line single-set
+			// geometry falls back to the generic narrow path.
+			c.fast = fpLRU8
+		case c.ages != nil:
+			c.fast = fpLRUNarrow
+		default:
+			c.fast = fpLRUWide
+		}
+	case FIFO:
+		c.fast = fpFIFO
+	case PLRU:
+		c.fast = fpPLRU
+	default: // Random: victim choice consumes RNG state per access
+		c.fast = fpSlow
+	}
+}
+
 // Access performs one demand access. On miss the line is installed
 // (demand fill completes immediately).
 func (c *Cache) Access(addr uint64) AccessResult {
-	if c.policy == LRU && !c.coldActive {
-		return c.accessLRUDemand(addr)
+	switch c.fast {
+	case fpLRU8:
+		return c.accessLRU8(addr)
+	case fpLRUNarrow:
+		return c.accessLRUNarrow(addr)
+	case fpLRUWide:
+		return c.accessLRUWide(addr)
+	case fpFIFO:
+		return c.accessFIFODemand(addr)
+	case fpPLRU:
+		return c.accessPLRUDemand(addr)
 	}
 	return c.accessSlow(addr)
 }
 
-// accessLRUDemand is the specialized fast path for the configuration the
-// profile analyzer always runs: LRU replacement with no prefetch state. One
-// fused scan over the set's hot lines resolves the tag compare, the LRU
-// victim, and the first invalid way, touching no cold fields. Behaviour is
-// exactly accessSlow's under these preconditions (cold entries are all zero
-// while coldActive is false, and plruTouch is a no-op for LRU).
-func (c *Cache) accessLRUDemand(addr uint64) AccessResult {
+// accessLRUNarrow is the fused LRU demand path for assoc ≤ 8 at widths
+// other than 8 (which has its own unrolled body, accessLRU8): generic
+// branchless tag scan plus the SWAR age-vector recency update. Behaviour
+// is exactly accessSlow's under the fast-path preconditions (cold entries
+// are all zero while coldActive is false, and plruTouch is a no-op for
+// LRU).
+func (c *Cache) accessLRUNarrow(addr uint64) AccessResult {
 	c.clock++
-	c.stats.Accesses++
 	l := addr >> c.lineShift
+	set := l & c.setMask
 	tag := l >> c.setBits
-	base := int(l&c.setMask) * c.assoc
-	hot := c.hot[base : base+c.assoc]
-	invalid := -1
-	lruWay, lruUse := 0, ^uint64(0)
-	for i := range hot {
-		h := &hot[i]
-		if !h.valid {
-			if invalid < 0 {
-				invalid = i
-			}
-			continue
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	vm := c.valid[set]
+	if vm == c.wayMask {
+		if missAllFull(tags, tag) {
+			c.stats.Misses++
+			c.stats.Evictions++
+			way := ageEvictWay(c.ages[set], c.ageVict, c.ageGE)
+			tags[way] = tag
+			c.ages[set] = ageInstall(c.ages[set], way, c.ageInc)
+			return AccessResult{}
 		}
-		if h.tag == tag {
-			h.lastUse = c.clock
-			return AccessResult{Hit: true}
-		}
-		if h.lastUse < lruUse {
-			lruWay, lruUse = i, h.lastUse
-		}
+		way := bits.TrailingZeros64(matchWays(tags, tag, vm))
+		c.ages[set] = ageTouch(c.ages[set], way, c.ageInc, c.ageGE)
+		return AccessResult{Hit: true}
+	}
+	if m := matchWays(tags, tag, vm); m != 0 {
+		way := bits.TrailingZeros64(m)
+		c.ages[set] = ageTouch(c.ages[set], way, c.ageInc, c.ageGE)
+		return AccessResult{Hit: true}
 	}
 	c.stats.Misses++
-	victim := invalid
-	if victim < 0 {
-		victim = lruWay
+	way := bits.TrailingZeros64(^vm & c.wayMask)
+	c.valid[set] = vm | 1<<uint(way)
+	tags[way] = tag
+	c.ages[set] = ageInstall(c.ages[set], way, c.ageInc)
+	return AccessResult{}
+}
+
+// accessLRUWide is the fused LRU demand path for assoc > 8: the recency
+// stack no longer fits one SWAR word, so per-way packed timestamps in the
+// lastUse lane with a linear minimum scan take over.
+func (c *Cache) accessLRUWide(addr uint64) AccessResult {
+	c.clock++
+	l := addr >> c.lineShift
+	set := l & c.setMask
+	tag := l >> c.setBits
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	vm := c.valid[set]
+	if vm == c.wayMask {
+		if missAllFull(tags, tag) {
+			c.stats.Misses++
+			c.stats.Evictions++
+			use := c.lastUse[base : base+c.assoc : base+c.assoc]
+			way := minWay(use, c.wayBits)
+			tags[way] = tag
+			use[way] = packUse(c.clock, c.wayBits, way)
+			return AccessResult{}
+		}
+		way := bits.TrailingZeros64(matchWays(tags, tag, vm))
+		c.lastUse[base+way] = packUse(c.clock, c.wayBits, way)
+		return AccessResult{Hit: true}
+	}
+	if m := matchWays(tags, tag, vm); m != 0 {
+		way := bits.TrailingZeros64(m)
+		c.lastUse[base+way] = packUse(c.clock, c.wayBits, way)
+		return AccessResult{Hit: true}
+	}
+	c.stats.Misses++
+	way := bits.TrailingZeros64(^vm & c.wayMask)
+	c.valid[set] = vm | 1<<uint(way)
+	tags[way] = tag
+	c.lastUse[base+way] = packUse(c.clock, c.wayBits, way)
+	return AccessResult{}
+}
+
+// accessFIFODemand is FIFO's fused demand path: hits touch nothing (the
+// recency lane is an LRU-only structure), and a full set's victim comes
+// straight off the fifoNext pointer — no install-time scan at all.
+func (c *Cache) accessFIFODemand(addr uint64) AccessResult {
+	c.clock++
+	l := addr >> c.lineShift
+	set := l & c.setMask
+	tag := l >> c.setBits
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	vm := c.valid[set]
+	if vm == c.wayMask {
+		if !missAllFull(tags, tag) {
+			return AccessResult{Hit: true}
+		}
+		c.stats.Misses++
+		c.stats.Evictions++
+		way := int(c.fifoNext[set])
+		next := int32(way) + 1
+		if int(next) == c.assoc {
+			next = 0
+		}
+		c.fifoNext[set] = next
+		tags[way] = tag
+		return AccessResult{}
+	}
+	if matchWays(tags, tag, vm) != 0 {
+		return AccessResult{Hit: true}
+	}
+	c.stats.Misses++
+	way := bits.TrailingZeros64(^vm & c.wayMask)
+	c.valid[set] = vm | 1<<uint(way)
+	next := int32(way) + 1
+	if int(next) == c.assoc {
+		next = 0
+	}
+	c.fifoNext[set] = next
+	tags[way] = tag
+	return AccessResult{}
+}
+
+// accessPLRUDemand is PLRU's fused demand path: the victim comes from the
+// bits→way table (or the tree walk past plruTableMaxAssoc ways) and the
+// touch is two precomputed mask operations instead of a level walk.
+func (c *Cache) accessPLRUDemand(addr uint64) AccessResult {
+	c.clock++
+	l := addr >> c.lineShift
+	set := l & c.setMask
+	tag := l >> c.setBits
+	base := int(set) * c.assoc
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	vm := c.valid[set]
+	if m := matchWays(tags, tag, vm); m != 0 {
+		way := bits.TrailingZeros64(m)
+		c.plruBits[set] = c.plruBits[set]&^c.plruOff[way] | c.plruOn[way]
+		return AccessResult{Hit: true}
+	}
+	c.stats.Misses++
+	var way int
+	if inv := ^vm & c.wayMask; inv != 0 {
+		way = bits.TrailingZeros64(inv)
+		c.valid[set] = vm | 1<<uint(way)
+	} else {
+		way = c.plruVictim(set)
 		c.stats.Evictions++
 	}
-	hot[victim] = hotLine{tag: tag, lastUse: c.clock, valid: true}
+	tags[way] = tag
+	c.plruBits[set] = c.plruBits[set]&^c.plruOff[way] | c.plruOn[way]
 	return AccessResult{}
+}
+
+// AccessBatch performs one demand access per element of addrs, in order,
+// writing the i-th outcome into res[i]. It is exactly equivalent to
+// calling Access once per element — same results, statistics, clock
+// stamps, and replacement state — but amortizes the policy dispatch and
+// the clock/statistics read-modify-writes across the whole batch, which
+// is what lets the analyzer replay a profile column-by-column without
+// paying per-reference entry overhead. res must be at least as long as
+// addrs; excess entries are untouched.
+func (c *Cache) AccessBatch(addrs []uint64, res []AccessResult) {
+	res = res[:len(addrs)]
+	switch c.fast {
+	case fpLRU8:
+		c.batchLRU8(addrs, res)
+		return
+	case fpLRUNarrow, fpLRUWide:
+		c.batchLRU(addrs, res)
+		return
+	case fpFIFO:
+		c.batchFIFO(addrs, res)
+		return
+	case fpPLRU:
+		c.batchPLRU(addrs, res)
+		return
+	}
+	// General path: Random policy, or live prefetch state. Dispatch per
+	// element through Access, not accessSlow — draining the last cold
+	// entry mid-batch re-arms the fused path exactly as scalar calls would.
+	for i, a := range addrs {
+		res[i] = c.Access(a)
+	}
+}
+
+// batchLRU runs the LRU demand paths over a batch with the clock and
+// statistics hoisted into locals.
+func (c *Cache) batchLRU(addrs []uint64, res []AccessResult) {
+	clock := c.clock
+	var misses, evicts uint64
+	if c.ages != nil { // narrow: SWAR age vectors
+		for i, addr := range addrs {
+			clock++
+			l := addr >> c.lineShift
+			set := l & c.setMask
+			tag := l >> c.setBits
+			base := int(set) * c.assoc
+			tags := c.tags[base : base+c.assoc : base+c.assoc]
+			vm := c.valid[set]
+			if vm == c.wayMask && missAllFull(tags, tag) {
+				misses++
+				evicts++
+				way := ageEvictWay(c.ages[set], c.ageVict, c.ageGE)
+				tags[way] = tag
+				c.ages[set] = ageInstall(c.ages[set], way, c.ageInc)
+				res[i] = AccessResult{}
+				continue
+			}
+			if m := matchWays(tags, tag, vm); m != 0 {
+				way := bits.TrailingZeros64(m)
+				c.ages[set] = ageTouch(c.ages[set], way, c.ageInc, c.ageGE)
+				res[i] = AccessResult{Hit: true}
+				continue
+			}
+			misses++
+			way := bits.TrailingZeros64(^vm & c.wayMask)
+			c.valid[set] = vm | 1<<uint(way)
+			tags[way] = tag
+			c.ages[set] = ageInstall(c.ages[set], way, c.ageInc)
+			res[i] = AccessResult{}
+		}
+	} else { // wide: packed timestamps
+		for i, addr := range addrs {
+			clock++
+			l := addr >> c.lineShift
+			set := l & c.setMask
+			tag := l >> c.setBits
+			base := int(set) * c.assoc
+			tags := c.tags[base : base+c.assoc : base+c.assoc]
+			vm := c.valid[set]
+			if vm == c.wayMask && missAllFull(tags, tag) {
+				misses++
+				evicts++
+				use := c.lastUse[base : base+c.assoc : base+c.assoc]
+				way := minWay(use, c.wayBits)
+				tags[way] = tag
+				use[way] = packUse(clock, c.wayBits, way)
+				res[i] = AccessResult{}
+				continue
+			}
+			if m := matchWays(tags, tag, vm); m != 0 {
+				way := bits.TrailingZeros64(m)
+				c.lastUse[base+way] = packUse(clock, c.wayBits, way)
+				res[i] = AccessResult{Hit: true}
+				continue
+			}
+			misses++
+			way := bits.TrailingZeros64(^vm & c.wayMask)
+			c.valid[set] = vm | 1<<uint(way)
+			tags[way] = tag
+			c.lastUse[base+way] = packUse(clock, c.wayBits, way)
+			res[i] = AccessResult{}
+		}
+	}
+	c.clock = clock
+	c.stats.Misses += misses
+	c.stats.Evictions += evicts
+}
+
+// batchFIFO is accessFIFODemand over a batch.
+func (c *Cache) batchFIFO(addrs []uint64, res []AccessResult) {
+	clock := c.clock
+	var misses, evicts uint64
+	for i, addr := range addrs {
+		clock++
+		l := addr >> c.lineShift
+		set := l & c.setMask
+		tag := l >> c.setBits
+		base := int(set) * c.assoc
+		tags := c.tags[base : base+c.assoc : base+c.assoc]
+		vm := c.valid[set]
+		if vm == c.wayMask {
+			if !missAllFull(tags, tag) {
+				res[i] = AccessResult{Hit: true}
+				continue
+			}
+			misses++
+			evicts++
+			way := int(c.fifoNext[set])
+			next := int32(way) + 1
+			if int(next) == c.assoc {
+				next = 0
+			}
+			c.fifoNext[set] = next
+			tags[way] = tag
+			res[i] = AccessResult{}
+			continue
+		}
+		if matchWays(tags, tag, vm) != 0 {
+			res[i] = AccessResult{Hit: true}
+			continue
+		}
+		misses++
+		way := bits.TrailingZeros64(^vm & c.wayMask)
+		c.valid[set] = vm | 1<<uint(way)
+		next := int32(way) + 1
+		if int(next) == c.assoc {
+			next = 0
+		}
+		c.fifoNext[set] = next
+		tags[way] = tag
+		res[i] = AccessResult{}
+	}
+	c.clock = clock
+	c.stats.Misses += misses
+	c.stats.Evictions += evicts
+}
+
+// batchPLRU is accessPLRUDemand over a batch.
+func (c *Cache) batchPLRU(addrs []uint64, res []AccessResult) {
+	clock := c.clock
+	var misses, evicts uint64
+	for i, addr := range addrs {
+		clock++
+		l := addr >> c.lineShift
+		set := l & c.setMask
+		tag := l >> c.setBits
+		base := int(set) * c.assoc
+		tags := c.tags[base : base+c.assoc : base+c.assoc]
+		vm := c.valid[set]
+		if m := matchWays(tags, tag, vm); m != 0 {
+			way := bits.TrailingZeros64(m)
+			c.plruBits[set] = c.plruBits[set]&^c.plruOff[way] | c.plruOn[way]
+			res[i] = AccessResult{Hit: true}
+			continue
+		}
+		misses++
+		var way int
+		if inv := ^vm & c.wayMask; inv != 0 {
+			way = bits.TrailingZeros64(inv)
+			c.valid[set] = vm | 1<<uint(way)
+		} else {
+			way = c.plruVictim(set)
+			evicts++
+		}
+		tags[way] = tag
+		c.plruBits[set] = c.plruBits[set]&^c.plruOff[way] | c.plruOn[way]
+		res[i] = AccessResult{}
+	}
+	c.clock = clock
+	c.stats.Misses += misses
+	c.stats.Evictions += evicts
 }
 
 // accessSlow is the general demand access: any policy, prefetch state live.
 func (c *Cache) accessSlow(addr uint64) AccessResult {
 	c.clock++
-	c.stats.Accesses++
 	set, tag := c.setAndTag(addr)
 	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		h := &c.hot[base+i]
-		if h.valid && h.tag == tag {
-			res := AccessResult{Hit: true}
-			if cd := &c.cold[base+i]; cd.prefetched || cd.readyAt != 0 {
-				if cd.prefetched {
-					res.PrefetchedHit = true
-				}
-				if cd.readyAt > c.clock {
-					res.Late = true
-				}
-				// Clear the whole entry, not just the consumed fields: a
-				// stale readyAt at or before the clock can never fire again
-				// (the Late check and the Install clamp both require a
-				// future deadline), so zeroing it is behaviour-neutral and
-				// keeps coldLive an exact count of non-zero entries.
-				*cd = coldLine{}
-				c.coldDec()
+	tags := c.tags[base : base+c.assoc : base+c.assoc]
+	if m := matchWays(tags, tag, c.valid[set]); m != 0 {
+		i := bits.TrailingZeros64(m)
+		res := AccessResult{Hit: true}
+		if cd := &c.cold[base+i]; cd.prefetched || cd.readyAt != 0 {
+			if cd.prefetched {
+				res.PrefetchedHit = true
 			}
-			if c.policy != FIFO {
-				h.lastUse = c.clock // FIFO keeps install time
+			if cd.readyAt > c.clock {
+				res.Late = true
 			}
-			c.plruTouch(set, i)
-			return res
+			// Clear the whole entry, not just the consumed fields: a
+			// stale readyAt at or before the clock can never fire again
+			// (the Late check and the Install clamp both require a
+			// future deadline), so zeroing it is behaviour-neutral and
+			// keeps coldLive an exact count of non-zero entries.
+			*cd = coldLine{}
+			c.coldDec()
 		}
+		if c.ages != nil {
+			c.ages[set] = ageTouch(c.ages[set], i, c.ageInc, c.ageGE)
+		} else if c.lastUse != nil {
+			// Recency state only steers LRU victim selection; other
+			// policies keep none.
+			c.lastUse[base+i] = packUse(c.clock, c.wayBits, i)
+		}
+		c.plruTouch(set, i)
+		return res
 	}
 	c.stats.Misses++
 	c.install(set, tag, false, 0)
@@ -282,13 +720,7 @@ func (c *Cache) accessSlow(addr uint64) AccessResult {
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.setAndTag(addr)
 	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		h := &c.hot[base+i]
-		if h.valid && h.tag == tag {
-			return true
-		}
-	}
-	return false
+	return matchWays(c.tags[base:base+c.assoc:base+c.assoc], tag, c.valid[set]) != 0
 }
 
 // Install brings addr's line in as a prefetch that completes after delay
@@ -299,32 +731,43 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Install(addr uint64, delay uint64) {
 	set, tag := c.setAndTag(addr)
 	base := int(set) * c.assoc
-	for i := 0; i < c.assoc; i++ {
-		h := &c.hot[base+i]
-		if h.valid && h.tag == tag {
-			if cd := &c.cold[base+i]; c.clock+delay < cd.readyAt {
-				cd.readyAt = c.clock + delay
-			}
-			return
+	if m := matchWays(c.tags[base:base+c.assoc:base+c.assoc], tag, c.valid[set]); m != 0 {
+		i := bits.TrailingZeros64(m)
+		if cd := &c.cold[base+i]; c.clock+delay < cd.readyAt {
+			cd.readyAt = c.clock + delay
 		}
+		return
 	}
 	c.install(set, tag, true, c.clock+delay)
 }
 
 func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
 	base := int(set) * c.assoc
-	victim := -1
-	for i := 0; i < c.assoc; i++ {
-		if !c.hot[base+i].valid {
-			victim = i
-			break
-		}
-	}
-	if victim < 0 {
-		victim = c.victim(set, c.hot[base:base+c.assoc])
+	vm := c.valid[set]
+	var victim int
+	if inv := ^vm & c.wayMask; inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+		c.valid[set] = vm | 1<<uint(victim)
+	} else {
+		victim = c.victim(set, base)
 		c.stats.Evictions++
 	}
-	c.hot[base+victim] = hotLine{tag: tag, valid: true, lastUse: c.clock}
+	c.tags[base+victim] = tag
+	if c.ages != nil {
+		c.ages[set] = ageInstall(c.ages[set], victim, c.ageInc)
+	} else if c.lastUse != nil {
+		c.lastUse[base+victim] = packUse(c.clock, c.wayBits, victim)
+	}
+	if c.policy == FIFO {
+		// Keep the round-robin lane in lockstep: fills take ways in index
+		// order and evictions take the pointer, so victim+1 is always the
+		// next-oldest line.
+		next := int32(victim) + 1
+		if int(next) == c.assoc {
+			next = 0
+		}
+		c.fifoNext[set] = next
+	}
 	if cd := &c.cold[base+victim]; cd.prefetched || cd.readyAt != 0 {
 		c.coldDec() // evicting a line that still carried prefetch state
 	}
@@ -332,16 +775,18 @@ func (c *Cache) install(set, tag uint64, prefetched bool, readyAt uint64) {
 	if prefetched || readyAt != 0 {
 		c.coldLive++
 		c.coldActive = true
+		c.refast()
 	}
 	c.plruTouch(set, victim)
 }
 
-// coldDec retires one live cold entry, re-arming the fused LRU demand fast
-// path the moment the last one is gone.
+// coldDec retires one live cold entry, re-arming the fused demand fast
+// paths the moment the last one is gone.
 func (c *Cache) coldDec() {
 	c.coldLive--
 	if c.coldLive == 0 {
 		c.coldActive = false
+		c.refast()
 	}
 }
 
@@ -351,14 +796,24 @@ func (c *Cache) coldDec() {
 func (c *Cache) PrefetchResident() int { return c.coldLive }
 
 // Flush invalidates the entire cache, including replacement-policy recency
-// state: with every line gone, stale PLRU tree bits would otherwise steer
-// victim selection by pre-flush history. The clock and statistics keep
-// running — the paper's analyzer flushes its logical cache when more than
-// 1M cycles have elapsed since it last ran, to avoid long-term
-// contamination, and that is a pause within one logical run, not a restart.
+// state: with every line gone, stale PLRU tree bits or a stale FIFO
+// pointer would otherwise steer victim selection by pre-flush history. The
+// clock and statistics keep running — the paper's analyzer flushes its
+// logical cache when more than 1M cycles have elapsed since it last ran,
+// to avoid long-term contamination, and that is a pause within one logical
+// run, not a restart.
 func (c *Cache) Flush() {
-	for i := range c.hot {
-		c.hot[i] = hotLine{}
+	for i := range c.valid {
+		c.valid[i] = 0
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.lastUse {
+		c.lastUse[i] = 0
+	}
+	for i := range c.ages {
+		c.ages[i] = 0
 	}
 	for i := range c.cold {
 		c.cold[i] = coldLine{}
@@ -366,16 +821,22 @@ func (c *Cache) Flush() {
 	for i := range c.plruBits {
 		c.plruBits[i] = 0
 	}
+	for i := range c.fifoNext {
+		c.fifoNext[i] = 0
+	}
 	c.coldActive = false
 	c.coldLive = 0
+	c.refast()
 }
 
 // Clone returns a deep copy of the cache: geometry, line contents, the
-// recency clock, and policy state (PLRU tree bits, Random RNG state) are
-// all duplicated, so the copy replays any access sequence exactly as the
-// original would. Per-worker simulators in parallel experiment cells clone
-// a warmed template instead of re-warming from cold; the original and the
-// clone share nothing afterwards.
+// recency clock, and policy state (PLRU tree bits, FIFO pointers, Random
+// RNG state) are all duplicated, so the copy replays any access sequence
+// exactly as the original would. Per-worker simulators in parallel
+// experiment cells clone a warmed template instead of re-warming from
+// cold; the original and the clone share nothing afterwards. (The PLRU
+// dispatch tables are immutable after construction and rebuilt by New,
+// identical by construction.)
 func (c *Cache) Clone() *Cache {
 	n := New(c.cfg)
 	n.clock = c.clock
@@ -383,9 +844,14 @@ func (c *Cache) Clone() *Cache {
 	n.stats = c.stats
 	n.coldActive = c.coldActive
 	n.coldLive = c.coldLive
-	copy(n.hot, c.hot)
+	n.refast()
+	copy(n.tags, c.tags)
+	copy(n.lastUse, c.lastUse)
+	copy(n.ages, c.ages)
+	copy(n.valid, c.valid)
 	copy(n.cold, c.cold)
 	copy(n.plruBits, c.plruBits)
+	copy(n.fifoNext, c.fifoNext)
 	return n
 }
 
@@ -395,7 +861,7 @@ func (c *Cache) Clone() *Cache {
 // wants — Reset makes a reused cache indistinguishable from a fresh one,
 // which is what a harness reusing an analyzer across runs needs.
 func (c *Cache) Reset() {
-	c.Flush() // clears lines, prefetch state, and PLRU bits
+	c.Flush() // clears lines, prefetch state, PLRU bits, FIFO pointers
 	c.clock = 0
 	c.rngState = rngSeed
 	c.stats = Stats{}
@@ -404,10 +870,8 @@ func (c *Cache) Reset() {
 // Resident counts valid lines (for tests).
 func (c *Cache) Resident() int {
 	n := 0
-	for i := range c.hot {
-		if c.hot[i].valid {
-			n++
-		}
+	for _, v := range c.valid {
+		n += bits.OnesCount64(v)
 	}
 	return n
 }

@@ -553,7 +553,14 @@ func TestColdFastPathEquivalence(t *testing.T) {
 	}
 	// Pin the reference cache off the fast path. coldLive stays 0, so its
 	// cold entries remain all-zero — exactly the fast path's precondition.
+	// refast() must follow: Access dispatches on the precomputed selector
+	// byte, and without the recompute the pinned cache would still take the
+	// fused path, comparing the fast path against itself.
 	slow.coldActive = true
+	slow.refast()
+	if slow.fast != fpSlow {
+		t.Fatal("pinned reference cache must dispatch to the general path")
+	}
 
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 20_000; i++ {
@@ -572,5 +579,83 @@ func TestColdFastPathEquivalence(t *testing.T) {
 	}
 	if fast.Resident() != slow.Resident() {
 		t.Fatalf("residency diverged: %d vs %d", fast.Resident(), slow.Resident())
+	}
+}
+
+// TestColdLaneAudit is the fused-fast-path bookkeeping audit: across every
+// policy, random Flush → prefetch-Install → demand-Access interleavings
+// must keep coldLive exactly equal to a ground-truth scan of the cold
+// lane, keep coldActive mirroring it, and engage the fused-path selector
+// exactly while no cold state exists. A stale count in either direction
+// would let a fused demand path run while prefetch state is resident
+// (skipping its bookkeeping) or pin the cache on the slow path forever.
+func TestColdLaneAudit(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Random, PLRU} {
+		cfg := tiny
+		cfg.Policy = pol
+		cfg.Name = "audit-" + pol.String()
+		c := New(cfg)
+
+		check := func(step int, what string) {
+			t.Helper()
+			ground := 0
+			for _, cd := range c.cold {
+				if cd.prefetched || cd.readyAt != 0 {
+					ground++
+				}
+			}
+			if c.coldLive != ground || c.PrefetchResident() != ground {
+				t.Fatalf("%s step %d (%s): coldLive=%d resident=%d, ground truth %d",
+					pol, step, what, c.coldLive, c.PrefetchResident(), ground)
+			}
+			if c.coldActive != (ground > 0) {
+				t.Fatalf("%s step %d (%s): coldActive=%v with %d cold entries",
+					pol, step, what, c.coldActive, ground)
+			}
+			fused := c.fast != fpSlow
+			if c.coldActive && fused {
+				t.Fatalf("%s step %d (%s): fused path engaged with cold state resident",
+					pol, step, what)
+			}
+			if !c.coldActive && pol != Random && !fused {
+				t.Fatalf("%s step %d (%s): fused path not re-engaged with no cold state",
+					pol, step, what)
+			}
+		}
+
+		// The specific sequence the issue calls out: Flush, then prefetch,
+		// then demand traffic that consumes and evicts the prefetched lines
+		// back to a clean fast-path state.
+		c.Flush()
+		check(0, "flush")
+		c.Install(0x1000, 0)
+		c.Install(0x1200, 0)
+		check(0, "prefetch")
+		c.Access(0x1000) // consume one mark
+		check(0, "consume")
+		c.Access(0x1400) // evictions flush the rest out of set 0
+		c.Access(0x1600)
+		check(0, "evict")
+
+		rng := uint64(0x1234567)
+		next := func(n uint64) uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng % n
+		}
+		for step := 1; step <= 4000; step++ {
+			switch next(8) {
+			case 0:
+				c.Flush()
+				check(step, "flush")
+			case 1, 2:
+				c.Install(next(1<<13)&^63, next(3)*40)
+				check(step, "install")
+			default:
+				c.Access(next(1<<13) &^ 63)
+				check(step, "access")
+			}
+		}
 	}
 }

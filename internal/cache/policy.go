@@ -36,46 +36,47 @@ func (p Policy) String() string {
 func (p Policy) Valid() bool { return p >= LRU && p <= PLRU }
 
 // victim picks the way to replace in a full set according to the cache's
-// policy. lines is the set's slice of the flat hot array and has no invalid
-// entries when victim is called.
-func (c *Cache) victim(set uint64, lines []hotLine) int {
+// policy. base is the set's offset into the flat lanes; the set has no
+// invalid ways when victim is called.
+func (c *Cache) victim(set uint64, base int) int {
 	switch c.policy {
-	case FIFO:
-		// installedAt is tracked in lastUse for FIFO (never refreshed on
-		// hit), so the LRU scan below picks the oldest install.
-		fallthrough
 	case LRU:
-		v := 0
-		for i := range lines {
-			if lines[i].lastUse < lines[v].lastUse {
-				v = i
-			}
+		if c.ages != nil {
+			return ageEvictWay(c.ages[set], c.ageVict, c.ageGE)
 		}
-		return v
+		return minWay(c.lastUse[base:base+c.assoc:base+c.assoc], c.wayBits)
+	case FIFO:
+		// The round-robin lane already names the oldest install; install()
+		// advances it past the victim.
+		return int(c.fifoNext[set])
 	case Random:
 		// xorshift64 over a per-cache seed: deterministic, cheap, and
 		// uncorrelated with the access pattern.
 		c.rngState ^= c.rngState << 13
 		c.rngState ^= c.rngState >> 7
 		c.rngState ^= c.rngState << 17
-		return int(c.rngState % uint64(len(lines)))
+		return int(c.rngState % uint64(c.assoc))
 	case PLRU:
 		return c.plruVictim(set)
 	}
 	return 0
 }
 
-// plruVictim walks the PLRU tree bits for the set. The tree is stored as
+// plruVictim resolves the PLRU victim for the set. The tree is stored as
 // assoc-1 bits per set in plruBits; a 0 bit points left, 1 points right,
 // and the victim is found by following the bits *away* from recent use.
+// Caches up to plruTableMaxAssoc ways resolve the whole walk with one
+// table lookup on the bits word; wider trees walk level by level.
 func (c *Cache) plruVictim(set uint64) int {
-	bits := c.plruBits[set]
-	node := 0
-	idx := 0
+	tree := c.plruBits[set]
+	if c.plruVict != nil {
+		return int(c.plruVict[tree])
+	}
+	node, idx := 0, 0
 	// Walk log2(assoc) levels. assoc is a power of two for PLRU use; the
 	// constructor validates this.
-	for levelSize := c.cfg.Assoc / 2; levelSize >= 1; levelSize /= 2 {
-		bit := (bits >> uint(node)) & 1
+	for levelSize := c.assoc / 2; levelSize >= 1; levelSize /= 2 {
+		bit := (tree >> uint(node)) & 1
 		// Follow the bit: it points to the less recently used side.
 		idx = idx*2 + int(bit)
 		node = node*2 + 1 + int(bit)
@@ -83,27 +84,53 @@ func (c *Cache) plruVictim(set uint64) int {
 	return idx
 }
 
-// plruTouch updates the PLRU tree so the path to way points away from it.
+// plruTouch updates the PLRU tree so the path to way points away from it:
+// two precomputed mask operations replacing the old level-by-level walk.
 func (c *Cache) plruTouch(set uint64, way int) {
 	if c.policy != PLRU {
 		return
 	}
-	bits := c.plruBits[set]
-	node := 0
-	// Reconstruct the path from the way index, most significant level
-	// first.
+	c.plruBits[set] = c.plruBits[set]&^c.plruOff[way] | c.plruOn[way]
+}
+
+// plruTouchMasks precomputes, for every way, the tree bits a touch sets
+// (plruOn, nodes entered leftward) and clears (plruOff, nodes entered
+// rightward). Touching way w is then bits&^off[w] | on[w].
+func plruTouchMasks(assoc int) (on, off []uint64) {
+	on = make([]uint64, assoc)
+	off = make([]uint64, assoc)
 	levels := 0
-	for 1<<levels < c.cfg.Assoc {
+	for 1<<levels < assoc {
 		levels++
 	}
-	for l := levels - 1; l >= 0; l-- {
-		dir := (way >> uint(l)) & 1
-		if dir == 1 {
-			bits &^= 1 << uint(node) // recent on the right: point left
-		} else {
-			bits |= 1 << uint(node) // recent on the left: point right
+	for way := 0; way < assoc; way++ {
+		node := 0
+		for l := levels - 1; l >= 0; l-- {
+			dir := (way >> uint(l)) & 1
+			if dir == 1 {
+				off[way] |= 1 << uint(node) // recent on the right: point left
+			} else {
+				on[way] |= 1 << uint(node) // recent on the left: point right
+			}
+			node = node*2 + 1 + dir
 		}
-		node = node*2 + 1 + dir
 	}
-	c.plruBits[set] = bits
+	return on, off
+}
+
+// plruVictimTable enumerates every possible tree-bits word and records the
+// victim the walk would choose, so victim selection becomes one indexed
+// load. 2^(assoc-1) entries: 32KiB at the 16-way limit.
+func plruVictimTable(assoc int) []uint8 {
+	t := make([]uint8, 1<<uint(assoc-1))
+	for b := range t {
+		node, idx := 0, 0
+		for levelSize := assoc / 2; levelSize >= 1; levelSize /= 2 {
+			bit := (uint64(b) >> uint(node)) & 1
+			idx = idx*2 + int(bit)
+			node = node*2 + 1 + int(bit)
+		}
+		t[b] = uint8(idx)
+	}
+	return t
 }

@@ -47,3 +47,40 @@ func TestAnalyzeProfileZeroAllocs(t *testing.T) {
 		t.Errorf("AnalyzeProfile allocated %v times per invocation in steady state", n)
 	}
 }
+
+// TestAnalyzeProfileSparseZeroAllocs is the sparse-replay twin of the test
+// above: unrecorded cells force the analyzer off the dense row-aligned
+// batch path and onto the gather path (batchAddrs/batchCols scratch), which
+// must be equally allocation-free once warm.
+func TestAnalyzeProfileSparseZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig(cache.P4L2)
+	an := NewAnalyzer(&cfg)
+	ops := []uint64{0x10, 0x20, 0x30, 0x40}
+	isLoad := []bool{true, true, false, true}
+	prof := NewAddressProfile(ops, isLoad, 256)
+	prof.Reset()
+	for r := 0; r < 256; r++ {
+		row, _ := prof.OpenRow()
+		for c := range ops {
+			if (r+c)%5 == 0 {
+				continue // hole: trace exited before this op ran
+			}
+			prof.Record(row, c, uint64(r)*4096+uint64(c)*64)
+		}
+	}
+	if prof.Recorded() == prof.Rows()*len(ops) {
+		t.Fatal("profile must be sparse to exercise the gather path")
+	}
+	cycles := uint64(0)
+	runOnce := func() {
+		cycles += 1000
+		an.BeginInvocation(cycles)
+		an.AnalyzeProfile(prof, 0.5)
+	}
+	for i := 0; i < 3; i++ {
+		runOnce()
+	}
+	if n := testing.AllocsPerRun(100, runOnce); n != 0 {
+		t.Errorf("sparse AnalyzeProfile allocated %v times per invocation in steady state", n)
+	}
+}

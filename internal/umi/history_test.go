@@ -340,3 +340,37 @@ func TestWriteHistoryProm(t *testing.T) {
 		t.Errorf("exposition contains NaN:\n%s", out)
 	}
 }
+
+// TestEmptyDelinquentWindowsNoChurn is the regression test for the
+// Jaccard empty∩empty case: two consecutive windows with an empty
+// delinquent set must read as similarity 1.0 (no churn), not 0/0 → 0 —
+// an idle phase must not trip PhaseChange through the churn rule.
+func TestEmptyDelinquentWindowsNoChurn(t *testing.T) {
+	cfg := testConfig()
+	a := NewAnalyzer(&cfg)
+	a.hist = newHistory(8, 0.05, 0.5)
+
+	// Two quiet windows: steady miss ratio, no delinquent loads at all.
+	a.Invocations = 1
+	a.SimulatedRefs, a.totalAcc, a.totalMiss = 100, 100, 10
+	a.captureWindow(1000, nil)
+	a.Invocations = 2
+	a.SimulatedRefs, a.totalAcc, a.totalMiss = 200, 200, 20
+	a.captureWindow(2000, nil)
+
+	w := a.hist.Windows()
+	if len(w) != 2 {
+		t.Fatalf("recorded %d windows, want 2", len(w))
+	}
+	for i, win := range w {
+		if win.Delinquent != 0 {
+			t.Fatalf("window %d: Delinquent = %d, want 0", i+1, win.Delinquent)
+		}
+		if win.Jaccard != 1 {
+			t.Errorf("window %d: empty∩empty Jaccard = %v, want 1.0", i+1, win.Jaccard)
+		}
+		if win.PhaseChange {
+			t.Errorf("window %d: spurious PhaseChange on an idle window", i+1)
+		}
+	}
+}

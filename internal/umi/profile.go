@@ -167,16 +167,59 @@ func DominantStride(addrs []uint64) (stride int64, frac float64) {
 	return stride, frac
 }
 
+// strideTableMax bounds the distinct-delta table dominantStride counts
+// into before falling back to the sort-based path: real columns repeat a
+// handful of strides, so the table almost always suffices, while the cap
+// keeps the per-delta linear probe O(1) in practice.
+const strideTableMax = 16
+
 // dominantStride is DominantStride with a caller-owned scratch buffer for
 // the delta sequence, so the preparation hot path runs allocation-free once
-// warm. It counts run lengths over the sorted deltas instead of hashing
-// them; ties are broken by smaller magnitude, then by preferring the
-// positive stride (the map-based predecessor left the equal-count,
-// equal-magnitude case to hash iteration order).
+// warm. It counts distinct deltas in a small table (one pass, no sort);
+// columns with more than strideTableMax distinct deltas take the
+// sort-and-count-runs path instead. Both paths pick the winner with the
+// same total order — count, then smaller magnitude, then the positive
+// stride — so the choice of path never changes the result (the map-based
+// predecessor left the equal-count, equal-magnitude case to hash iteration
+// order).
 func dominantStride(addrs []uint64, scratch []int64) (stride int64, frac float64, _ []int64) {
 	if len(addrs) < 3 {
 		return 0, 0, scratch
 	}
+	n := len(addrs) - 1
+	var vals [strideTableMax]int64
+	var counts [strideTableMax]int
+	nd := 0
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i] - addrs[i-1])
+		k := 0
+		for ; k < nd; k++ {
+			if vals[k] == d {
+				counts[k]++
+				break
+			}
+		}
+		if k == nd {
+			if nd == strideTableMax {
+				return dominantStrideSorted(addrs, scratch)
+			}
+			vals[nd], counts[nd] = d, 1
+			nd++
+		}
+	}
+	best, bestN := int64(0), 0
+	for k := 0; k < nd; k++ {
+		if d, c := vals[k], counts[k]; c > bestN ||
+			(c == bestN && (abs64(d) < abs64(best) || (abs64(d) == abs64(best) && d > best))) {
+			best, bestN = d, c
+		}
+	}
+	return best, float64(bestN) / float64(n), scratch
+}
+
+// dominantStrideSorted is the general-case fallback: sort the deltas and
+// count runs. Same winner as the table path, by the same total order.
+func dominantStrideSorted(addrs []uint64, scratch []int64) (stride int64, frac float64, _ []int64) {
 	deltas := scratch[:0]
 	for i := 1; i < len(addrs); i++ {
 		deltas = append(deltas, int64(addrs[i]-addrs[i-1]))
