@@ -1,0 +1,140 @@
+// Fleet-wide aggregation: cross-session views over the daemon's completed
+// runs. The paper profiles one process at a time; a daemon multiplexing
+// many sessions can also answer questions no single session can — which
+// delinquent loads are universal across co-tenants (union/intersection of
+// the per-session P sets) and whose phase behaviour moves together
+// (pairwise correlation of phase-change windows). Both renders are pure
+// functions of the completed results, so fixed fleets render
+// byte-identically and golden tests pin the layout.
+package introspect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatFleetDelinquent renders the cross-session delinquent-load view:
+// per-session set sizes, then every PC in the union with the sessions
+// predicting it, intersection members starred. Deterministic: sessions in
+// creation order, PCs ascending.
+func FormatFleetDelinquent(fleet []fleetMember) string {
+	var sb strings.Builder
+	if len(fleet) == 0 {
+		sb.WriteString("fleet delinquent loads: no completed sessions\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "fleet delinquent loads: %d completed sessions\n\n", len(fleet))
+
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "session\tguest\t|P|\tsim miss\n")
+	for _, m := range fleet {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.4f\n",
+			m.ID, m.Guest, len(m.Result.Report.Delinquent), m.Result.Report.SimMissRatio)
+	}
+	tw.Flush()
+
+	// Membership per PC across the fleet.
+	members := map[uint64][]string{}
+	for _, m := range fleet {
+		for pc := range m.Result.Report.Delinquent {
+			members[pc] = append(members[pc], m.ID)
+		}
+	}
+	union := make([]uint64, 0, len(members))
+	intersection := 0
+	for pc, ids := range members {
+		union = append(union, pc)
+		if len(ids) == len(fleet) {
+			intersection++
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	fmt.Fprintf(&sb, "\nunion %d  intersection %d\n", len(union), intersection)
+	if len(union) == 0 {
+		return sb.String()
+	}
+
+	sb.WriteString("\n")
+	tw = tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pc\tsessions\t\n")
+	for _, pc := range union {
+		ids := members[pc]
+		star := ""
+		if len(ids) == len(fleet) {
+			star = "*"
+		}
+		fmt.Fprintf(tw, "%#x\t%s\t%s\n", pc, strings.Join(ids, ","), star)
+	}
+	tw.Flush()
+	sb.WriteString("\n* = delinquent in every session\n")
+	return sb.String()
+}
+
+// phaseSet extracts the invocation indexes of a session's phase-change
+// windows — the session's phase signature.
+func phaseSet(m fleetMember) map[int]bool {
+	set := map[int]bool{}
+	for _, w := range m.Result.History.Windows {
+		if w.PhaseChange {
+			set[w.Invocation] = true
+		}
+	}
+	return set
+}
+
+// jaccardInt is |a∩b| / |a∪b|, defined as 1 when both sets are empty
+// (two sessions that never changed phase agree perfectly).
+func jaccardInt(a, b map[int]bool) (float64, int) {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	uni := len(a) + len(b) - inter
+	if uni == 0 {
+		return 1, 0
+	}
+	return float64(inter) / float64(uni), inter
+}
+
+// FormatFleetPhases renders cross-session phase-change correlation: each
+// session's phase-change count, then every pair's Jaccard similarity over
+// phase-change invocation indexes. Sessions whose guests shift phase at
+// the same analyzer invocations score high — co-tenants moving together.
+func FormatFleetPhases(fleet []fleetMember) string {
+	var sb strings.Builder
+	if len(fleet) == 0 {
+		sb.WriteString("fleet phase correlation: no completed sessions\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "fleet phase correlation: %d completed sessions\n\n", len(fleet))
+
+	sets := make([]map[int]bool, len(fleet))
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "session\tguest\twindows\tphase changes\n")
+	for i, m := range fleet {
+		sets[i] = phaseSet(m)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n",
+			m.ID, m.Guest, len(m.Result.History.Windows), m.Result.History.PhaseChanges)
+	}
+	tw.Flush()
+
+	if len(fleet) < 2 {
+		sb.WriteString("\nno pairs: correlation needs at least two sessions\n")
+		return sb.String()
+	}
+	sb.WriteString("\n")
+	tw = tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pair\tjaccard\tshared\n")
+	for i := 0; i < len(fleet); i++ {
+		for j := i + 1; j < len(fleet); j++ {
+			jac, shared := jaccardInt(sets[i], sets[j])
+			fmt.Fprintf(tw, "%s~%s\t%.3f\t%d\n", fleet[i].ID, fleet[j].ID, jac, shared)
+		}
+	}
+	tw.Flush()
+	return sb.String()
+}

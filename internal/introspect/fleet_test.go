@@ -1,0 +1,107 @@
+package introspect
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>.golden byte-exact, or
+// rewrites the file under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (regenerate with `go test ./internal/introspect -update`): %v",
+			path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output differs from golden file\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenFleet builds a deterministic three-session fleet from standalone
+// runs of heterogeneous guests — two pointer-chasing Olden workloads with
+// different delinquent sets plus a submitted trace stream — so the
+// union/intersection and phase-correlation renders have real structure to
+// pin. Runs are pure functions of their configs, so the renders over them
+// are golden-stable.
+func goldenFleet(t *testing.T) []fleetMember {
+	t.Helper()
+	configs := []SessionConfig{
+		{Workload: "em3d", MaxInstrs: 2_000_000},
+		{Workload: "mst", MaxInstrs: 2_000_000},
+		traceSessionConfig(1, 0),
+	}
+	fleet := make([]fleetMember, len(configs))
+	for i, cfg := range configs {
+		res, err := RunStandalone(cfg)
+		if err != nil {
+			t.Fatalf("fleet member %d: %v", i, err)
+		}
+		guest := cfg.Workload
+		if guest == "" {
+			guest = fmt.Sprintf("trace[%d]", len(cfg.Trace))
+		}
+		fleet[i] = fleetMember{ID: fmt.Sprintf("s%d", i+1), Guest: guest, Result: res}
+	}
+	return fleet
+}
+
+func TestFleetDelinquentGolden(t *testing.T) {
+	out := FormatFleetDelinquent(goldenFleet(t))
+	// Structural sanity before pinning bytes: the golden must capture a
+	// real aggregation, not a degenerate render.
+	if !strings.Contains(out, "union") || !strings.Contains(out, "s1") {
+		t.Fatalf("render missing expected structure:\n%s", out)
+	}
+	golden(t, "fleet_delinquent", out)
+}
+
+func TestFleetPhasesGolden(t *testing.T) {
+	out := FormatFleetPhases(goldenFleet(t))
+	if !strings.Contains(out, "s1~s2") || !strings.Contains(out, "jaccard") {
+		t.Fatalf("render missing expected structure:\n%s", out)
+	}
+	golden(t, "fleet_phases", out)
+}
+
+// TestEmptyRenderers: the degraded renders must say explicitly that there
+// is nothing to show — an empty fleet is distinguishable from a broken
+// scrape (same convention as the harness report renderers).
+func TestEmptyRenderers(t *testing.T) {
+	cases := []struct {
+		name, got, want string
+	}{
+		{"FormatFleetDelinquent", FormatFleetDelinquent(nil),
+			"fleet delinquent loads: no completed sessions\n"},
+		{"FormatFleetPhases", FormatFleetPhases(nil),
+			"fleet phase correlation: no completed sessions\n"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s(empty) = %q, want %q", c.name, c.got, c.want)
+		}
+	}
+	// A one-session fleet has no pairs; the phases render must say so.
+	fleet := goldenFleet(t)[:1]
+	if out := FormatFleetPhases(fleet); !strings.Contains(out, "no pairs") {
+		t.Errorf("single-session phases render should state no pairs:\n%s", out)
+	}
+}

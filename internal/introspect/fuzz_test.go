@@ -1,0 +1,53 @@
+package introspect
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSessionConfig throws arbitrary bytes at the daemon's config parser:
+// it must never panic, and anything it accepts must pass its own
+// validator — the parse-implies-valid contract the create handler leans
+// on (a 400 is the only legal outcome for bad input).
+func FuzzSessionConfig(f *testing.F) {
+	seeds := []string{
+		`{"workload":"179.art"}`,
+		`{"workload":"181.mcf","machine":"k7","hw_prefetch":true,"workers":4}`,
+		`{"trace":[268435456,268435520,268435584],"reps":8}`,
+		`{"trace":[1],"workers":64,"history_windows":32,"max_instrs":1000}`,
+		`{"sampling":false,"workload":"em3d"}`,
+		`{}`,
+		`{"workload":"no-such"}`,
+		`{"trace":[1],"workload":"179.art"}`,
+		`{"unknown":1}`,
+		`{"trace":[1]}{"trace":[2]}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"trace":[-1]}`,
+		`{"workers":-2,"trace":[1]}`,
+		"not json at all",
+		"",
+		`{"trace":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseSessionConfig(data)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSessionConfig accepted a config its own validator rejects: %v\ninput: %q", verr, data)
+		}
+		// Accepted configs must also resolve a guest without panicking —
+		// the run path's first step on attacker-shaped input. (Building
+		// the program itself is exercised for trace guests only when the
+		// stream is small, to keep fuzzing fast.)
+		if len(cfg.Trace) > 0 && len(cfg.Trace) <= 64 && utf8.Valid(data) {
+			if _, err := cfg.guestProgram(); err != nil {
+				t.Fatalf("valid config failed to build its guest: %v", err)
+			}
+		}
+	})
+}

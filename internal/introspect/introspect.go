@@ -31,16 +31,20 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"umi/internal/metrics"
 	"umi/internal/tracelog"
 	"umi/internal/umi"
 )
 
-// Server serves one session's observability state. Zero-value fields are
-// legal: a nil Metrics source serves empty snapshots, a nil Events log
-// serves an empty timeline.
-type Server struct {
+// Sources bundles one session's observability taps: the live metrics
+// snapshot function, the event ring, and the live history snapshot
+// function. A Server holds the current Sources behind an atomic pointer so
+// the wired session can be swapped (or torn down) while scrapes are in
+// flight: a handler resolves the pointer once per request and works from
+// that consistent bundle, never from fields mid-replacement.
+type Sources struct {
 	// Metrics returns the current self-observability snapshot. It is
 	// called once per request and must be safe from any goroutine (the
 	// session's LiveMetricsSnapshot, not the draining MetricsSnapshot).
@@ -53,6 +57,24 @@ type Server struct {
 	// scrape cannot block or reorder guest progress. Nil serves an empty
 	// (schema-stamped) view.
 	History func() umi.HistoryView
+}
+
+// Server serves one session's observability state. Zero-value fields are
+// legal: a nil Metrics source serves empty snapshots, a nil Events log
+// serves an empty timeline. The construction-time fields seed the initial
+// wiring; SetSources replaces the whole bundle atomically at any time
+// (e.g. when the profiled session is being torn down), so a scrape racing
+// a teardown sees either the old session or the empty state — never a
+// half-cleared mix.
+type Server struct {
+	// Metrics, Events, History are the construction-time sources — see
+	// Sources for their contracts. They are read only until the first
+	// SetSources call; after that the atomic bundle wins.
+	Metrics func() metrics.Snapshot
+	Events  *tracelog.Log
+	History func() umi.HistoryView
+
+	src atomic.Pointer[Sources]
 
 	// delta state: the snapshot taken by the previous /metrics/delta
 	// request, so each scrape reports one interval.
@@ -60,18 +82,38 @@ type Server struct {
 	prev metrics.Snapshot
 }
 
-func (s *Server) snapshot() metrics.Snapshot {
-	if s.Metrics == nil {
-		return metrics.Snapshot{}
+// SetSources atomically replaces the server's observability sources. A nil
+// argument detaches the current session: subsequent scrapes serve empty
+// payloads. Safe to call concurrently with in-flight requests — each
+// request resolved its bundle once and finishes against it.
+func (s *Server) SetSources(src *Sources) {
+	if src == nil {
+		src = &Sources{}
 	}
-	return s.Metrics()
+	s.src.Store(src)
+}
+
+// sources resolves the current bundle: the atomically-swapped one if
+// SetSources has run, else a view of the construction-time fields.
+func (s *Server) sources() *Sources {
+	if p := s.src.Load(); p != nil {
+		return p
+	}
+	return &Sources{Metrics: s.Metrics, Events: s.Events, History: s.History}
+}
+
+func (s *Server) snapshot() metrics.Snapshot {
+	if src := s.sources(); src.Metrics != nil {
+		return src.Metrics()
+	}
+	return metrics.Snapshot{}
 }
 
 func (s *Server) history() umi.HistoryView {
-	if s.History == nil {
-		return (*umi.History)(nil).View()
+	if src := s.sources(); src.History != nil {
+		return src.History()
 	}
-	return s.History()
+	return (*umi.History)(nil).View()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -110,11 +152,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/events/timeline", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, tracelog.Timeline(s.Events.Events(), s.Events.Drops()))
+		elog := s.sources().Events
+		fmt.Fprint(w, tracelog.Timeline(elog.Events(), elog.Drops()))
 	})
 	mux.HandleFunc("/events/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		tracelog.WriteChromeTrace(w, s.Events.Events())
+		tracelog.WriteChromeTrace(w, s.sources().Events.Events())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -162,13 +205,14 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	evs := s.Events.Recent(n)
+	elog := s.sources().Events
+	evs := elog.Recent(n)
 	if evs == nil {
 		evs = []tracelog.Event{}
 	}
 	writeJSON(w, eventsPayload{
-		Total: s.Events.Total(), Drops: s.Events.Drops(),
-		Cap: s.Events.Cap(), Events: evs,
+		Total: elog.Total(), Drops: elog.Drops(),
+		Cap: elog.Cap(), Events: evs,
 	})
 }
 
@@ -177,11 +221,18 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 // server down and waits for it to exit. Serving happens on a background
 // goroutine; the caller's thread is never involved.
 func (s *Server) Serve(addr string) (string, func(), error) {
+	return serveHandler(addr, s.Handler())
+}
+
+// serveHandler binds addr, serves h on a background goroutine, and
+// returns the bound address plus a stop function that closes the server
+// and waits for the serving goroutine to exit.
+func serveHandler(addr string, h http.Handler) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{Handler: h}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

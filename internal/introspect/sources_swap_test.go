@@ -1,0 +1,65 @@
+package introspect
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"umi/internal/metrics"
+	"umi/internal/tracelog"
+	"umi/internal/umi"
+)
+
+// TestSetSourcesSwapDuringScrape is the regression for the server's old
+// construction-time-only wiring: handlers resolved Metrics/Events/History
+// fields directly, so tearing a session down while a scrape was in flight
+// could observe a half-cleared server. Now the bundle swaps atomically —
+// concurrent scrapes during repeated attach/detach cycles must always see
+// a complete source set (run under -race).
+func TestSetSourcesSwapDuringScrape(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("umi.test.counter").Add(7)
+	elog := tracelog.NewLog(16)
+	elog.Emit(tracelog.Event{Type: tracelog.EvTracePromoted, Cycles: 42})
+	full := &Sources{
+		Metrics: reg.Snapshot,
+		Events:  elog,
+		History: func() umi.HistoryView { return (*umi.History)(nil).View() },
+	}
+
+	srv := &Server{}
+	srv.SetSources(full)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{"/metrics", "/history", "/events", "/events/timeline", "/metrics/prom"}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _ := get(t, ts, paths[i%len(paths)])
+				if code != 200 {
+					t.Errorf("scrape %s during swap: status %d", paths[i%len(paths)], code)
+				}
+				i++
+			}
+		}()
+	}
+	// Flip between attached and detached, as a daemon deleting and
+	// recreating the observed session would.
+	for i := 0; i < 200; i++ {
+		srv.SetSources(nil)
+		srv.SetSources(full)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -46,53 +46,120 @@ func promName(name string) string {
 
 // WritePrometheus renders the snapshot as Prometheus text exposition.
 func WritePrometheus(w io.Writer, s Snapshot) {
-	names := make([]string, 0, len(s.Counters))
-	for n := range s.Counters {
-		names = append(names, n)
+	WritePrometheusFleet(w, []LabeledSnapshot{{Snap: s}})
+}
+
+// LabeledSnapshot pairs one snapshot with the value of its `session`
+// label in a fleet exposition. An empty Label renders unlabeled samples
+// (the single-session exposition).
+type LabeledSnapshot struct {
+	Label string
+	Snap  Snapshot
+}
+
+// labelEscape escapes a label value per the exposition grammar.
+func labelEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// sampleLabels renders the label set for one sample: the session label
+// (when present) joined with any extra pre-rendered `k="v"` pairs.
+func sampleLabels(session string, extra ...string) string {
+	parts := make([]string, 0, 1+len(extra))
+	if session != "" {
+		parts = append(parts, fmt.Sprintf("session=%q", labelEscape(session)))
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		pn := promName(n)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheusFleet renders many sessions' snapshots as one valid text
+// exposition: metric families are grouped across sessions — each family's
+// TYPE line appears exactly once, followed by one labeled sample per
+// session carrying it — because the exposition format forbids repeating a
+// family. Sessions render in slice order (the caller sorts by label);
+// family names sort within each metric kind, so a fixed fleet renders
+// byte-identically.
+func WritePrometheusFleet(w io.Writer, sessions []LabeledSnapshot) {
+	family := func(collect func(Snapshot) []string) []string {
+		seen := map[string]bool{}
+		var names []string
+		for _, ls := range sessions {
+			for _, n := range collect(ls.Snap) {
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		}
+		sort.Strings(names)
+		return names
 	}
 
-	names = names[:0]
-	for n := range s.Gauges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		g := s.Gauges[n]
+	for _, n := range family(func(s Snapshot) []string { return mapKeys(s.Counters) }) {
 		pn := promName(n)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, g.Value)
-		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", pn, pn, g.Max)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		for _, ls := range sessions {
+			if v, ok := ls.Snap.Counters[n]; ok {
+				fmt.Fprintf(w, "%s%s %d\n", pn, sampleLabels(ls.Label), v)
+			}
+		}
 	}
 
-	names = names[:0]
-	for n := range s.Histograms {
-		names = append(names, n)
+	for _, n := range family(func(s Snapshot) []string { return mapKeys(s.Gauges) }) {
+		pn := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		for _, ls := range sessions {
+			if g, ok := ls.Snap.Gauges[n]; ok {
+				fmt.Fprintf(w, "%s%s %d\n", pn, sampleLabels(ls.Label), g.Value)
+			}
+		}
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n", pn)
+		for _, ls := range sessions {
+			if g, ok := ls.Snap.Gauges[n]; ok {
+				fmt.Fprintf(w, "%s_max%s %d\n", pn, sampleLabels(ls.Label), g.Max)
+			}
+		}
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := s.Histograms[n]
+
+	for _, n := range family(func(s Snapshot) []string { return mapKeys(s.Histograms) }) {
 		pn := promName(n)
 		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
-		cum := uint64(0)
-		for _, b := range h.Buckets {
-			cum += b.Count
-			le := "+Inf"
-			if b.Le != math.MaxUint64 {
-				le = fmt.Sprintf("%d", b.Le)
+		for _, ls := range sessions {
+			h, ok := ls.Snap.Histograms[n]
+			if !ok {
+				continue
 			}
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum)
+			cum := uint64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.Le != math.MaxUint64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", pn, sampleLabels(ls.Label, fmt.Sprintf("le=%q", le)), cum)
+			}
+			if len(h.Buckets) == 0 {
+				// An empty bucket list (a zero-valued HistogramValue, e.g.
+				// out of Snapshot.Diff against a never-observed name) still
+				// needs the +Inf bucket for the exposition to be a valid
+				// histogram.
+				fmt.Fprintf(w, "%s_bucket%s %d\n", pn, sampleLabels(ls.Label, `le="+Inf"`), h.Count)
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", pn, sampleLabels(ls.Label), h.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", pn, sampleLabels(ls.Label), h.Count)
 		}
-		if len(h.Buckets) == 0 {
-			// An empty bucket list (a zero-valued HistogramValue, e.g. out
-			// of Snapshot.Diff against a never-observed name) still needs
-			// the +Inf bucket for the exposition to be a valid histogram.
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		}
-		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
 	}
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }

@@ -126,6 +126,15 @@ type Config struct {
 	// results at deinstrumentation time.
 	AnalyzerWorkers int
 
+	// SharedPrep, when non-nil, routes the pipeline's preparation stage
+	// through a multi-session shared worker pool instead of spawning
+	// private workers: the daemon shape, where many concurrent sessions
+	// share one worker fleet with round-robin fairness. Only consulted
+	// when AnalyzerWorkers ≥ 2 selects the asynchronous pipeline at all;
+	// the sequencer stays per-session either way, so reports remain
+	// byte-identical to a standalone run.
+	SharedPrep *SharedPrep
+
 	// Overhead model (cycles).
 	PerRefCost     uint64 // per recorded (pc, address) tuple (§4.2: 4-6 ops)
 	PrologCost     uint64 // per instrumented trace entry

@@ -75,11 +75,23 @@ const (
 // analyzerPool runs the pipeline for one System. It owns the analyzer
 // between start and drain points: the guest must not touch analyzer state
 // while invocations are in flight.
+//
+// Preparation runs in one of two places: a private worker fleet owned by
+// this pool (the standalone, one-session-per-process shape), or a
+// SharedPrep pool serving many sessions at once (the daemon shape, with
+// round-robin fairness across sessions). The sequencer, the hand-off
+// protocol, and every visible result are identical either way.
 type analyzerPool struct {
 	an        *Analyzer
 	consumers []ProfileConsumer
 	met       *Metrics
 	tlog      *tracelog.Log
+
+	// shared/lane route preparation through a multi-session SharedPrep
+	// instead of the private prepQ workers; exactly one of the two
+	// preparation paths is active per pool.
+	shared *SharedPrep
+	lane   *prepLane
 
 	prepQ   chan *analysisJob
 	seqQ    chan invocation
@@ -96,24 +108,48 @@ type analyzerPool struct {
 	closed bool
 }
 
-func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, tlog *tracelog.Log, workers int) *analyzerPool {
+func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, tlog *tracelog.Log, workers int, shared *SharedPrep) *analyzerPool {
+	bufWorkers := workers
+	if shared != nil {
+		bufWorkers = shared.Workers()
+	}
 	p := &analyzerPool{
 		an:        an,
 		consumers: consumers,
 		met:       met,
 		tlog:      tlog,
-		prepQ:     make(chan *analysisJob, 2*workers),
 		seqQ:      make(chan invocation, seqDepth),
 		recycle:   make(chan *AddressProfile, recycleDepth),
-		prepBufs:  make(chan *prepBuf, 2*workers+seqDepth),
+		prepBufs:  make(chan *prepBuf, 2*bufWorkers+seqDepth),
 	}
-	p.prepWG.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.prepWorker()
+	if shared != nil {
+		p.shared = shared
+		p.lane = shared.register(p)
+	} else {
+		p.prepQ = make(chan *analysisJob, 2*workers)
+		p.prepWG.Add(workers)
+		for i := 0; i < workers; i++ {
+			go p.prepWorker()
+		}
 	}
 	p.seqWG.Add(1)
 	go p.sequencer()
 	return p
+}
+
+// prepareJob runs the stateless half of one job's analysis — column
+// materialization and stride discovery — and signals the sequencer. Called
+// by a private prep worker or a SharedPrep worker; never by the sequencer.
+func (p *analyzerPool) prepareJob(job *analysisJob) {
+	start := time.Now()
+	select {
+	case job.buf = <-p.prepBufs:
+	default:
+		job.buf = new(prepBuf)
+	}
+	job.prep = job.buf.prepare(job.profile)
+	p.met.PrepBusyNs.Add(uint64(time.Since(start)))
+	close(job.ready)
 }
 
 // prepWorker drains the preparation queue. Workers never block on anything
@@ -123,15 +159,7 @@ func newAnalyzerPool(an *Analyzer, consumers []ProfileConsumer, met *Metrics, tl
 func (p *analyzerPool) prepWorker() {
 	defer p.prepWG.Done()
 	for job := range p.prepQ {
-		start := time.Now()
-		select {
-		case job.buf = <-p.prepBufs:
-		default:
-			job.buf = new(prepBuf)
-		}
-		job.prep = job.buf.prepare(job.profile)
-		p.met.PrepBusyNs.Add(uint64(time.Since(start)))
-		close(job.ready)
+		p.prepareJob(job)
 	}
 }
 
@@ -195,14 +223,23 @@ func (p *analyzerPool) sequencer() {
 func (p *analyzerPool) submit(cycles, cost uint64, jobs []*analysisJob) {
 	for _, job := range jobs {
 		job.ready = make(chan struct{})
-		p.prepQ <- job
+		if p.shared != nil {
+			p.shared.enqueue(p.lane, job)
+		} else {
+			p.prepQ <- job
+		}
 	}
 	p.seqQ <- invocation{cycles: cycles, cost: cost, jobs: jobs}
 	p.met.Submits.Inc()
 	// Channel lengths are instantaneous, but the gauges' high-water marks
 	// are what the self-overhead report cares about: sustained depth at
-	// submit time means the guest is outrunning analysis.
-	p.met.PrepQueue.Set(int64(len(p.prepQ)))
+	// submit time means the guest is outrunning analysis. With a shared
+	// pool the relevant depth is the fleet-wide pending total.
+	if p.shared != nil {
+		p.met.PrepQueue.Set(int64(p.shared.QueueDepth()))
+	} else {
+		p.met.PrepQueue.Set(int64(len(p.prepQ)))
+	}
 	p.met.SeqBacklog.Set(int64(len(p.seqQ)))
 }
 
@@ -216,16 +253,24 @@ func (p *analyzerPool) drain() {
 }
 
 // close drains the pipeline and stops its goroutines. The pool must not
-// be used afterwards.
+// be used afterwards. With a SharedPrep attached the shared workers stay
+// up (they serve other sessions); only this session's lane is detached,
+// after the sequencer's shutdown has consumed every outstanding job.
 func (p *analyzerPool) close() {
 	if p.closed {
 		return
 	}
 	p.closed = true
-	close(p.prepQ)
-	p.prepWG.Wait()
+	if p.shared == nil {
+		close(p.prepQ)
+		p.prepWG.Wait()
+	}
 	close(p.seqQ)
 	p.seqWG.Wait()
+	if p.shared != nil {
+		p.shared.unregister(p.lane)
+		p.lane = nil
+	}
 }
 
 // takeRecycled returns an analyzed profile buffer reinitialized for the

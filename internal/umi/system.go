@@ -325,7 +325,7 @@ func (s *System) asyncActive() bool {
 		return false
 	}
 	if s.pool == nil {
-		s.pool = newAnalyzerPool(s.an, s.consumers, s.met, s.tlog, s.cfg.AnalyzerWorkers)
+		s.pool = newAnalyzerPool(s.an, s.consumers, s.met, s.tlog, s.cfg.AnalyzerWorkers, s.cfg.SharedPrep)
 	}
 	return true
 }
