@@ -11,6 +11,8 @@
 package bench
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"umi/internal/cache"
@@ -21,6 +23,7 @@ import (
 	"umi/internal/rio"
 	iumi "umi/internal/umi"
 	"umi/internal/vm"
+	"umi/internal/wire"
 	"umi/internal/workloads"
 )
 
@@ -391,6 +394,125 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	if refs > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(refs), "ns/ref")
 	}
+}
+
+// wireBenchEmit writes a umi-profile/v1 stream shaped like the analyzer's
+// defaults — 32 invocations of one 16-op × 256-row profile (the
+// BenchmarkAnalyzeProfile geometry), a 64-window history, a trailer with
+// 256-entry PC sets — and returns the recorded references it carried.
+func wireBenchEmit(enc *wire.Encoder) uint64 {
+	const nOps, rows, invocations, windows = 16, 256, 32, 64
+	hdr := wire.Header{
+		Workload: "bench", Machine: "P4",
+		CacheName: "P4-L2", CacheSize: 512 << 10, CacheAssoc: 8, CacheLine: 64,
+		WarmupRows: 8, FlushCycleGap: 1 << 20,
+		AnalyzerPerRef: 3, AnalyzerFixed: 1000,
+		HistoryWindows: 64, PhaseMissDelta: 0.02, PhaseChurnDelta: 0.5,
+	}
+	prof := wire.Profile{
+		Alpha:  0.9,
+		PCs:    make([]uint64, nOps),
+		IsLoad: make([]bool, nOps),
+		Rows:   rows,
+		Cells:  make([]uint64, nOps*rows),
+	}
+	for i := range prof.PCs {
+		prof.PCs[i] = uint64(0x1000 + i*16)
+		prof.IsLoad[i] = i%4 != 3
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < nOps; c++ {
+			i := r*nOps + c
+			switch {
+			case r > rows/2 && c == nOps-1: // a trace that exited early
+				prof.Cells[i] = wire.NoCell
+			case c%2 == 0: // streaming column: large positive deltas
+				prof.Cells[i] = uint64(r)*4096 + uint64(c)*64
+				prof.Recorded++
+			default: // resident column: small alternating deltas
+				prof.Cells[i] = uint64(r%8)*64 + uint64(c)*8192
+				prof.Recorded++
+			}
+		}
+	}
+	pcs := make([]uint64, 256)
+	for i := range pcs {
+		pcs[i] = uint64(0x1000 + i*24)
+	}
+	enc.Header(hdr)
+	var refs uint64
+	for i := 0; i < invocations; i++ {
+		enc.Invocation(uint64(i+1)*100_000, 1)
+		enc.Profile(prof)
+		refs += uint64(prof.Recorded)
+	}
+	enc.History(wire.HistoryMeta{Total: windows, Cap: windows, Windows: windows})
+	for i := 0; i < windows; i++ {
+		enc.Window(wire.Window{
+			Invocation: i + 1, Cycles: uint64(i+1) * 100_000, Refs: nOps * rows,
+			Accesses: nOps * rows, Misses: uint64(200 + i),
+			WindowMissRatio: 0.05, CumMissRatio: 0.05,
+			Delinquent: 12, NewDelinquent: i % 3, DelinquentHash: uint64(i) * 0x9e3779b97f4a7c15,
+			Jaccard: 0.92, PhaseChange: i%16 == 0, StridedLoads: 4, TopStride: 64,
+			WSLines: 4096,
+		})
+	}
+	enc.Trailer(wire.Trailer{
+		InstrumentEvents: 1 << 20, GuestCycles: 1 << 30, TotalCycles: 1<<30 + 1<<24,
+		Instrs: 1 << 28, HWAccesses: 1 << 26, HWMisses: 1 << 20, HWEvictions: 1 << 19,
+		CandidatePCs: pcs, TracePCs: pcs[:64],
+	})
+	return refs
+}
+
+// BenchmarkWireEncode measures umi-profile/v1 emission (framing, delta
+// encoding, bitmaps) for the stream wireBenchEmit describes. ns/ref is the
+// per-recorded-reference cost the capture process pays on the guest
+// thread; it belongs in BENCH_umi.json next to the analyzer's ns/ref.
+func BenchmarkWireEncode(b *testing.B) {
+	var refs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := wire.NewEncoder(io.Discard)
+		refs = wireBenchEmit(enc)
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
+}
+
+// BenchmarkWireDecode measures the bounded-memory decode of the same
+// stream — the cost umid pays per ingested reference before any analysis
+// runs.
+func BenchmarkWireDecode(b *testing.B) {
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	refs := wireBenchEmit(enc)
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	stream := buf.Bytes()
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := wire.NewDecoder(bytes.NewReader(stream))
+		if _, err := dec.Header(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rec, err := dec.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, done := rec.(*wire.Trailer); done {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
 }
 
 // BenchmarkAblationPolicy measures the mini-simulator's sensitivity to the

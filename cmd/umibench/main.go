@@ -25,6 +25,8 @@ import (
 
 func main() {
 	benchFlag := flag.String("bench", "", "comma-separated workload subset (default: the paper's 32)")
+	streamFlag := flag.String("stream", "",
+		"umi-profile/v1 stream file for replay-geometry (default: record one in memory from the first -bench workload)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of rendered tables")
 	parallel := flag.Int("parallel", 1,
 		"experiment cells (workload x configuration) to run concurrently; output is identical at any level")
@@ -49,7 +51,7 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	for _, exp := range args {
-		v, text, err := run(exp, names)
+		v, text, err := run(exp, names, *streamFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "umibench: %s: %v\n", exp, err)
 			os.Exit(1)
@@ -88,12 +90,14 @@ experiments:
   self-overhead   modelled UMI cost vs the runtime's own metrics
   timeline        delinquent-set evolution per analyzer invocation
   phases          windowed miss-ratio and delinquent-set churn history
+  replay-geometry geometry sweep replaying one umi-profile/v1 stream
+                  (-stream file, or records the first -bench workload)
   all             everything above
   list            print workload names
 `)
 }
 
-func run(exp string, names []string) (any, string, error) {
+func run(exp string, names []string, streamPath string) (any, string, error) {
 	switch exp {
 	case "list":
 		var sb strings.Builder
@@ -212,6 +216,28 @@ func run(exp string, names []string) (any, string, error) {
 			return nil, "", err
 		}
 		return r, r.String(), nil
+	case "replay-geometry":
+		var (
+			r   *harness.ReplayGeometryResult
+			err error
+		)
+		if streamPath != "" {
+			stream, rerr := os.ReadFile(streamPath)
+			if rerr != nil {
+				return nil, "", rerr
+			}
+			r, err = harness.ReplayGeometry(stream)
+		} else {
+			name := "181.mcf"
+			if len(names) > 0 {
+				name = names[0]
+			}
+			r, err = harness.ReplayGeometryWorkload(name)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return r, harness.RenderReplayGeometry(r), nil
 	default:
 		return nil, "", fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -3,23 +3,25 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"umi/internal/harness"
 )
 
 func TestRunDispatch(t *testing.T) {
-	v, text, err := run("table2", nil)
+	v, text, err := run("table2", nil, "")
 	if err != nil {
 		t.Fatalf("table2: %v", err)
 	}
 	if v == nil || !strings.Contains(text, "tradeoffs") {
 		t.Errorf("table2 output wrong: %q", text)
 	}
-	if _, _, err := run("nope", nil); err == nil {
+	if _, _, err := run("nope", nil, ""); err == nil {
 		t.Error("unknown experiment must error")
 	}
-	if _, _, err := run("table3", []string{"not-a-workload"}); err == nil {
+	if _, _, err := run("table3", []string{"not-a-workload"}, ""); err == nil {
 		t.Error("unknown workload must error")
 	}
-	_, text, err = run("list", nil)
+	_, text, err = run("list", nil, "")
 	if err != nil || !strings.Contains(text, "181.mcf") {
 		t.Errorf("list broken: %v, %q", err, text)
 	}
@@ -29,7 +31,7 @@ func TestRunSmallExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a UMI experiment")
 	}
-	v, text, err := run("table6", []string{"181.mcf"})
+	v, text, err := run("table6", []string{"181.mcf"}, "")
 	if err != nil {
 		t.Fatalf("table6: %v", err)
 	}
@@ -38,11 +40,34 @@ func TestRunSmallExperiment(t *testing.T) {
 	}
 }
 
+func TestRunReplayGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a UMI experiment")
+	}
+	v, text, err := run("replay-geometry", []string{"em3d"}, "")
+	if err != nil {
+		t.Fatalf("replay-geometry: %v", err)
+	}
+	r, ok := v.(*harness.ReplayGeometryResult)
+	if !ok {
+		t.Fatalf("replay-geometry value is %T, want *harness.ReplayGeometryResult", v)
+	}
+	if len(r.Points) != 5 {
+		t.Errorf("swept %d geometries, want 5", len(r.Points))
+	}
+	if !strings.Contains(text, "(captured)") || !strings.Contains(text, "em3d") {
+		t.Errorf("replay-geometry render wrong: %q", text)
+	}
+	if _, _, err := run("replay-geometry", nil, "/nonexistent/stream.bin"); err == nil {
+		t.Error("missing stream file must error")
+	}
+}
+
 func TestRunTimelineExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a UMI experiment")
 	}
-	v, text, err := run("timeline", []string{"em3d"})
+	v, text, err := run("timeline", []string{"em3d"}, "")
 	if err != nil {
 		t.Fatalf("timeline: %v", err)
 	}

@@ -7,17 +7,22 @@
 //
 //	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
 //	        [-metrics] [-metrics-json file] [-trace-out file]
-//	        [-history] [-history-out file]
+//	        [-history] [-history-out file] [-emit file]
 //	        [-http addr] [-http-linger d] <workload>
+//	umiprof -ingest file [-workers n]             replay a recorded stream locally
+//	umiprof -ingest file -ingest-addr host:port   ship it to a umid daemon
 //	umiprof -list
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"umi/internal/harness"
@@ -27,6 +32,7 @@ import (
 	"umi/internal/tracelog"
 	"umi/internal/umi"
 	"umi/internal/vm"
+	"umi/internal/wire"
 	"umi/internal/workloads"
 )
 
@@ -61,8 +67,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"serve live introspection (/metrics, /events, /debug/pprof) on this address during the run")
 	httpLinger := fs.Duration("http-linger", 0,
 		"keep the -http server up this long after the report prints (0: stop immediately)")
+	emitOut := fs.String("emit", "",
+		"record the run's umi-profile/v1 telemetry stream to this file (replayable via -ingest)")
+	ingestIn := fs.String("ingest", "",
+		"replay a recorded umi-profile/v1 stream instead of running a workload; prints the RunResult JSON")
+	ingestAddr := fs.String("ingest-addr", "",
+		"with -ingest: POST the stream to a umid daemon at this address instead of replaying locally")
 	list := fs.Bool("list", false, "list workloads and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *ingestIn != "" {
+		return runIngest(*ingestIn, *ingestAddr, *workers, stdout, stderr)
+	}
+	if *ingestAddr != "" {
+		fmt.Fprintln(stderr, "umiprof: -ingest-addr requires -ingest")
 		return 2
 	}
 
@@ -94,6 +114,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	m := vm.New(w.Program(), h)
 	rt := rio.NewRuntime(m)
 	sys := umi.Attach(rt, cfg)
+	// Stream emission is observational (it records analyzer inputs on the
+	// guest thread before analysis), so stdout stays byte-identical with
+	// or without -emit.
+	var emitEnc *wire.Encoder
+	var emitFile *os.File
+	if *emitOut != "" {
+		f, err := os.Create(*emitOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: emit: %v\n", err)
+			return 1
+		}
+		emitFile = f
+		emitEnc = wire.NewEncoder(f)
+		emitEnc.Header(umi.WireHeader(&cfg, w.Name, *machine))
+		sys.EnableWireEmit(emitEnc)
+	}
 	// The event timeline and the HTTP server are purely observational:
 	// neither touches modelled state, so everything printed to stdout is
 	// byte-identical with or without them (stderr carries their notes).
@@ -147,6 +183,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sys.Finish()
+	if emitEnc != nil {
+		sys.EmitWireTail(emitEnc, wire.Trailer{
+			GuestCycles: m.Cycles,
+			TotalCycles: rt.TotalCycles(),
+			Instrs:      m.Instrs,
+			HWAccesses:  h.L2Stats.Accesses,
+			HWMisses:    h.L2Stats.Misses,
+			HWEvictions: h.L2.Stats().Evictions,
+		})
+		err := emitEnc.Flush()
+		if cerr := emitFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: emit: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "umiprof: wrote telemetry stream to %s\n", *emitOut)
+	}
 	rep := sys.Report()
 
 	fmt.Fprintf(stdout, "workload:   %s (%s; %s)\n", w.Name, w.Suite, w.Class)
@@ -264,5 +319,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "umiprof: introspection server up for another %s\n", *httpLinger)
 		time.Sleep(*httpLinger)
 	}
+	return 0
+}
+
+// runIngest replays a recorded umi-profile/v1 stream: locally through
+// umi.Replay (printing the RunResult JSON a daemon ingest would return),
+// or — with addr — shipped to a umid daemon over POST
+// /sessions/{id}/ingest, printing the daemon's response. Either way the
+// output is byte-identical to the capture process's marshaled result.
+func runIngest(path, addr string, workers int, stdout, stderr io.Writer) int {
+	if addr != "" {
+		return runIngestRemote(path, addr, workers, stdout, stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	res, err := introspect.ReplayStream(f, workers)
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	stdout.Write(append(data, '\n'))
+	return 0
+}
+
+// runIngestRemote creates an ingest session on the daemon at addr, POSTs
+// the stream, and prints the daemon's RunResult response.
+func runIngestRemote(path, addr string, workers int, stdout, stderr io.Writer) int {
+	stream, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cfgBody := fmt.Sprintf(`{"ingest": true, "workers": %d}`, workers)
+	resp, err := http.Post(base+"/sessions", "application/json", strings.NewReader(cfgBody))
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: create session: %v\n", err)
+		return 1
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusCreated {
+		fmt.Fprintf(stderr, "umiprof: ingest: create session: status %d, body %s\n", resp.StatusCode, body)
+		return 1
+	}
+	var inf struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &inf); err != nil || inf.ID == "" {
+		fmt.Fprintf(stderr, "umiprof: ingest: create session: bad response %s\n", body)
+		return 1
+	}
+	resp, err = http.Post(base+"/sessions/"+inf.ID+"/ingest", "application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	body, rerr = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "umiprof: ingest: status %d, body %s\n", resp.StatusCode, body)
+		return 1
+	}
+	fmt.Fprintf(stderr, "umiprof: ingested %d bytes into session %s at %s\n", len(stream), inf.ID, base)
+	stdout.Write(body)
 	return 0
 }

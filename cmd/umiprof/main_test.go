@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"umi/internal/introspect"
 	"umi/internal/metrics"
 )
 
@@ -445,5 +446,104 @@ func TestE2EPromScrape(t *testing.T) {
 
 	if code := <-done; code != 0 {
 		t.Fatalf("-http run exited %d, stderr %q", code, errb.String())
+	}
+}
+
+// TestE2EEmitIngestByteIdentity is the wire format's end-to-end contract
+// through the real CLI: a stream recorded with -emit is byte-identical
+// whatever the capture-side worker count, replaying it with -ingest
+// reproduces the standalone RunResult byte for byte at any replay worker
+// count, and -emit itself never perturbs the printed report.
+func TestE2EEmitIngestByteIdentity(t *testing.T) {
+	const wl = "em3d"
+	dir := t.TempDir()
+
+	base, err := introspect.RunStandalone(introspect.SessionConfig{Workload: wl})
+	if err != nil {
+		t.Fatalf("standalone baseline: %v", err)
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(data) + "\n"
+
+	_, plain, _ := runCLI(t, wl)
+	streams := make(map[int][]byte)
+	for _, emitW := range []int{0, 4} {
+		f := filepath.Join(dir, "stream"+strconv.Itoa(emitW)+".bin")
+		code, out, errs := runCLI(t, "-emit", f, "-workers", strconv.Itoa(emitW), wl)
+		if code != 0 {
+			t.Fatalf("emit workers=%d: exit %d, stderr %q", emitW, code, errs)
+		}
+		if out != plain {
+			t.Errorf("-emit at workers=%d perturbed the report", emitW)
+		}
+		stream, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[emitW] = stream
+	}
+	if !bytes.Equal(streams[0], streams[4]) {
+		t.Errorf("recorded stream differs across capture worker counts: %d vs %d bytes",
+			len(streams[0]), len(streams[4]))
+	}
+
+	streamFile := filepath.Join(dir, "stream0.bin")
+	for _, ingestW := range []int{4, 0} {
+		code, out, errs := runCLI(t, "-ingest", streamFile, "-workers", strconv.Itoa(ingestW))
+		if code != 0 {
+			t.Fatalf("ingest workers=%d: exit %d, stderr %q", ingestW, code, errs)
+		}
+		if out != want {
+			t.Errorf("ingest workers=%d result diverges from standalone run (%d vs %d bytes)",
+				ingestW, len(out), len(want))
+		}
+	}
+}
+
+// TestE2EIngestRemote ships a recorded stream to a live umid daemon with
+// -ingest-addr; the daemon's response must be the same byte-identical
+// RunResult the local replay prints.
+func TestE2EIngestRemote(t *testing.T) {
+	const wl = "em3d"
+	dir := t.TempDir()
+	streamFile := filepath.Join(dir, "stream.bin")
+	if code, _, errs := runCLI(t, "-emit", streamFile, wl); code != 0 {
+		t.Fatalf("emit: exit %d, stderr %q", code, errs)
+	}
+	_, local, _ := runCLI(t, "-ingest", streamFile)
+
+	d := introspect.NewDaemon(introspect.DaemonConfig{PrepWorkers: 2})
+	addr, stop, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+	defer func() {
+		stop()
+		d.Shutdown()
+	}()
+
+	code, out, errs := runCLI(t, "-ingest", streamFile, "-ingest-addr", addr, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("remote ingest: exit %d, stderr %q", code, errs)
+	}
+	if out != local {
+		t.Errorf("remote ingest result diverges from local replay (%d vs %d bytes)", len(out), len(local))
+	}
+	if !strings.Contains(errs, "ingested") {
+		t.Errorf("stderr missing ingest note: %q", errs)
+	}
+
+	// A second shard into the same daemon via a fresh session still works
+	// (the client creates a session per invocation).
+	if code, _, errs := runCLI(t, "-ingest", streamFile, "-ingest-addr", addr); code != 0 {
+		t.Errorf("second remote ingest: exit %d, stderr %q", code, errs)
+	}
+
+	// Bad invocation: -ingest-addr without -ingest.
+	if code, _, _ := runCLI(t, "-ingest-addr", addr, wl); code != 2 {
+		t.Errorf("-ingest-addr without -ingest: exit %d, want 2", code)
 	}
 }

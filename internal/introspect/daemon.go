@@ -11,6 +11,7 @@
 //	POST   /sessions             create from a SessionConfig JSON body
 //	GET    /sessions             list sessions with state
 //	POST   /sessions/{id}/run    execute to completion, return the result
+//	POST   /sessions/{id}/ingest replay a umi-profile/v1 stream (ingest sessions)
 //	GET    /sessions/{id}/report completed RunResult (409 until done)
 //	GET    /sessions/{id}/history  live profile-history windows
 //	GET    /sessions/{id}/metrics  live self-observability snapshot
@@ -90,36 +91,48 @@ type session struct {
 	mu     sync.Mutex
 	state  sessionState
 	sys    *umi.System // live once a run has attached; kept after finish
+	ing    *ingestState
 	result *RunResult
 	runErr error
 }
 
 // liveMetrics snapshots the session's registry if a run has attached one.
+// Ingest sessions serve their replayer's registry instead.
 func (s *session) liveMetrics() metrics.Snapshot {
 	s.mu.Lock()
-	sys := s.sys
+	sys, ing := s.sys, s.ing
 	s.mu.Unlock()
-	if sys == nil {
-		return metrics.Snapshot{}
+	if sys != nil {
+		return sys.LiveMetricsSnapshot()
 	}
-	return sys.LiveMetricsSnapshot()
+	if ing != nil && ing.replay != nil {
+		return ing.replay.Metrics().Snapshot()
+	}
+	return metrics.Snapshot{}
 }
 
 // liveHistory snapshots the session's history ring if a run has attached.
+// Ingest sessions serve the merged streamed history from the last
+// completed shard (their replayer has no live ring of its own to scrape
+// without draining it).
 func (s *session) liveHistory() umi.HistoryView {
 	s.mu.Lock()
-	sys := s.sys
+	sys, res := s.sys, s.result
 	s.mu.Unlock()
-	if sys == nil {
-		return (*umi.History)(nil).View()
+	if sys != nil {
+		return sys.LiveHistory()
 	}
-	return sys.LiveHistory()
+	if res != nil {
+		return res.History
+	}
+	return (*umi.History)(nil).View()
 }
 
 // Daemon multiplexes sessions over one shared preparation pool.
 type Daemon struct {
 	cfg    DaemonConfig
 	shared *umi.SharedPrep
+	ingest *ingestMetrics
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -135,6 +148,7 @@ func NewDaemon(cfg DaemonConfig) *Daemon {
 	return &Daemon{
 		cfg:      cfg,
 		shared:   umi.NewSharedPrep(cfg.PrepWorkers, cfg.QueueBound),
+		ingest:   newIngestMetrics(),
 		sessions: make(map[string]*session),
 	}
 }
@@ -191,6 +205,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions", d.createSession)
 	mux.HandleFunc("GET /sessions", d.listSessions)
 	mux.HandleFunc("POST /sessions/{id}/run", d.runSession)
+	mux.HandleFunc("POST /sessions/{id}/ingest", d.ingestSession)
 	mux.HandleFunc("GET /sessions/{id}/report", d.sessionReport)
 	mux.HandleFunc("GET /sessions/{id}/history", d.sessionHistory)
 	mux.HandleFunc("GET /sessions/{id}/metrics", d.sessionMetrics)
@@ -208,6 +223,7 @@ func (d *Daemon) index(w http.ResponseWriter, r *http.Request) {
 POST   /sessions             create a session (SessionConfig JSON)
 GET    /sessions             list sessions
 POST   /sessions/{id}/run    run to completion, returns the result
+POST   /sessions/{id}/ingest replay a umi-profile/v1 stream into the session
 GET    /sessions/{id}/report completed run result
 GET    /sessions/{id}/history  profile-history windows
 GET    /sessions/{id}/metrics  self-observability snapshot
@@ -227,14 +243,22 @@ type sessionInfo struct {
 	Error string `json:"error,omitempty"`
 }
 
+// guestLabel names the session's guest. Ingest sessions pick up the
+// workload name from the first stream header. Caller holds s.mu.
+func (s *session) guestLabel() string {
+	if s.cfg.Ingest {
+		if s.ing != nil && s.ing.guest != "" {
+			return "ingest:" + s.ing.guest
+		}
+		return "ingest"
+	}
+	return s.cfg.guestName()
+}
+
 func (s *session) info() sessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	guest := s.cfg.Workload
-	if guest == "" {
-		guest = fmt.Sprintf("trace[%d]", len(s.cfg.Trace))
-	}
-	inf := sessionInfo{ID: s.id, State: string(s.state), Guest: guest}
+	inf := sessionInfo{ID: s.id, State: string(s.state), Guest: s.guestLabel()}
 	if s.runErr != nil {
 		inf.Error = s.runErr.Error()
 	}
@@ -273,6 +297,9 @@ func (d *Daemon) createSession(w http.ResponseWriter, r *http.Request) {
 	d.sessions[s.id] = s
 	d.mu.Unlock()
 
+	// The Content-Type must be set before WriteHeader commits the response
+	// head; writeJSON's own Set would land too late to be sent.
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, s.info())
 }
@@ -316,6 +343,10 @@ func (d *Daemon) runSession(w http.ResponseWriter, r *http.Request) {
 	d.mu.Unlock()
 	defer d.runs.Done()
 
+	if s.cfg.Ingest {
+		httpError(w, http.StatusConflict, "session %s ingests streams; POST to /sessions/%s/ingest", s.id, s.id)
+		return
+	}
 	s.mu.Lock()
 	if s.state != stateCreated {
 		state := s.state
@@ -333,7 +364,7 @@ func (d *Daemon) runSession(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.sys = sys
 		s.mu.Unlock()
-	})
+	}, nil)
 
 	s.mu.Lock()
 	if err != nil {
@@ -406,10 +437,13 @@ func (d *Daemon) deleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// fleetProm renders every session's registry as one labeled exposition.
+// fleetProm renders every session's registry as one labeled exposition,
+// plus the daemon's own ingest counters under the reserved label
+// "ingest".
 func (d *Daemon) fleetProm(w http.ResponseWriter, r *http.Request) {
 	sessions := d.snapshotSessions()
-	labeled := make([]metrics.LabeledSnapshot, 0, len(sessions))
+	labeled := make([]metrics.LabeledSnapshot, 0, len(sessions)+1)
+	labeled = append(labeled, metrics.LabeledSnapshot{Label: "ingest", Snap: d.ingest.reg.Snapshot()})
 	for _, s := range sessions {
 		labeled = append(labeled, metrics.LabeledSnapshot{Label: s.id, Snap: s.liveMetrics()})
 	}
@@ -432,13 +466,9 @@ func (d *Daemon) completedFleet() []fleetMember {
 	var fleet []fleetMember
 	for _, s := range d.snapshotSessions() {
 		s.mu.Lock()
-		res := s.result
+		res, guest := s.result, s.guestLabel()
 		s.mu.Unlock()
 		if res != nil {
-			guest := s.cfg.Workload
-			if guest == "" {
-				guest = fmt.Sprintf("trace[%d]", len(s.cfg.Trace))
-			}
 			fleet = append(fleet, fleetMember{ID: s.id, Guest: guest, Result: res})
 		}
 	}

@@ -1,0 +1,318 @@
+// Remote ingestion: POST /sessions/{id}/ingest accepts umi-profile/v1
+// streams (recorded by `umiprof -emit` or EmitStandalone) and compiles
+// them into a replay session analyzed on the daemon's shared preparation
+// pool. A single ingested stream reproduces the capture process's
+// RunResult byte for byte; multiple shards merge into one logical run —
+// trailer counts sum, PC sets union, streamed window histories
+// concatenate and compact to the ring cap, and the analyzer state
+// (delinquent set, strides, logical cache) simply carries across shards.
+package introspect
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"umi/internal/cache"
+	"umi/internal/metrics"
+	"umi/internal/umi"
+	"umi/internal/wire"
+)
+
+// MaxStreamBytes bounds one POST /sessions/{id}/ingest body. The decoder
+// is bounded-memory regardless of stream length; this cap bounds the
+// analyzer work one request can submit.
+const MaxStreamBytes = 256 << 20
+
+// ingestMetrics is the daemon-level ingest observability registry,
+// exposed in the fleet Prometheus exposition under the session label
+// "ingest".
+type ingestMetrics struct {
+	reg          *metrics.Registry
+	Streams      *metrics.Counter
+	Frames       *metrics.Counter
+	Bytes        *metrics.Counter
+	DecodeErrors *metrics.Counter
+	FrameLatency *metrics.Histogram
+}
+
+// frameLatencyBuckets: 250ns doubling through ~4s (24 buckets) — decode
+// plus apply for one frame, where the apply may be a whole profile's
+// mini-simulation.
+var frameLatencyBuckets = metrics.ExpBuckets(250, 24)
+
+func newIngestMetrics() *ingestMetrics {
+	reg := metrics.NewRegistry()
+	return &ingestMetrics{
+		reg:          reg,
+		Streams:      reg.Counter("umid.ingest.streams"),
+		Frames:       reg.Counter("umid.ingest.frames"),
+		Bytes:        reg.Counter("umid.ingest.bytes"),
+		DecodeErrors: reg.Counter("umid.ingest.decode_errors"),
+		FrameLatency: reg.Histogram("umid.ingest.frame_latency_ns", frameLatencyBuckets),
+	}
+}
+
+// ingestState is the per-session replay accumulator, created on the first
+// shard. Guarded by the session mutex; the handler takes ownership while
+// state is running, so only one ingest touches it at a time.
+type ingestState struct {
+	replay *umi.Replay
+	key    string // ReplayConfigKey of the first shard; later shards must match
+	guest  string // workload name from the first header
+	shards int
+
+	// Shard-mergeable accounting: counts sum, PC sets union.
+	instrumentEvents uint64
+	cycles           uint64
+	instrs           uint64
+	hw               cache.LevelStats
+	candidatePCs     map[uint64]bool
+	tracePCs         map[uint64]bool
+
+	// Streamed capture-side window history, concatenated across shards
+	// and compacted to the ring cap on render. Streamed rather than
+	// recomputed: optional capture-side consumers (working-set size) feed
+	// fields a replay cannot rebuild.
+	windows      []wire.Window
+	histTotal    uint64
+	histPhases   uint64
+	histCap      int
+	histRendered bool
+}
+
+// errShardConfig distinguishes a cross-shard configuration mismatch (a
+// client error on an otherwise healthy session) from a decode failure.
+var errShardConfig = errors.New("shard configuration mismatch")
+
+// ingestStream decodes and replays one stream into the session's
+// accumulator. Caller holds no locks; the session is in state running, so
+// the accumulator is exclusively ours.
+func (d *Daemon) ingestStream(s *session, body io.Reader, workers int) error {
+	dec := wire.NewDecoder(body)
+	h, err := dec.Header()
+	if err != nil {
+		d.ingest.DecodeErrors.Add(1)
+		return fmt.Errorf("stream header: %w", err)
+	}
+	st := s.ing
+	if st.replay == nil {
+		cfg, err := umi.ConfigFromWireHeader(h)
+		if err != nil {
+			d.ingest.DecodeErrors.Add(1)
+			return fmt.Errorf("stream header: %w", err)
+		}
+		cfg.AnalyzerWorkers = workers
+		if workers >= 2 {
+			cfg.SharedPrep = d.shared
+		}
+		rp := umi.NewReplay(cfg)
+		rp.OnFrame = func(lat time.Duration) {
+			d.ingest.FrameLatency.Observe(uint64(lat))
+		}
+		// Concurrent scrapes read replay and guest through the session
+		// mutex; publish them the same way.
+		s.mu.Lock()
+		st.replay = rp
+		st.guest = h.Workload
+		s.mu.Unlock()
+		st.key = umi.ReplayConfigKey(h)
+		st.candidatePCs = make(map[uint64]bool)
+		st.tracePCs = make(map[uint64]bool)
+	} else if key := umi.ReplayConfigKey(h); key != st.key {
+		return fmt.Errorf("%w: session expects %q, stream carries %q", errShardConfig, st.key, key)
+	}
+
+	shard, err := st.replay.Consume(dec)
+	d.ingest.Frames.Add(uint64(dec.Frames()))
+	d.ingest.Bytes.Add(uint64(dec.Bytes()))
+	if err != nil {
+		d.ingest.DecodeErrors.Add(1)
+		return fmt.Errorf("stream decode: %w", err)
+	}
+	d.ingest.Streams.Add(1)
+
+	st.apply(shard)
+	return nil
+}
+
+// apply folds one cleanly-consumed shard into the accumulator.
+func (st *ingestState) apply(shard *umi.ReplayShard) {
+	tr := shard.Trailer
+	st.shards++
+	st.instrumentEvents += tr.InstrumentEvents
+	st.cycles += tr.TotalCycles
+	st.instrs += tr.Instrs
+	st.hw.Accesses += tr.HWAccesses
+	st.hw.Misses += tr.HWMisses
+	for _, pc := range tr.CandidatePCs {
+		st.candidatePCs[pc] = true
+	}
+	for _, pc := range tr.TracePCs {
+		st.tracePCs[pc] = true
+	}
+	st.histTotal += shard.History.Total
+	st.histPhases += shard.History.PhaseChanges
+	st.histCap = shard.History.Cap
+	for _, w := range shard.History.Windows {
+		st.windows = append(st.windows, windowRecord(w))
+	}
+}
+
+// ReplayStream replays one recorded umi-profile/v1 stream outside any
+// daemon and returns its RunResult — byte-identical (marshaled) to the
+// capture process's, at any worker count. The `umiprof -ingest` path.
+func ReplayStream(body io.Reader, workers int) (*RunResult, error) {
+	dec := wire.NewDecoder(body)
+	h, err := dec.Header()
+	if err != nil {
+		return nil, fmt.Errorf("stream header: %w", err)
+	}
+	cfg, err := umi.ConfigFromWireHeader(h)
+	if err != nil {
+		return nil, fmt.Errorf("stream header: %w", err)
+	}
+	cfg.AnalyzerWorkers = workers
+	rp := umi.NewReplay(cfg)
+	defer rp.Close()
+	shard, err := rp.Consume(dec)
+	if err != nil {
+		return nil, fmt.Errorf("stream decode: %w", err)
+	}
+	st := &ingestState{
+		replay:       rp,
+		candidatePCs: make(map[uint64]bool),
+		tracePCs:     make(map[uint64]bool),
+	}
+	st.apply(shard)
+	return st.result(), nil
+}
+
+// windowRecord round-trips a WindowSummary through its wire record so the
+// accumulator stores the streamed form verbatim.
+func windowRecord(w umi.WindowSummary) wire.Window {
+	return wire.Window{
+		Invocation: w.Invocation, Cycles: w.Cycles, Refs: w.Refs,
+		Accesses: w.Accesses, Misses: w.Misses,
+		WindowMissRatio: w.WindowMissRatio, CumMissRatio: w.CumMissRatio,
+		Delinquent: w.Delinquent, NewDelinquent: w.NewDelinquent,
+		DelinquentHash: w.DelinquentHash, Jaccard: w.Jaccard,
+		PhaseChange: w.PhaseChange, StridedLoads: w.StridedLoads,
+		TopStride: w.TopStride, WSLines: w.WSLines,
+	}
+}
+
+// result assembles the session's merged RunResult: the replayed report
+// with merged run accounting, the compacted streamed history, and the
+// hardware-model ratio recomputed from summed raw counts — for a single
+// shard, byte-identical to the capture process's RunResult.
+func (st *ingestState) result() *RunResult {
+	rep := st.replay.Report(len(st.tracePCs), len(st.candidatePCs), st.instrumentEvents)
+	kept := st.windows
+	if st.histCap > 0 && len(kept) > st.histCap {
+		kept = kept[len(kept)-st.histCap:]
+	}
+	ws := make([]umi.WindowSummary, len(kept))
+	for i, w := range kept {
+		ws[i] = umi.WindowSummary{
+			Invocation: w.Invocation, Cycles: w.Cycles, Refs: w.Refs,
+			Accesses: w.Accesses, Misses: w.Misses,
+			WindowMissRatio: w.WindowMissRatio, CumMissRatio: w.CumMissRatio,
+			Delinquent: w.Delinquent, NewDelinquent: w.NewDelinquent,
+			DelinquentHash: w.DelinquentHash, Jaccard: w.Jaccard,
+			PhaseChange: w.PhaseChange, StridedLoads: w.StridedLoads,
+			TopStride: w.TopStride, WSLines: w.WSLines,
+		}
+	}
+	hv := (*umi.History)(nil).View()
+	hv.Total = st.histTotal
+	hv.Dropped = st.histTotal - uint64(len(ws))
+	hv.Cap = st.histCap
+	hv.PhaseChanges = st.histPhases
+	if len(ws) > 0 {
+		hv.Windows = ws
+	}
+	return &RunResult{
+		Report:      rep,
+		History:     hv,
+		HWMissRatio: st.hw.MissRatio(),
+		Cycles:      st.cycles,
+		Instrs:      st.instrs,
+	}
+}
+
+// ingestSession is POST /sessions/{id}/ingest: replay one stream into the
+// session. Repeatable — each accepted shard leaves the session done with
+// a merged result; a mid-stream decode failure leaves partially-applied
+// analysis, so it poisons the session (state failed) rather than serving
+// a silently wrong merge.
+func (d *Daemon) ingestSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := d.lookup(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if !s.cfg.Ingest {
+		httpError(w, http.StatusConflict, "session %s does not ingest; create it with \"ingest\": true", s.id)
+		return
+	}
+
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	d.runs.Add(1)
+	d.mu.Unlock()
+	defer d.runs.Done()
+
+	s.mu.Lock()
+	switch s.state {
+	case stateRunning:
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "session %s has an ingest in flight", s.id)
+		return
+	case stateFailed:
+		err := s.runErr
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "session %s is poisoned by an earlier shard: %v", s.id, err)
+		return
+	}
+	prev := s.state
+	s.state = stateRunning
+	if s.ing == nil {
+		s.ing = &ingestState{}
+	}
+	s.mu.Unlock()
+
+	err := d.ingestStream(s, http.MaxBytesReader(w, r.Body, MaxStreamBytes), s.cfg.Workers)
+
+	s.mu.Lock()
+	var res *RunResult
+	switch {
+	case err == nil:
+		s.state = stateDone
+		res = s.ing.result()
+		s.result = res
+	case errors.Is(err, errShardConfig):
+		// Nothing was applied; the session stays healthy at its previous
+		// state.
+		s.state = prev
+	default:
+		s.state = stateFailed
+		s.runErr = err
+	}
+	s.mu.Unlock()
+
+	switch {
+	case errors.Is(err, errShardConfig):
+		httpError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, res)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 
 	"umi/internal/harness"
 	"umi/internal/isa"
@@ -16,6 +17,7 @@ import (
 	"umi/internal/rio"
 	"umi/internal/umi"
 	"umi/internal/vm"
+	"umi/internal/wire"
 	"umi/internal/workloads"
 )
 
@@ -66,6 +68,14 @@ type SessionConfig struct {
 	// MaxInstrs bounds the run in retired guest instructions (0 keeps the
 	// harness default).
 	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+
+	// Ingest declares a replay session: it runs no guest and instead
+	// accepts umi-profile/v1 streams via POST /sessions/{id}/ingest,
+	// analyzing them on the daemon's shared pool. Mutually exclusive with
+	// every guest-execution knob — the stream header carries the analyzer
+	// configuration — except Workers, which picks the replay pipeline
+	// width.
+	Ingest bool `json:"ingest,omitempty"`
 }
 
 // ParseSessionConfig decodes and validates a POST /sessions body. Unknown
@@ -90,6 +100,19 @@ func ParseSessionConfig(data []byte) (SessionConfig, error) {
 
 // Validate checks a decoded config against the daemon's limits.
 func (c *SessionConfig) Validate() error {
+	if c.Ingest {
+		// An ingest session's analyzer configuration arrives in the stream
+		// header; every guest-execution knob here would be silently dead,
+		// so their presence is an error.
+		if c.Workload != "" || len(c.Trace) > 0 || c.Reps != 0 || c.Machine != "" ||
+			c.HWPrefetch || c.Sampling != nil || c.MaxInstrs != 0 || c.HistoryWindows != 0 {
+			return errors.New("config: ingest only admits the workers knob; analyzer configuration comes from the stream header")
+		}
+		if c.Workers < 0 || c.Workers > MaxSessionWorkers {
+			return fmt.Errorf("config: workers %d outside [0, %d]", c.Workers, MaxSessionWorkers)
+		}
+		return nil
+	}
 	switch {
 	case c.Workload == "" && len(c.Trace) == 0:
 		return errors.New("config: one of workload or trace is required")
@@ -226,10 +249,29 @@ type RunResult struct {
 	Instrs      uint64          `json:"instrs"`
 }
 
+// guestName is the session's display name: the workload, or "trace[n]"
+// for a submitted stream.
+func (c *SessionConfig) guestName() string {
+	if c.Workload != "" {
+		return c.Workload
+	}
+	return fmt.Sprintf("trace[%d]", len(c.Trace))
+}
+
+// machineName resolves the config's platform label.
+func (c *SessionConfig) machineName() string {
+	if c.Machine == "" {
+		return "p4"
+	}
+	return c.Machine
+}
+
 // runSession executes one session's guest to completion. publish, when
 // non-nil, receives the attached System before the guest starts so live
-// scrapes can observe the run in flight.
-func runSession(cfg *SessionConfig, shared *umi.SharedPrep, publish func(*umi.System)) (*RunResult, error) {
+// scrapes can observe the run in flight. enc, when non-nil, records the
+// run's umi-profile/v1 stream; emission is observational, so the result
+// is byte-identical with or without it.
+func runSession(cfg *SessionConfig, shared *umi.SharedPrep, publish func(*umi.System), enc *wire.Encoder) (*RunResult, error) {
 	prog, err := cfg.guestProgram()
 	if err != nil {
 		return nil, err
@@ -238,7 +280,12 @@ func runSession(cfg *SessionConfig, shared *umi.SharedPrep, publish func(*umi.Sy
 	h := plat.Hierarchy(cfg.HWPrefetch)
 	m := vm.New(prog, h)
 	rt := rio.NewRuntime(m)
-	sys := umi.Attach(rt, cfg.umiConfig(shared))
+	ucfg := cfg.umiConfig(shared)
+	sys := umi.Attach(rt, ucfg)
+	if enc != nil {
+		enc.Header(umi.WireHeader(&ucfg, cfg.guestName(), cfg.machineName()))
+		sys.EnableWireEmit(enc)
+	}
 	if publish != nil {
 		publish(sys)
 	}
@@ -249,6 +296,19 @@ func runSession(cfg *SessionConfig, shared *umi.SharedPrep, publish func(*umi.Sy
 		return nil, fmt.Errorf("run: %w", err)
 	}
 	sys.Finish()
+	if enc != nil {
+		sys.EmitWireTail(enc, wire.Trailer{
+			GuestCycles: rt.M.Cycles,
+			TotalCycles: rt.TotalCycles(),
+			Instrs:      m.Instrs,
+			HWAccesses:  h.L2Stats.Accesses,
+			HWMisses:    h.L2Stats.Misses,
+			HWEvictions: h.L2.Stats().Evictions,
+		})
+		if err := enc.Flush(); err != nil {
+			return nil, fmt.Errorf("emit: %w", err)
+		}
+	}
 	return &RunResult{
 		Report:      sys.Report(),
 		History:     sys.History(),
@@ -265,5 +325,22 @@ func RunStandalone(cfg SessionConfig) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return runSession(&cfg, nil, nil)
+	if cfg.Ingest {
+		return nil, errors.New("config: ingest sessions replay streams; nothing to run")
+	}
+	return runSession(&cfg, nil, nil, nil)
+}
+
+// EmitStandalone is RunStandalone with stream capture: the run's
+// umi-profile/v1 telemetry is written to out while the guest executes.
+// The returned result is byte-identical to RunStandalone's — emission
+// never perturbs the run — and the stream, replayed, reproduces it.
+func EmitStandalone(cfg SessionConfig, out io.Writer) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ingest {
+		return nil, errors.New("config: ingest sessions replay streams; nothing to emit")
+	}
+	return runSession(&cfg, nil, nil, wire.NewEncoder(out))
 }

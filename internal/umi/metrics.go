@@ -162,6 +162,11 @@ func (s *System) LiveMetricsSnapshot() metrics.Snapshot {
 // Metrics exposes the live metric set (for tests and in-process sinks).
 func (s *System) Metrics() *Metrics { return s.met }
 
+// Snapshot copies the registry as-is. All registry cells are atomics, so
+// it is safe from any goroutine while analysis runs — the replay/ingest
+// analogue of LiveMetricsSnapshot.
+func (m *Metrics) Snapshot() metrics.Snapshot { return m.reg.Snapshot() }
+
 // emitMetrics delivers a snapshot to the OnMetrics sink, if one is set.
 // Runs on the guest thread at analyzer-invocation boundaries; on the
 // asynchronous path the snapshot reflects analyses completed so far, not

@@ -1,0 +1,227 @@
+package umi
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"umi/internal/cache"
+	"umi/internal/wire"
+)
+
+// Replay drives an Analyzer from a recorded umi-profile/v1 stream instead
+// of a live guest: the receiving half of capture-once/analyze-many. It
+// mirrors the in-process analysis paths exactly — BeginInvocation with
+// the recorded hand-off cycle stamp, profiles in recorded order, window
+// capture with the same stamp — inline (Workers < 2) or through the
+// asynchronous pipeline (optionally over a SharedPrep fleet), so a report
+// assembled from a replay is byte-identical to the capture process's
+// report at any worker count.
+//
+// A Replay outlives a single stream: feeding it several shards in
+// sequence continues the analysis (the logical cache, delinquent set, and
+// history carry across shards exactly as they carry across invocations),
+// which is the daemon's multi-shard ingest merge.
+type Replay struct {
+	cfg  Config
+	an   *Analyzer
+	met  *Metrics
+	pool *analyzerPool
+
+	// OnFrame, when set, observes the wall-clock latency of each stream
+	// record Consume processed (decode plus apply) — the ingest path's
+	// per-frame latency histogram feed. Purely observational.
+	OnFrame func(time.Duration)
+
+	profiledPCs map[uint64]bool
+	profiles    int
+
+	// Reusable per-invocation staging (profile pointers hand ownership to
+	// the analyzer; only the slice headers are recycled).
+	profs  []*AddressProfile
+	alphas []float64
+}
+
+// NewReplay builds a replayer for a stream-derived config
+// (ConfigFromWireHeader, plus AnalyzerWorkers/SharedPrep layered on by
+// the caller). With AnalyzerWorkers ≥ 2 analysis runs through the same
+// pipeline a live System would use.
+func NewReplay(cfg Config) *Replay {
+	r := &Replay{
+		cfg:         cfg,
+		met:         newMetrics(),
+		profiledPCs: make(map[uint64]bool),
+	}
+	r.an = NewAnalyzer(&r.cfg)
+	r.an.met = r.met
+	if cfg.HistoryWindows >= 0 {
+		r.an.hist = newHistory(cfg.HistoryWindows, cfg.PhaseMissDelta, cfg.PhaseChurnDelta)
+	}
+	if cfg.AnalyzerWorkers >= 2 {
+		r.pool = newAnalyzerPool(r.an, nil, r.met, nil, cfg.AnalyzerWorkers, cfg.SharedPrep)
+	}
+	return r
+}
+
+// invocation applies one recorded invocation: the exact sequence either
+// in-process path runs, minus the guest.
+func (r *Replay) invocation(cycles uint64, profs []*AddressProfile, alphas []float64) {
+	for _, p := range profs {
+		for _, pc := range p.Ops {
+			r.profiledPCs[pc] = true
+		}
+	}
+	r.profiles += len(profs)
+	if r.pool != nil {
+		cost := r.cfg.AnalyzerFixed
+		jobs := make([]*analysisJob, len(profs))
+		for i, p := range profs {
+			cost += r.cfg.AnalyzerPerRef * uint64(p.Recorded())
+			jobs[i] = &analysisJob{profile: p, alpha: alphas[i]}
+		}
+		r.pool.submit(cycles, cost, jobs)
+		return
+	}
+	r.an.BeginInvocation(cycles)
+	for i, p := range profs {
+		r.an.analyzeWithPrep(p, alphas[i], nil)
+	}
+	r.an.captureWindow(cycles, nil)
+}
+
+// ReplayShard is what one consumed stream carried besides analyzer input:
+// the capture side's streamed phase history (as recorded there — it may
+// include working-set lines a replay could not recompute) and the run
+// trailer. Trailer counts sum and PC sets union across shards; the
+// introspect layer owns that accounting.
+type ReplayShard struct {
+	History HistoryView
+	Trailer wire.Trailer
+}
+
+// Consume replays one stream (after its header has been read and
+// validated by the caller) into the analyzer. On a decode error the
+// analyzer keeps whatever invocations were applied before the bad frame —
+// the caller decides whether a partially-applied shard poisons the
+// session. The replayer stays usable for further shards after a clean
+// consume.
+func (r *Replay) Consume(dec *wire.Decoder) (*ReplayShard, error) {
+	shard := &ReplayShard{}
+	var meta *wire.HistoryMeta
+	var windows []WindowSummary
+	var pendCycles uint64
+	pendLeft := -1
+	for {
+		start := time.Now()
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t := rec.(type) {
+		case *wire.Invocation:
+			pendCycles = t.Cycles
+			pendLeft = t.Profiles
+			r.profs = r.profs[:0]
+			r.alphas = r.alphas[:0]
+			if pendLeft == 0 {
+				r.invocation(pendCycles, nil, nil)
+			}
+		case *wire.Profile:
+			// The decoder's grammar guarantees profiles only follow an
+			// invocation that still expects them.
+			r.profs = append(r.profs, profileFromWire(t))
+			r.alphas = append(r.alphas, t.Alpha)
+			pendLeft--
+			if pendLeft == 0 {
+				r.invocation(pendCycles, r.profs, r.alphas)
+			}
+		case *wire.HistoryMeta:
+			meta = t
+		case *wire.Window:
+			windows = append(windows, windowFromWire(t))
+		case *wire.Trailer:
+			shard.Trailer = *t
+		}
+		if r.OnFrame != nil {
+			r.OnFrame(time.Since(start))
+		}
+	}
+	hv := HistoryView{Schema: historySchema, Windows: []WindowSummary{}}
+	if meta != nil {
+		if meta.Total < uint64(len(windows)) {
+			return nil, fmt.Errorf("wire: history meta total %d < %d framed windows", meta.Total, len(windows))
+		}
+		hv.Total = meta.Total
+		hv.Dropped = meta.Total - uint64(len(windows))
+		hv.Cap = meta.Cap
+		hv.PhaseChanges = meta.PhaseChanges
+		if len(windows) > 0 {
+			hv.Windows = windows
+		}
+	}
+	shard.History = hv
+	return shard, nil
+}
+
+// Sync blocks until every invocation consumed so far has been analyzed;
+// the pipeline (if any) stays up for further shards. Analyzer-derived
+// state (Report, History) is consistent after a Sync until the next
+// Consume.
+func (r *Replay) Sync() {
+	if r.pool != nil {
+		r.pool.drain()
+	}
+}
+
+// Close drains and stops the pipeline (detaching its SharedPrep lane, if
+// any). Further Consume calls fall back to inline analysis — reports are
+// identical either way.
+func (r *Replay) Close() {
+	if r.pool != nil {
+		r.pool.close()
+		r.pool = nil
+	}
+}
+
+// History returns the replay-side recomputed phase history (windows the
+// replayed invocations re-captured — not the streamed capture-side
+// history, which ReplayShard carries).
+func (r *Replay) History() HistoryView {
+	r.Sync()
+	return r.an.hist.View()
+}
+
+// Metrics exposes the replayer's self-observability registry (pipeline
+// gauges, analyzer counters) for the session /metrics surface.
+func (r *Replay) Metrics() *Metrics { return r.met }
+
+// Report assembles the run report: analyzer state recomputed by the
+// replay, plus the accounting only the capture process knew, carried in
+// (and, across shards, merged from) the stream trailers.
+func (r *Replay) Report(tracesSeen, candidateOps int, instrumentEvents uint64) *Report {
+	r.Sync()
+	return &Report{
+		Delinquent:          r.an.Delinquent(),
+		Strides:             r.an.Strides(),
+		OpStats:             r.an.OpStats(),
+		SimMissRatio:        r.an.MissRatio(),
+		ProfiledOps:         len(r.profiledPCs),
+		CandidateOps:        candidateOps,
+		ProfilesCollected:   r.profiles,
+		AnalyzerInvocations: r.an.Invocations,
+		InstrumentEvents:    int(instrumentEvents),
+		TracesSeen:          tracesSeen,
+		SimulatedRefs:       r.an.SimulatedRefs,
+		Flushes:             r.an.Flushes,
+	}
+}
+
+// HWMissRatio recomputes a hardware-model miss ratio from raw trailer
+// counts through the same cache.Stats arithmetic the live path uses, so
+// the replayed float is bit-identical to the in-process one.
+func HWMissRatio(accesses, misses uint64) float64 {
+	return cache.LevelStats{Accesses: accesses, Misses: misses}.MissRatio()
+}

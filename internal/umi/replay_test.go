@@ -1,0 +1,282 @@
+package umi
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"umi/internal/cache"
+	"umi/internal/program"
+	"umi/internal/rio"
+	"umi/internal/vm"
+	"umi/internal/wire"
+)
+
+// emitUMI runs a guest with stream emission enabled and returns the live
+// system plus the recorded umi-profile/v1 stream — the capture side of
+// every replay test.
+func emitUMI(t *testing.T, p *program.Program, cfg Config) (*System, *rio.Runtime, []byte) {
+	t.Helper()
+	h := cache.NewP4(false)
+	m := vm.New(p, h)
+	rt := rio.NewRuntime(m)
+	s := Attach(rt, cfg)
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	enc.Header(WireHeader(&cfg, p.Name, "p4"))
+	s.EnableWireEmit(enc)
+	if err := rt.Run(50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s.Finish()
+	s.EmitWireTail(enc, wire.Trailer{
+		GuestCycles: rt.M.Cycles,
+		TotalCycles: rt.TotalCycles(),
+		Instrs:      m.Instrs,
+		HWAccesses:  h.L2Stats.Accesses,
+		HWMisses:    h.L2Stats.Misses,
+		HWEvictions: h.L2.Stats().Evictions,
+	})
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("encoder flush: %v", err)
+	}
+	return s, rt, buf.Bytes()
+}
+
+// reportKey fingerprints a Report the way the pipeline-equivalence tests
+// do, but from the report alone so live and replayed runs compare on
+// equal footing.
+func reportKey(r *Report) string {
+	return fmt.Sprintf("del=%d miss=%v refs=%d flush=%d inv=%d prof=%d profops=%d cand=%d traces=%d instr=%d",
+		len(r.Delinquent), r.SimMissRatio, r.SimulatedRefs, r.Flushes,
+		r.AnalyzerInvocations, r.ProfilesCollected, r.ProfiledOps,
+		r.CandidateOps, r.TracesSeen, r.InstrumentEvents)
+}
+
+// replayStream decodes one recorded stream into a fresh Replay at the
+// given worker count and returns the replayed report, the replayer, and
+// the shard.
+func replayStream(t *testing.T, stream []byte, workers int) (*Report, *Replay, *ReplayShard) {
+	t.Helper()
+	dec := wire.NewDecoder(bytes.NewReader(stream))
+	h, err := dec.Header()
+	if err != nil {
+		t.Fatalf("decode header: %v", err)
+	}
+	cfg, err := ConfigFromWireHeader(h)
+	if err != nil {
+		t.Fatalf("ConfigFromWireHeader: %v", err)
+	}
+	cfg.AnalyzerWorkers = workers
+	r := NewReplay(cfg)
+	defer r.Close()
+	shard, err := r.Consume(dec)
+	if err != nil {
+		t.Fatalf("Consume: %v", err)
+	}
+	tr := shard.Trailer
+	rep := r.Report(len(tr.TracePCs), len(tr.CandidatePCs), tr.InstrumentEvents)
+	return rep, r, shard
+}
+
+// TestReplayMatchesInline is the wire format's load-bearing contract: a
+// recorded stream replayed through umi.Replay reproduces the capture
+// process's report — every analyzer-derived quantity, the full delinquent
+// set, stride table, and op stats — and the recomputed phase history
+// equals the live one. Checked at several replay worker counts, since the
+// replayed pipeline must preserve the same determinism the live one does.
+func TestReplayMatchesInline(t *testing.T) {
+	prog := strideWorkload(t, 600_000)
+	sys, _, stream := emitUMI(t, prog, testConfig())
+	live := sys.Report()
+	liveKey := reportKey(live)
+	liveHist := sys.History()
+
+	for _, workers := range []int{0, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rep, r, shard := replayStream(t, stream, workers)
+			if got := reportKey(rep); got != liveKey {
+				t.Errorf("replayed report key diverges:\n live   %s\n replay %s", liveKey, got)
+			}
+			if !reflect.DeepEqual(rep.Delinquent, live.Delinquent) {
+				t.Errorf("delinquent sets differ: live %v replay %v", live.Delinquent, rep.Delinquent)
+			}
+			if !reflect.DeepEqual(rep.Strides, live.Strides) {
+				t.Errorf("stride tables differ")
+			}
+			if !reflect.DeepEqual(rep.OpStats, live.OpStats) {
+				t.Errorf("op stats differ")
+			}
+			// The replay re-captures windows from the same invocations, so
+			// its recomputed history matches the live one; the shard also
+			// carries the capture side's streamed history verbatim.
+			if got := r.History(); !reflect.DeepEqual(got, liveHist) {
+				t.Errorf("recomputed history diverges:\n live   %+v\n replay %+v", liveHist, got)
+			}
+			if !reflect.DeepEqual(shard.History, liveHist) {
+				t.Errorf("streamed history diverges:\n live   %+v\n stream %+v", liveHist, shard.History)
+			}
+			// Hardware-model scalars survive via raw trailer counts.
+			if shard.Trailer.HWAccesses == 0 {
+				t.Error("trailer carried no hardware accesses")
+			}
+		})
+	}
+}
+
+// TestReplayEmitDisabledIdentical: enabling emission must not perturb the
+// run — the observer effect the telemetry layer promises to avoid.
+func TestReplayEmitDisabledIdentical(t *testing.T) {
+	prog := strideWorkload(t, 300_000)
+	silent, rtS := runUMI(t, prog, testConfig())
+	emitted, rtE, _ := emitUMI(t, prog, testConfig())
+	if a, b := systemKey(silent, rtS), systemKey(emitted, rtE); a != b {
+		t.Errorf("emission perturbed the run:\n silent %s\n emit   %s", a, b)
+	}
+}
+
+// TestReplayEmitWorkerInvariance: the recorded stream must be
+// byte-identical whatever the capture-side pipeline width, because
+// emission happens on the guest thread before the analysis paths branch.
+func TestReplayEmitWorkerInvariance(t *testing.T) {
+	prog := manyLoopsWorkload(t, 8, 30_000)
+	var base []byte
+	for _, workers := range []int{0, 2, 4} {
+		cfg := testConfig()
+		cfg.AnalyzerWorkers = workers
+		_, _, stream := emitUMI(t, prog, cfg)
+		if base == nil {
+			base = stream
+			continue
+		}
+		if !bytes.Equal(base, stream) {
+			t.Errorf("stream at workers=%d differs from workers=0 (%d vs %d bytes)",
+				workers, len(stream), len(base))
+		}
+	}
+}
+
+// TestReplayShardMerge feeds the same stream twice into one Replay: the
+// analysis must carry across shards exactly as it carries across
+// invocations (twice the invocations and refs, one logical run).
+func TestReplayShardMerge(t *testing.T) {
+	prog := strideWorkload(t, 300_000)
+	sys, _, stream := emitUMI(t, prog, testConfig())
+	live := sys.Report()
+
+	dec := wire.NewDecoder(bytes.NewReader(stream))
+	h, err := dec.Header()
+	if err != nil {
+		t.Fatalf("decode header: %v", err)
+	}
+	cfg, err := ConfigFromWireHeader(h)
+	if err != nil {
+		t.Fatalf("ConfigFromWireHeader: %v", err)
+	}
+	r := NewReplay(cfg)
+	if _, err := r.Consume(dec); err != nil {
+		t.Fatalf("first shard: %v", err)
+	}
+	dec2 := wire.NewDecoder(bytes.NewReader(stream))
+	if _, err := dec2.Header(); err != nil {
+		t.Fatalf("second header: %v", err)
+	}
+	if _, err := r.Consume(dec2); err != nil {
+		t.Fatalf("second shard: %v", err)
+	}
+	rep := r.Report(live.TracesSeen, live.CandidateOps, uint64(2*live.InstrumentEvents))
+	if rep.AnalyzerInvocations != 2*live.AnalyzerInvocations {
+		t.Errorf("invocations = %d, want %d", rep.AnalyzerInvocations, 2*live.AnalyzerInvocations)
+	}
+	if rep.SimulatedRefs != 2*live.SimulatedRefs {
+		t.Errorf("refs = %d, want %d", rep.SimulatedRefs, 2*live.SimulatedRefs)
+	}
+	if rep.ProfilesCollected != 2*live.ProfilesCollected {
+		t.Errorf("profiles = %d, want %d", rep.ProfilesCollected, 2*live.ProfilesCollected)
+	}
+}
+
+// TestReplayConsumeDecodeError: a corrupt stream surfaces the decode
+// error from Consume; frames before the corruption stay applied.
+func TestReplayConsumeDecodeError(t *testing.T) {
+	prog := strideWorkload(t, 300_000)
+	_, _, stream := emitUMI(t, prog, testConfig())
+	cut := stream[:len(stream)/2]
+	dec := wire.NewDecoder(bytes.NewReader(cut))
+	h, err := dec.Header()
+	if err != nil {
+		t.Fatalf("decode header: %v", err)
+	}
+	cfg, err := ConfigFromWireHeader(h)
+	if err != nil {
+		t.Fatalf("ConfigFromWireHeader: %v", err)
+	}
+	r := NewReplay(cfg)
+	if _, err := r.Consume(dec); err == nil {
+		t.Fatal("Consume accepted a truncated stream")
+	}
+}
+
+// TestConfigFromWireHeaderRejections: malformed headers must be rejected
+// before a replay session is built from them.
+func TestConfigFromWireHeaderRejections(t *testing.T) {
+	cfg := testConfig()
+	good := WireHeader(&cfg, "w", "m")
+	cases := []struct {
+		name   string
+		mutate func(*wire.Header)
+	}{
+		{"zero cache size", func(h *wire.Header) { h.CacheSize = 0 }},
+		{"huge cache size", func(h *wire.Header) { h.CacheSize = 1 << 40 }},
+		{"assoc too wide", func(h *wire.Header) { h.CacheAssoc = 128 }},
+		{"line too long", func(h *wire.Header) { h.CacheLine = 1 << 20 }},
+		{"non-power-of-two line", func(h *wire.Header) { h.CacheLine = 48 }},
+		{"bad policy", func(h *wire.Header) { h.CachePolicy = 200 }},
+		{"warmup out of range", func(h *wire.Header) { h.WarmupRows = wire.MaxProfileRows + 1 }},
+		{"history out of range", func(h *wire.Header) { h.HistoryWindows = wire.MaxHistoryWindows + 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := good
+			tc.mutate(&h)
+			if _, err := ConfigFromWireHeader(h); err == nil {
+				t.Errorf("header %+v accepted", h)
+			}
+		})
+	}
+	if _, err := ConfigFromWireHeader(good); err != nil {
+		t.Errorf("valid header rejected: %v", err)
+	}
+	// Negative history disables capture, normalized to -1.
+	neg := good
+	neg.HistoryWindows = -7
+	c, err := ConfigFromWireHeader(neg)
+	if err != nil {
+		t.Fatalf("negative history rejected: %v", err)
+	}
+	if c.HistoryWindows != -1 {
+		t.Errorf("HistoryWindows = %d, want -1", c.HistoryWindows)
+	}
+}
+
+// TestReplayConfigKey: shard-compat keys ignore the informational names
+// but pin every analyzer-relevant field.
+func TestReplayConfigKey(t *testing.T) {
+	cfg := testConfig()
+	a := WireHeader(&cfg, "w1", "m1")
+	b := WireHeader(&cfg, "w2", "m2")
+	if ReplayConfigKey(a) != ReplayConfigKey(b) {
+		t.Error("keys differ on informational fields")
+	}
+	c := a
+	c.CacheSize *= 2
+	if ReplayConfigKey(a) == ReplayConfigKey(c) {
+		t.Error("keys match across cache geometries")
+	}
+	d := a
+	d.PhaseMissDelta += 0.001
+	if ReplayConfigKey(a) == ReplayConfigKey(d) {
+		t.Error("keys match across phase thresholds")
+	}
+}

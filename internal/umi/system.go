@@ -9,6 +9,7 @@ import (
 	"umi/internal/metrics"
 	"umi/internal/rio"
 	"umi/internal/tracelog"
+	"umi/internal/wire"
 )
 
 // traceState tracks one code trace through the UMI lifecycle.
@@ -82,6 +83,14 @@ type System struct {
 	// keyed to the modelled cycle clock and never feeds back into modelled
 	// state, so trace-on and trace-off reports are byte-identical.
 	tlog *tracelog.Log
+
+	// wenc, when non-nil, records every analyzer invocation's inputs as a
+	// umi-profile/v1 stream (EnableWireEmit / wire.go). Emission happens on
+	// the guest thread before either analysis path consumes the profiles,
+	// with the same cycle stamp both paths use, so the recorded stream is
+	// byte-identical at any worker count — and, like met/tlog, it never
+	// feeds back into modelled state.
+	wenc *wire.Encoder
 }
 
 // Attach installs UMI onto the runtime. It must be called before the
@@ -336,6 +345,7 @@ func (s *System) asyncActive() bool {
 // and charges the modelled analysis cost.
 func (s *System) runAnalyzer(trigger *traceState) {
 	live := s.liveTraces()
+	s.emitInvocation(live)
 	s.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerBegin,
 		Cycles: s.rt.M.Cycles, Arg1: uint64(len(live))})
 	if s.asyncActive() {

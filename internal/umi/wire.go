@@ -1,0 +1,230 @@
+package umi
+
+import (
+	"fmt"
+	"sort"
+
+	"umi/internal/cache"
+	"umi/internal/wire"
+)
+
+// umi-profile/v1 bridging: conversions between the in-process types and
+// the wire records (internal/wire), the System-side emit hook plumbing,
+// and the header↔Config mapping that makes a stream self-describing. The
+// contract throughout is that emit is observational — an emitting run
+// reports exactly what a silent run reports — and that a stream carries
+// everything the analyzer consumed, so a replay reproduces the analyzer's
+// end state byte for byte.
+
+// WireHeader captures the analyzer-relevant configuration (plus the
+// informational workload/machine names) into a stream header. A replay
+// built from this header analyzes exactly as the capture process did.
+func WireHeader(cfg *Config, workload, machine string) wire.Header {
+	return wire.Header{
+		Workload:        workload,
+		Machine:         machine,
+		CacheName:       cfg.MiniSimCache.Name,
+		CacheSize:       uint64(cfg.MiniSimCache.Size),
+		CacheAssoc:      uint64(cfg.MiniSimCache.Assoc),
+		CacheLine:       uint64(cfg.MiniSimCache.LineSize),
+		CachePolicy:     uint8(cfg.MiniSimCache.Policy),
+		WarmupRows:      uint64(cfg.WarmupRows),
+		FlushCycleGap:   cfg.FlushCycleGap,
+		AnalyzerPerRef:  cfg.AnalyzerPerRef,
+		AnalyzerFixed:   cfg.AnalyzerFixed,
+		HistoryWindows:  int64(cfg.HistoryWindows),
+		PhaseMissDelta:  cfg.PhaseMissDelta,
+		PhaseChurnDelta: cfg.PhaseChurnDelta,
+	}
+}
+
+// ConfigFromWireHeader validates a received header and rebuilds the
+// analyzer-relevant Config a replay needs. Fields that only steer guest
+// execution (sampling, thresholds, costs charged to the guest) stay zero:
+// a replay has no guest. The caller layers on AnalyzerWorkers/SharedPrep.
+func ConfigFromWireHeader(h wire.Header) (Config, error) {
+	const maxCacheBytes = 1 << 30
+	if h.CacheSize == 0 || h.CacheSize > maxCacheBytes {
+		return Config{}, fmt.Errorf("wire header: cache size %d out of range (1..%d)", h.CacheSize, maxCacheBytes)
+	}
+	if h.CacheAssoc > 64 || h.CacheLine > 1<<16 {
+		return Config{}, fmt.Errorf("wire header: cache geometry assoc=%d line=%d out of range", h.CacheAssoc, h.CacheLine)
+	}
+	cc := cache.Config{
+		Name:     h.CacheName,
+		Size:     int(h.CacheSize),
+		Assoc:    int(h.CacheAssoc),
+		LineSize: int(h.CacheLine),
+		Policy:   cache.Policy(h.CachePolicy),
+	}
+	if err := cc.Validate(); err != nil {
+		return Config{}, fmt.Errorf("wire header: %w", err)
+	}
+	if h.WarmupRows > wire.MaxProfileRows {
+		return Config{}, fmt.Errorf("wire header: warmup rows %d out of range", h.WarmupRows)
+	}
+	if h.HistoryWindows > wire.MaxHistoryWindows {
+		return Config{}, fmt.Errorf("wire header: history windows %d out of range", h.HistoryWindows)
+	}
+	hw := int(h.HistoryWindows)
+	if h.HistoryWindows < 0 {
+		hw = -1 // any negative value disables capture; normalize
+	}
+	return Config{
+		MiniSimCache:    cc,
+		WarmupRows:      int(h.WarmupRows),
+		FlushCycleGap:   h.FlushCycleGap,
+		AnalyzerPerRef:  h.AnalyzerPerRef,
+		AnalyzerFixed:   h.AnalyzerFixed,
+		HistoryWindows:  hw,
+		PhaseMissDelta:  h.PhaseMissDelta,
+		PhaseChurnDelta: h.PhaseChurnDelta,
+	}, nil
+}
+
+// ReplayConfigKey renders the analyzer-relevant header fields as a
+// comparable string: two shards may merge into one replay session only
+// when their keys match (the informational workload/machine names are
+// free to differ across a fleet).
+func ReplayConfigKey(h wire.Header) string {
+	return fmt.Sprintf("%s/%d/%d/%d/p%d w%d g%d r%d f%d h%d md%x cd%x",
+		h.CacheName, h.CacheSize, h.CacheAssoc, h.CacheLine, h.CachePolicy,
+		h.WarmupRows, h.FlushCycleGap, h.AnalyzerPerRef, h.AnalyzerFixed,
+		h.HistoryWindows, h.PhaseMissDelta, h.PhaseChurnDelta)
+}
+
+// wireProfile views a recorded profile as a wire record. The encoder
+// copies everything out during the call, so aliasing the live profile's
+// backing arrays is safe — and keeps emit allocation-free.
+func wireProfile(p *AddressProfile, alpha float64) wire.Profile {
+	return wire.Profile{
+		Alpha:  alpha,
+		PCs:    p.Ops,
+		IsLoad: p.IsLoadOp,
+		Rows:   p.rowUsed,
+		Cells:  p.cells[:p.rowUsed*len(p.Ops)],
+	}
+}
+
+// profileFromWire adopts a decoded profile record, taking ownership of
+// its slices (the decoder allocates fresh ones per record): zero-copy
+// from frame to analyzer input.
+func profileFromWire(wp *wire.Profile) *AddressProfile {
+	return &AddressProfile{
+		Ops:      wp.PCs,
+		IsLoadOp: wp.IsLoad,
+		cells:    wp.Cells,
+		rowCap:   wp.Rows,
+		rowUsed:  wp.Rows,
+		recorded: wp.Recorded,
+	}
+}
+
+// windowToWire and windowFromWire map WindowSummary onto its frame, field
+// for field.
+func windowToWire(w WindowSummary) wire.Window {
+	return wire.Window{
+		Invocation:      w.Invocation,
+		Cycles:          w.Cycles,
+		Refs:            w.Refs,
+		Accesses:        w.Accesses,
+		Misses:          w.Misses,
+		WindowMissRatio: w.WindowMissRatio,
+		CumMissRatio:    w.CumMissRatio,
+		Delinquent:      w.Delinquent,
+		NewDelinquent:   w.NewDelinquent,
+		DelinquentHash:  w.DelinquentHash,
+		Jaccard:         w.Jaccard,
+		PhaseChange:     w.PhaseChange,
+		StridedLoads:    w.StridedLoads,
+		TopStride:       w.TopStride,
+		WSLines:         w.WSLines,
+	}
+}
+
+func windowFromWire(w *wire.Window) WindowSummary {
+	return WindowSummary{
+		Invocation:      w.Invocation,
+		Cycles:          w.Cycles,
+		Refs:            w.Refs,
+		Accesses:        w.Accesses,
+		Misses:          w.Misses,
+		WindowMissRatio: w.WindowMissRatio,
+		CumMissRatio:    w.CumMissRatio,
+		Delinquent:      w.Delinquent,
+		NewDelinquent:   w.NewDelinquent,
+		DelinquentHash:  w.DelinquentHash,
+		Jaccard:         w.Jaccard,
+		PhaseChange:     w.PhaseChange,
+		StridedLoads:    w.StridedLoads,
+		TopStride:       w.TopStride,
+		WSLines:         w.WSLines,
+	}
+}
+
+// EnableWireEmit attaches a stream encoder: from now on every analyzer
+// invocation is recorded (hand-off cycle stamp plus each live profile,
+// in the fixed merge order) before it is analyzed. Emission runs on the
+// guest thread at the same point both analysis paths branch from, so the
+// recorded stream — like the report — is identical at any worker count,
+// and emit-on runs report exactly what emit-off runs report. Call before
+// the runtime starts; pair with EmitWireTail after Finish. Encoder errors
+// are sticky and surface from the encoder's Flush.
+func (s *System) EnableWireEmit(enc *wire.Encoder) { s.wenc = enc }
+
+// emitInvocation records one invocation's inputs, if emit is enabled.
+func (s *System) emitInvocation(live []*traceState) {
+	if s.wenc == nil {
+		return
+	}
+	s.wenc.Invocation(s.rt.M.Cycles, len(live))
+	for _, ts := range live {
+		s.wenc.Profile(wireProfile(ts.profile, ts.alpha))
+	}
+}
+
+// EmitWireTail writes the stream tail after Finish: the framed phase
+// history and the trailer. The caller fills the machine-level trailer
+// fields (cycles, instructions, hardware-model L2 counts); the System
+// adds its own run accounting — the instrument-event count and the
+// candidate/trace PC sets whose cardinalities the report cites.
+func (s *System) EmitWireTail(enc *wire.Encoder, t wire.Trailer) {
+	hv := s.History()
+	enc.History(wire.HistoryMeta{
+		Total:        hv.Total,
+		PhaseChanges: hv.PhaseChanges,
+		Cap:          hv.Cap,
+		Windows:      len(hv.Windows),
+	})
+	for _, w := range hv.Windows {
+		enc.Window(windowToWire(w))
+	}
+	t.InstrumentEvents = uint64(s.instrumentEvents)
+	t.CandidatePCs = sortedPCSet(s.candidatePCs)
+	t.TracePCs = s.TracePCs()
+	enc.Trailer(t)
+}
+
+// CandidatePCs returns the unique load/store PCs seen in traces, sorted
+// ascending (Report.CandidateOps is its cardinality).
+func (s *System) CandidatePCs() []uint64 { return sortedPCSet(s.candidatePCs) }
+
+// TracePCs returns the start PCs of every trace seen, sorted ascending
+// (Report.TracesSeen is its cardinality).
+func (s *System) TracePCs() []uint64 {
+	pcs := make([]uint64, 0, len(s.traces))
+	for pc := range s.traces {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+func sortedPCSet(set map[uint64]bool) []uint64 {
+	pcs := make([]uint64, 0, len(set))
+	for pc := range set {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}

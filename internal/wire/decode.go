@@ -1,0 +1,546 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Decoder reads one umi-profile/v1 stream record by record. It reads one
+// frame at a time into a reusable buffer — never the whole stream — so
+// memory stays bounded by the per-frame limits regardless of input size.
+// Malformed input (bad magic, unknown version or frame type, frames out
+// of grammar order, over-limit sizes, non-canonical encodings, truncation,
+// trailing bytes) is an error from Header or Next; the decoder never
+// panics on any input.
+type Decoder struct {
+	r      *bufio.Reader
+	buf    []byte // frame payload scratch, reused
+	err    error  // sticky
+	frames uint64
+	bytes  uint64
+
+	gotHeader       bool
+	pendingProfiles int
+	historySeen     bool
+	pendingWindows  int
+	done            bool
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Frames reports how many frames have been decoded so far (header
+// included).
+func (d *Decoder) Frames() uint64 { return d.frames }
+
+// Bytes reports how many stream bytes the decoded frames span (magic and
+// version included).
+func (d *Decoder) Bytes() uint64 { return d.bytes }
+
+func (d *Decoder) fail(format string, args ...any) error {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: decode: "+format, args...)
+	}
+	return d.err
+}
+
+// failTruncated wraps a raw-read error, mapping bare EOF mid-structure to
+// ErrUnexpectedEOF: inside a frame, running out of bytes is truncation.
+func (d *Decoder) failTruncated(what string, err error) error {
+	if errors.Is(err, io.EOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: decode: %s: %w", what, err)
+	}
+	return d.err
+}
+
+// Header consumes the stream preamble and the header frame. It must be
+// called once, before Next.
+func (d *Decoder) Header() (Header, error) {
+	if d.err != nil {
+		return Header{}, d.err
+	}
+	if d.gotHeader {
+		return Header{}, d.fail("Header called twice")
+	}
+	var magic [5]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return Header{}, d.failTruncated("magic", err)
+	}
+	d.bytes += 5
+	if string(magic[:4]) != Magic {
+		return Header{}, d.fail("bad magic %q", magic[:4])
+	}
+	if magic[4] != Version {
+		return Header{}, d.fail("unsupported version 0x%02x (want 0x%02x)", magic[4], Version)
+	}
+	typ, payload, err := d.readFrame()
+	if err != nil {
+		return Header{}, err
+	}
+	if typ != frameHeader {
+		return Header{}, d.fail("first frame type 0x%02x, want header", typ)
+	}
+	c := cursor{d: d, b: payload}
+	var h Header
+	h.Workload = c.str()
+	h.Machine = c.str()
+	h.CacheName = c.str()
+	h.CacheSize = c.uvarint()
+	h.CacheAssoc = c.uvarint()
+	h.CacheLine = c.uvarint()
+	h.CachePolicy = c.byte()
+	h.WarmupRows = c.uvarint()
+	h.FlushCycleGap = c.uvarint()
+	h.AnalyzerPerRef = c.uvarint()
+	h.AnalyzerFixed = c.uvarint()
+	h.HistoryWindows = c.zigzag()
+	h.PhaseMissDelta = c.f64()
+	h.PhaseChurnDelta = c.f64()
+	if err := c.finish("header"); err != nil {
+		return Header{}, err
+	}
+	d.gotHeader = true
+	return h, nil
+}
+
+// Next returns the next record: one of *Invocation, *Profile,
+// *HistoryMeta, *Window, *Trailer. After the trailer it verifies the
+// stream ends and returns io.EOF. Slices in returned records are freshly
+// allocated and owned by the caller.
+func (d *Decoder) Next() (Record, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if !d.gotHeader {
+		return nil, d.fail("Next before Header")
+	}
+	if d.done {
+		return nil, io.EOF
+	}
+	typ, payload, err := d.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	// Grammar: an invocation's declared profiles and a history section's
+	// declared windows must follow immediately and exactly.
+	switch {
+	case d.pendingProfiles > 0 && typ != frameProfile:
+		return nil, d.fail("frame type 0x%02x while %d profiles still expected", typ, d.pendingProfiles)
+	case d.pendingWindows > 0 && typ != frameWindow:
+		return nil, d.fail("frame type 0x%02x while %d windows still expected", typ, d.pendingWindows)
+	}
+	c := cursor{d: d, b: payload}
+	switch typ {
+	case frameInvocation:
+		if d.historySeen {
+			return nil, d.fail("invocation frame after history section")
+		}
+		inv := &Invocation{Cycles: c.uvarint()}
+		inv.Profiles = c.count("invocation profiles", MaxInvocationProfiles)
+		if err := c.finish("invocation"); err != nil {
+			return nil, err
+		}
+		d.pendingProfiles = inv.Profiles
+		return inv, nil
+	case frameProfile:
+		if d.pendingProfiles == 0 {
+			return nil, d.fail("profile frame without a pending invocation")
+		}
+		p, err := d.decodeProfile(&c)
+		if err != nil {
+			return nil, err
+		}
+		d.pendingProfiles--
+		return p, nil
+	case frameHistory:
+		if d.historySeen {
+			return nil, d.fail("second history frame")
+		}
+		m := &HistoryMeta{Total: c.uvarint(), PhaseChanges: c.uvarint()}
+		m.Cap = c.count("history cap", MaxHistoryWindows)
+		m.Windows = c.count("history windows", MaxHistoryWindows)
+		if err := c.finish("history"); err != nil {
+			return nil, err
+		}
+		d.historySeen = true
+		d.pendingWindows = m.Windows
+		return m, nil
+	case frameWindow:
+		if d.pendingWindows == 0 {
+			return nil, d.fail("window frame without a pending history section")
+		}
+		w := &Window{}
+		w.Invocation = int(c.zigzag())
+		w.Cycles = c.uvarint()
+		w.Refs = c.uvarint()
+		w.Accesses = c.uvarint()
+		w.Misses = c.uvarint()
+		w.WindowMissRatio = c.f64()
+		w.CumMissRatio = c.f64()
+		w.Delinquent = int(c.zigzag())
+		w.NewDelinquent = int(c.zigzag())
+		w.DelinquentHash = c.u64()
+		w.Jaccard = c.f64()
+		w.PhaseChange = c.bool()
+		w.StridedLoads = int(c.zigzag())
+		w.TopStride = c.zigzag()
+		w.WSLines = int(c.zigzag())
+		if err := c.finish("window"); err != nil {
+			return nil, err
+		}
+		d.pendingWindows--
+		return w, nil
+	case frameTrailer:
+		t := &Trailer{
+			InstrumentEvents: c.uvarint(),
+			GuestCycles:      c.uvarint(),
+			TotalCycles:      c.uvarint(),
+			Instrs:           c.uvarint(),
+			HWAccesses:       c.uvarint(),
+			HWMisses:         c.uvarint(),
+			HWEvictions:      c.uvarint(),
+		}
+		t.CandidatePCs = c.pcSet("candidate")
+		t.TracePCs = c.pcSet("trace")
+		if err := c.finish("trailer"); err != nil {
+			return nil, err
+		}
+		// The trailer must be the last thing in the stream.
+		if _, err := d.r.ReadByte(); err == nil {
+			return nil, d.fail("trailing bytes after trailer")
+		} else if !errors.Is(err, io.EOF) {
+			return nil, d.failTruncated("after trailer", err)
+		}
+		d.done = true
+		return t, nil
+	case frameHeader:
+		return nil, d.fail("second header frame")
+	default:
+		return nil, d.fail("unknown frame type 0x%02x", typ)
+	}
+}
+
+// readFrame reads one frame header and its payload into the reusable
+// buffer.
+func (d *Decoder) readFrame() (byte, []byte, error) {
+	typ, err := d.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// Clean EOF between frames is still an invalid stream: only a
+			// trailer ends one. Report it as truncation.
+			return 0, nil, d.failTruncated("frame type", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, d.failTruncated("frame type", err)
+	}
+	n, lenBytes, err := readUvarint(d.r)
+	if err != nil {
+		return 0, nil, d.failTruncated("frame length", err)
+	}
+	if n > MaxFramePayload {
+		return 0, nil, d.fail("frame type 0x%02x payload %d exceeds MaxFramePayload %d", typ, n, MaxFramePayload)
+	}
+	if uint64(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		return 0, nil, d.failTruncated("frame payload", err)
+	}
+	d.frames++
+	d.bytes += 1 + uint64(lenBytes) + n
+	return typ, d.buf, nil
+}
+
+// decodeProfile parses a profile payload, allocating cells only after the
+// declared geometry passes the hard caps and a payload-size plausibility
+// check (every encoded cell is at least one byte), so a hostile frame
+// cannot demand memory disproportionate to its own size beyond the fixed
+// per-profile cap.
+func (d *Decoder) decodeProfile(c *cursor) (*Profile, error) {
+	p := &Profile{Alpha: c.f64()}
+	nops := c.count("profile ops", MaxProfileOps)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nops == 0 {
+		return nil, d.fail("profile has zero ops")
+	}
+	p.PCs = make([]uint64, nops)
+	p.PCs[0] = c.uvarint()
+	for i := 1; i < nops; i++ {
+		p.PCs[i] = p.PCs[i-1] + uint64(c.zigzag())
+	}
+	p.IsLoad = c.bitmapBools(nops)
+	p.Rows = c.count("profile rows", MaxProfileRows)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if p.Rows == 0 {
+		return nil, d.fail("profile has zero rows")
+	}
+	ncells := p.Rows * nops
+	if ncells > MaxProfileCells {
+		return nil, d.fail("profile %d cells exceeds MaxProfileCells %d", ncells, MaxProfileCells)
+	}
+	recorded := c.count("profile recorded", MaxProfileCells)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if recorded > ncells {
+		return nil, d.fail("profile recorded %d exceeds cells %d", recorded, ncells)
+	}
+	p.Recorded = recorded
+	if recorded == ncells { // dense
+		if c.remaining() < ncells {
+			return nil, d.fail("profile payload too short for %d dense cells", ncells)
+		}
+		p.Cells = make([]uint64, ncells)
+		for i := range p.Cells {
+			v := c.uvarint()
+			if v == NoCell {
+				return nil, d.fail("profile cell %d holds the NoCell sentinel", i)
+			}
+			p.Cells[i] = v
+		}
+	} else {
+		bitmapLen := (ncells + 7) / 8
+		if c.remaining() < bitmapLen+recorded {
+			return nil, d.fail("profile payload too short for %d sparse cells", recorded)
+		}
+		bitmap := c.bytes(bitmapLen)
+		if d.err != nil {
+			return nil, d.err
+		}
+		if popcount(bitmap) != recorded {
+			return nil, d.fail("profile presence bitmap popcount != recorded %d", recorded)
+		}
+		if trailingBitsSet(bitmap, ncells) {
+			return nil, d.fail("profile presence bitmap has bits set past cell %d", ncells)
+		}
+		p.Cells = make([]uint64, ncells)
+		for i := range p.Cells {
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				v := c.uvarint()
+				if v == NoCell {
+					return nil, d.fail("profile cell %d holds the NoCell sentinel", i)
+				}
+				p.Cells[i] = v
+			} else {
+				p.Cells[i] = NoCell
+			}
+		}
+	}
+	if err := c.finish("profile"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// readUvarint is binary.ReadUvarint plus the consumed byte count, so the
+// decoder's Bytes accounting stays exact.
+func readUvarint(r *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, i, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, i + 1, errors.New("uvarint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, binary.MaxVarintLen64, errors.New("uvarint too long")
+}
+
+func popcount(b []byte) int {
+	n := 0
+	for _, x := range b {
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func trailingBitsSet(bitmap []byte, nbits int) bool {
+	for i := nbits; i < len(bitmap)*8; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cursor parses scalars out of one frame payload, reporting the first
+// error through the decoder's sticky error (subsequent reads yield
+// zeros, so straight-line parse code needs only one check at the end).
+type cursor struct {
+	d   *Decoder
+	b   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) uvarint() uint64 {
+	if c.d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.d.fail("truncated or overlong uvarint at payload offset %d", c.off)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) zigzag() int64 { return unzigzag(c.uvarint()) }
+
+// count reads a uvarint that must fit the given cap (and the int type).
+func (c *cursor) count(what string, max int) int {
+	v := c.uvarint()
+	if c.d.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		c.d.fail("%s %d exceeds limit %d", what, v, max)
+		return 0
+	}
+	return int(v)
+}
+
+func (c *cursor) byte() uint8 {
+	if c.d.err != nil {
+		return 0
+	}
+	if c.remaining() < 1 {
+		c.d.fail("truncated byte at payload offset %d", c.off)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) bool() bool {
+	switch c.byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if c.d.err == nil {
+			c.d.fail("bool byte not 0 or 1 at payload offset %d", c.off-1)
+		}
+		return false
+	}
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) u64() uint64 {
+	if c.d.err != nil {
+		return 0
+	}
+	if c.remaining() < 8 {
+		c.d.fail("truncated u64 at payload offset %d", c.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.d.err != nil {
+		return nil
+	}
+	if c.remaining() < n {
+		c.d.fail("truncated %d-byte field at payload offset %d", n, c.off)
+		return nil
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) str() string {
+	n := c.count("string length", MaxString)
+	return string(c.bytes(n))
+}
+
+func (c *cursor) bitmapBools(n int) []bool {
+	bitmap := c.bytes((n + 7) / 8)
+	if c.d.err != nil {
+		return nil
+	}
+	if trailingBitsSet(bitmap, n) {
+		c.d.fail("bool bitmap has bits set past entry %d", n)
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = bitmap[i/8]&(1<<(i%8)) != 0
+	}
+	return out
+}
+
+// pcSet reads a sorted ascending PC set (count + plain deltas, deltas
+// after the first strictly positive).
+func (c *cursor) pcSet(what string) []uint64 {
+	n := c.count(what+" PC set size", MaxPCSet)
+	if c.d.err != nil {
+		return nil
+	}
+	if c.remaining() < n { // each delta is at least one byte
+		c.d.fail("%s PC set payload too short for %d entries", what, n)
+		return nil
+	}
+	pcs := make([]uint64, n)
+	prev := uint64(0)
+	for i := range pcs {
+		delta := c.uvarint()
+		if c.d.err != nil {
+			return nil
+		}
+		if i > 0 && delta == 0 {
+			c.d.fail("%s PC set has a duplicate entry at index %d", what, i)
+			return nil
+		}
+		pc := prev + delta
+		if i > 0 && pc < prev { // wraparound
+			c.d.fail("%s PC set delta overflows at index %d", what, i)
+			return nil
+		}
+		pcs[i] = pc
+		prev = pc
+	}
+	return pcs
+}
+
+// finish asserts the payload was fully consumed.
+func (c *cursor) finish(what string) error {
+	if c.d.err != nil {
+		return c.d.err
+	}
+	if c.off != len(c.b) {
+		return c.d.fail("%s frame has %d unconsumed payload bytes", what, len(c.b)-c.off)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Encoder writes one umi-profile/v1 stream. Frame methods buffer the
+// payload, validate it against the format limits and the stream grammar,
+// and write the framed record through an internal bufio.Writer; errors —
+// both I/O and misuse — are sticky, checked via Err or the final Flush.
+// An Encoder is single-goroutine, like the analyzer path that feeds it.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte // payload scratch, reused across frames
+	err error
+
+	wroteHeader     bool
+	pendingProfiles int // Profile frames owed to the last Invocation
+	historyWritten  bool
+	pendingWindows  int // Window frames owed to the HistoryMeta
+	done            bool
+}
+
+// NewEncoder returns an encoder writing to w. The caller owns w; Flush
+// must be called (and its error checked) before the underlying writer is
+// closed.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Err returns the first error the encoder hit, nil if none.
+func (e *Encoder) Err() error { return e.err }
+
+// Flush writes any buffered bytes through to the underlying writer and
+// returns the sticky error, reporting an incomplete stream (no trailer,
+// or owed frames) as an error so a truncated recording cannot pass
+// silently.
+func (e *Encoder) Flush() error {
+	if e.err == nil && !e.done {
+		e.fail("stream incomplete: no trailer written")
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = fmt.Errorf("wire: flush: %w", err)
+	}
+	return e.err
+}
+
+func (e *Encoder) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("wire: encode: "+format, args...)
+	}
+}
+
+// frame writes the buffered payload as one frame of the given type.
+func (e *Encoder) frame(typ byte) {
+	if e.err != nil {
+		return
+	}
+	if len(e.buf) > MaxFramePayload {
+		e.fail("frame type 0x%02x payload %d exceeds MaxFramePayload %d",
+			typ, len(e.buf), MaxFramePayload)
+		return
+	}
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(e.buf))) + 1
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		e.err = fmt.Errorf("wire: write frame: %w", err)
+		return
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		e.err = fmt.Errorf("wire: write frame: %w", err)
+	}
+}
+
+func (e *Encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *Encoder) zigzag(v int64)   { e.buf = binary.AppendUvarint(e.buf, zigzag(v)) }
+func (e *Encoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *Encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) boolByte(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+func (e *Encoder) str(s string) {
+	if len(s) > MaxString {
+		e.fail("string length %d exceeds MaxString %d", len(s), MaxString)
+		s = s[:MaxString]
+	}
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Header writes the stream preamble (magic, version) and the header
+// frame. It must be the first call on the encoder.
+func (e *Encoder) Header(h Header) {
+	if e.err != nil {
+		return
+	}
+	if e.wroteHeader {
+		e.fail("header written twice")
+		return
+	}
+	e.wroteHeader = true
+	if _, err := e.w.WriteString(Magic); err != nil {
+		e.err = fmt.Errorf("wire: write magic: %w", err)
+		return
+	}
+	if err := e.w.WriteByte(Version); err != nil {
+		e.err = fmt.Errorf("wire: write version: %w", err)
+		return
+	}
+	e.buf = e.buf[:0]
+	e.str(h.Workload)
+	e.str(h.Machine)
+	e.str(h.CacheName)
+	e.uvarint(h.CacheSize)
+	e.uvarint(h.CacheAssoc)
+	e.uvarint(h.CacheLine)
+	e.buf = append(e.buf, h.CachePolicy)
+	e.uvarint(h.WarmupRows)
+	e.uvarint(h.FlushCycleGap)
+	e.uvarint(h.AnalyzerPerRef)
+	e.uvarint(h.AnalyzerFixed)
+	e.zigzag(h.HistoryWindows)
+	e.f64(h.PhaseMissDelta)
+	e.f64(h.PhaseChurnDelta)
+	e.frame(frameHeader)
+}
+
+// ready reports whether a non-header frame may be written now.
+func (e *Encoder) ready(what string) bool {
+	if e.err != nil {
+		return false
+	}
+	switch {
+	case !e.wroteHeader:
+		e.fail("%s before header", what)
+	case e.done:
+		e.fail("%s after trailer", what)
+	default:
+		return true
+	}
+	return false
+}
+
+// Invocation writes one invocation frame declaring the profile count that
+// must follow via Profile.
+func (e *Encoder) Invocation(cycles uint64, profiles int) {
+	if !e.ready("invocation") {
+		return
+	}
+	if e.pendingProfiles > 0 {
+		e.fail("invocation while %d profiles still owed", e.pendingProfiles)
+		return
+	}
+	if e.historyWritten {
+		e.fail("invocation after history section")
+		return
+	}
+	if profiles < 0 || profiles > MaxInvocationProfiles {
+		e.fail("invocation declares %d profiles (max %d)", profiles, MaxInvocationProfiles)
+		return
+	}
+	e.buf = e.buf[:0]
+	e.uvarint(cycles)
+	e.uvarint(uint64(profiles))
+	e.frame(frameInvocation)
+	e.pendingProfiles = profiles
+}
+
+// Profile writes one profile frame. p.Recorded is ignored; the encoder
+// derives the recorded-cell count from Cells itself.
+func (e *Encoder) Profile(p Profile) {
+	if !e.ready("profile") {
+		return
+	}
+	if e.pendingProfiles == 0 {
+		e.fail("profile without a pending invocation")
+		return
+	}
+	nops := len(p.PCs)
+	switch {
+	case nops == 0 || nops > MaxProfileOps:
+		e.fail("profile has %d ops (1..%d)", nops, MaxProfileOps)
+		return
+	case len(p.IsLoad) != nops:
+		e.fail("profile IsLoad length %d != ops %d", len(p.IsLoad), nops)
+		return
+	case p.Rows <= 0 || p.Rows > MaxProfileRows:
+		e.fail("profile has %d rows (1..%d)", p.Rows, MaxProfileRows)
+		return
+	case p.Rows*nops > MaxProfileCells:
+		e.fail("profile %d cells exceeds MaxProfileCells %d", p.Rows*nops, MaxProfileCells)
+		return
+	case len(p.Cells) != p.Rows*nops:
+		e.fail("profile cells length %d != rows*ops %d", len(p.Cells), p.Rows*nops)
+		return
+	}
+	e.pendingProfiles--
+
+	e.buf = e.buf[:0]
+	e.f64(p.Alpha)
+	e.uvarint(uint64(nops))
+	e.uvarint(p.PCs[0])
+	for i := 1; i < nops; i++ {
+		e.zigzag(int64(p.PCs[i] - p.PCs[i-1]))
+	}
+	e.bitmapBools(p.IsLoad)
+	e.uvarint(uint64(p.Rows))
+	recorded := 0
+	for _, c := range p.Cells {
+		if c != NoCell {
+			recorded++
+		}
+	}
+	e.uvarint(uint64(recorded))
+	if recorded == len(p.Cells) { // dense: no presence bitmap needed
+		for _, c := range p.Cells {
+			e.uvarint(c)
+		}
+	} else {
+		e.bitmapCells(p.Cells)
+		for _, c := range p.Cells {
+			if c != NoCell {
+				e.uvarint(c)
+			}
+		}
+	}
+	e.frame(frameProfile)
+}
+
+func (e *Encoder) bitmapBools(bits []bool) {
+	n := (len(bits) + 7) / 8
+	start := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n)...)
+	for i, b := range bits {
+		if b {
+			e.buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+}
+
+func (e *Encoder) bitmapCells(cells []uint64) {
+	n := (len(cells) + 7) / 8
+	start := len(e.buf)
+	e.buf = append(e.buf, make([]byte, n)...)
+	for i, c := range cells {
+		if c != NoCell {
+			e.buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+}
+
+// History opens the phase-history section; exactly m.Windows Window
+// frames must follow.
+func (e *Encoder) History(m HistoryMeta) {
+	if !e.ready("history") {
+		return
+	}
+	if e.pendingProfiles > 0 {
+		e.fail("history while %d profiles still owed", e.pendingProfiles)
+		return
+	}
+	if e.historyWritten {
+		e.fail("history written twice")
+		return
+	}
+	if m.Windows < 0 || m.Windows > MaxHistoryWindows {
+		e.fail("history declares %d windows (max %d)", m.Windows, MaxHistoryWindows)
+		return
+	}
+	if m.Cap < 0 || m.Cap > MaxHistoryWindows {
+		e.fail("history cap %d out of range (max %d)", m.Cap, MaxHistoryWindows)
+		return
+	}
+	e.historyWritten = true
+	e.pendingWindows = m.Windows
+	e.buf = e.buf[:0]
+	e.uvarint(m.Total)
+	e.uvarint(m.PhaseChanges)
+	e.uvarint(uint64(m.Cap))
+	e.uvarint(uint64(m.Windows))
+	e.frame(frameHistory)
+}
+
+// Window writes one framed WindowSummary.
+func (e *Encoder) Window(w Window) {
+	if !e.ready("window") {
+		return
+	}
+	if e.pendingWindows == 0 {
+		e.fail("window without a pending history section")
+		return
+	}
+	e.pendingWindows--
+	e.buf = e.buf[:0]
+	e.zigzag(int64(w.Invocation))
+	e.uvarint(w.Cycles)
+	e.uvarint(w.Refs)
+	e.uvarint(w.Accesses)
+	e.uvarint(w.Misses)
+	e.f64(w.WindowMissRatio)
+	e.f64(w.CumMissRatio)
+	e.zigzag(int64(w.Delinquent))
+	e.zigzag(int64(w.NewDelinquent))
+	e.u64(w.DelinquentHash)
+	e.f64(w.Jaccard)
+	e.boolByte(w.PhaseChange)
+	e.zigzag(int64(w.StridedLoads))
+	e.zigzag(w.TopStride)
+	e.zigzag(int64(w.WSLines))
+	e.frame(frameWindow)
+}
+
+// Trailer closes the stream. No frame may follow it.
+func (e *Encoder) Trailer(t Trailer) {
+	if !e.ready("trailer") {
+		return
+	}
+	if e.pendingProfiles > 0 {
+		e.fail("trailer while %d profiles still owed", e.pendingProfiles)
+		return
+	}
+	if e.pendingWindows > 0 {
+		e.fail("trailer while %d windows still owed", e.pendingWindows)
+		return
+	}
+	e.buf = e.buf[:0]
+	e.uvarint(t.InstrumentEvents)
+	e.uvarint(t.GuestCycles)
+	e.uvarint(t.TotalCycles)
+	e.uvarint(t.Instrs)
+	e.uvarint(t.HWAccesses)
+	e.uvarint(t.HWMisses)
+	e.uvarint(t.HWEvictions)
+	e.pcSet("candidate", t.CandidatePCs)
+	e.pcSet("trace", t.TracePCs)
+	e.frame(frameTrailer)
+	e.done = true
+}
+
+// pcSet appends a sorted ascending PC set as count + plain deltas.
+func (e *Encoder) pcSet(what string, pcs []uint64) {
+	if len(pcs) > MaxPCSet {
+		e.fail("%s PC set size %d exceeds MaxPCSet %d", what, len(pcs), MaxPCSet)
+		return
+	}
+	e.uvarint(uint64(len(pcs)))
+	prev := uint64(0)
+	for i, pc := range pcs {
+		if i > 0 && pc <= prev {
+			e.fail("%s PC set not strictly ascending at index %d", what, i)
+			return
+		}
+		e.uvarint(pc - prev)
+		prev = pc
+	}
+}

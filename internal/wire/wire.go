@@ -1,0 +1,212 @@
+// Package wire defines umi-profile/v1, the compact binary stream that
+// carries one UMI run's analyzer-input telemetry out of the capture
+// process: the profiled address stream (per analyzer invocation), the
+// framed WindowSummary phase history, and the run trailer. A stream
+// recorded by `umiprof -emit` and replayed through umi.Replay — locally or
+// via the daemon's POST /sessions/{id}/ingest — reproduces the in-process
+// run's report byte for byte; that contract is what makes
+// capture-once/analyze-many (geometry sweeps over a recording, remote
+// analysis) sound.
+//
+// # Stream grammar
+//
+//	stream  := magic version frame*
+//	magic   := "UMIP" (4 bytes)
+//	version := 0x01 (1 byte)
+//	frame   := type (1 byte) · payloadLen (uvarint) · payload
+//
+// Frame order is fixed and enforced by the decoder:
+//
+//	Header (Invocation Profile{n})* [HistoryMeta Window{k}] Trailer EOF
+//
+// Each Invocation frame declares how many Profile frames follow it; a
+// HistoryMeta frame declares how many Window frames follow it; the Trailer
+// must be the final frame, with nothing after it. A stream without a
+// Trailer is truncated, and truncation is an error — a decoded stream is
+// either complete or rejected.
+//
+// # Scalar encodings
+//
+//   - uvarint: unsigned LEB128 (encoding/binary.Uvarint).
+//   - zigzag:  signed values as uvarint((v << 1) XOR (v >> 63)).
+//   - float64: IEEE-754 bits, 8 bytes little-endian (exact — miss ratios
+//     and thresholds must survive the round trip bit for bit).
+//   - u64:     8 bytes little-endian (hashes, where varint buys nothing).
+//   - string:  uvarint length then bytes (length ≤ MaxString).
+//   - bitmap:  ceil(n/8) bytes, bit i of byte i/8, LSB first; bits past n
+//     must be zero (streams are canonical).
+//
+// PC lists are delta-encoded: the first PC as uvarint, each subsequent PC
+// as the zigzag delta from its predecessor (profile op order is trace
+// order, not sorted, so deltas may be negative). Sorted PC sets in the
+// trailer use plain uvarint deltas.
+//
+// # Versioning and compatibility
+//
+// The version byte names the whole grammar. Decoders reject versions they
+// do not know; there are no in-band extension points below the version
+// byte, so any layout change — new frame type, new field, changed
+// encoding — bumps the version. Unknown frame types within a known
+// version are an error, not a skip: v1 streams have exactly the six frame
+// types below.
+//
+// # Bounds
+//
+// Every variable-length structure has a hard cap (the Max* constants), and
+// the decoder reads one frame at a time into a reusable buffer — it never
+// buffers the whole stream, so decode memory is bounded by the largest
+// single frame regardless of stream length. All malformed input surfaces
+// as an error from Header/Next; the decoder never panics.
+package wire
+
+// Magic opens every stream, followed by the version byte.
+const (
+	Magic   = "UMIP"
+	Version = 0x01
+)
+
+// Frame type bytes.
+const (
+	frameHeader     = 0x01
+	frameInvocation = 0x02
+	frameProfile    = 0x03
+	frameHistory    = 0x04
+	frameWindow     = 0x05
+	frameTrailer    = 0x06
+)
+
+// Hard limits. Encoding something larger is an encoder error; a stream
+// claiming something larger is a decode error. They bound decoder memory:
+// one frame payload plus one decoded profile's cells.
+const (
+	// MaxFramePayload caps a single frame's payload length.
+	MaxFramePayload = 4 << 20
+	// MaxString caps workload/machine name lengths in the header.
+	MaxString = 256
+	// MaxProfileOps caps profiled operations per profile frame (the
+	// in-process cap is Config.AddressProfileOps, default 256).
+	MaxProfileOps = 4096
+	// MaxProfileRows caps recorded rows per profile frame.
+	MaxProfileRows = 1 << 16
+	// MaxProfileCells caps rows × ops — the decoded cell allocation
+	// (8 bytes per cell, so at most 8 MiB per profile).
+	MaxProfileCells = 1 << 20
+	// MaxInvocationProfiles caps profiles declared by one invocation.
+	MaxInvocationProfiles = 1 << 12
+	// MaxHistoryWindows caps the window count a HistoryMeta may declare.
+	MaxHistoryWindows = 1 << 20
+	// MaxPCSet caps the trailer's candidate/trace PC set sizes.
+	MaxPCSet = 1 << 20
+)
+
+// NoCell marks an unrecorded profile cell in Profile.Cells (the trace
+// exited before that operation executed in that row). Its value matches
+// the in-process sentinel.
+const NoCell = ^uint64(0)
+
+// Header is the stream's opening frame: where the stream came from
+// (informational) and the full analyzer-relevant configuration, so a
+// replay needs nothing but the stream to reproduce the capture-side
+// analysis — and a geometry sweep overrides just the cache fields.
+type Header struct {
+	Workload string // informational: guest program name
+	Machine  string // informational: modelled platform name
+
+	CacheName   string // mini-simulator geometry (the capture host's L2)
+	CacheSize   uint64
+	CacheAssoc  uint64
+	CacheLine   uint64
+	CachePolicy uint8
+
+	WarmupRows      uint64
+	FlushCycleGap   uint64
+	AnalyzerPerRef  uint64
+	AnalyzerFixed   uint64
+	HistoryWindows  int64 // signed: negative disables history capture
+	PhaseMissDelta  float64
+	PhaseChurnDelta float64
+}
+
+// Invocation announces one analyzer invocation: the modelled cycle stamp
+// at profile hand-off and the number of Profile frames that follow, in
+// the fixed PC-sorted merge order.
+type Invocation struct {
+	Cycles   uint64
+	Profiles int
+}
+
+// Profile is one live trace's address profile at analyzer hand-off, with
+// the delinquency threshold captured alongside. Cells is the flat
+// rows × ops array in recording order; unrecorded cells hold NoCell.
+type Profile struct {
+	Alpha    float64
+	PCs      []uint64
+	IsLoad   []bool
+	Rows     int
+	Cells    []uint64
+	Recorded int // populated (non-NoCell) cells; derived during decode
+}
+
+// HistoryMeta opens the phase-history section: ring accounting plus the
+// number of Window frames that follow (the retained windows, oldest
+// first).
+type HistoryMeta struct {
+	Total        uint64
+	PhaseChanges uint64
+	Cap          int
+	Windows      int
+}
+
+// Window is one framed WindowSummary, field for field.
+type Window struct {
+	Invocation      int
+	Cycles          uint64
+	Refs            uint64
+	Accesses        uint64
+	Misses          uint64
+	WindowMissRatio float64
+	CumMissRatio    float64
+	Delinquent      int
+	NewDelinquent   int
+	DelinquentHash  uint64
+	Jaccard         float64
+	PhaseChange     bool
+	StridedLoads    int
+	TopStride       int64
+	WSLines         int
+}
+
+// Trailer closes the stream with the run-level quantities a replay cannot
+// recompute from the profile frames: machine counters, the hardware-model
+// L2 statistics (raw counts, so ratios are recomputed exactly), and the
+// candidate/trace PC sets (sorted ascending) whose cardinalities the
+// report cites. These are the shard-mergeable quantities: counts sum,
+// sets union.
+type Trailer struct {
+	InstrumentEvents uint64
+	GuestCycles      uint64
+	TotalCycles      uint64
+	Instrs           uint64
+	HWAccesses       uint64
+	HWMisses         uint64
+	HWEvictions      uint64
+	CandidatePCs     []uint64
+	TracePCs         []uint64
+}
+
+// Record is the sum type Decoder.Next yields: one of *Invocation,
+// *Profile, *HistoryMeta, *Window, or *Trailer. (The Header is returned
+// by Decoder.Header, before iteration starts.)
+type Record interface{ wireRecord() }
+
+func (*Invocation) wireRecord()  {}
+func (*Profile) wireRecord()     {}
+func (*HistoryMeta) wireRecord() {}
+func (*Window) wireRecord()      {}
+func (*Trailer) wireRecord()     {}
+
+// zigzag maps a signed value onto the unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

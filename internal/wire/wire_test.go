@@ -1,0 +1,483 @@
+package wire
+
+import (
+	"bytes"
+
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testHeader is a header exercising every field, including an exact
+// float threshold and a negative HistoryWindows.
+func testHeader() Header {
+	return Header{
+		Workload:        "470.lbm",
+		Machine:         "p4",
+		CacheName:       "L2",
+		CacheSize:       512 << 10,
+		CacheAssoc:      8,
+		CacheLine:       128,
+		CachePolicy:     1,
+		WarmupRows:      2,
+		FlushCycleGap:   1_000_000,
+		AnalyzerPerRef:  3,
+		AnalyzerFixed:   400,
+		HistoryWindows:  -1,
+		PhaseMissDelta:  0.05,
+		PhaseChurnDelta: 0.5,
+	}
+}
+
+// denseProfile fills every cell; sparseProfile leaves holes.
+func denseProfile() Profile {
+	p := Profile{
+		Alpha:  0.9,
+		PCs:    []uint64{0x400100, 0x400090, 0x400200}, // trace order, not sorted
+		IsLoad: []bool{true, false, true},
+		Rows:   4,
+	}
+	p.Cells = make([]uint64, p.Rows*len(p.PCs))
+	for i := range p.Cells {
+		p.Cells[i] = 0x7f_0000_0000 + uint64(i)*64
+	}
+	return p
+}
+
+func sparseProfile() Profile {
+	p := denseProfile()
+	p.Alpha = 0.4
+	p.Cells = append([]uint64(nil), p.Cells...)
+	p.Cells[1] = NoCell
+	p.Cells[7] = NoCell
+	p.Cells[11] = NoCell
+	return p
+}
+
+func testWindow(i int) Window {
+	return Window{
+		Invocation:      i,
+		Cycles:          uint64(1000 * i),
+		Refs:            uint64(12 * i),
+		Accesses:        uint64(10 * i),
+		Misses:          uint64(i),
+		WindowMissRatio: 0.1,
+		CumMissRatio:    0.125,
+		Delinquent:      i,
+		NewDelinquent:   1 - i,
+		DelinquentHash:  0xdeadbeefcafe0000 + uint64(i),
+		Jaccard:         0.75,
+		PhaseChange:     i%2 == 1,
+		StridedLoads:    i,
+		TopStride:       -128,
+		WSLines:         42 * i,
+	}
+}
+
+func testTrailer() Trailer {
+	return Trailer{
+		InstrumentEvents: 17,
+		GuestCycles:      123456,
+		TotalCycles:      133700,
+		Instrs:           99999,
+		HWAccesses:       5000,
+		HWMisses:         321,
+		HWEvictions:      300,
+		CandidatePCs:     []uint64{0x400090, 0x400100, 0x400200, 0x400400},
+		TracePCs:         []uint64{0x400080, 0x400100},
+	}
+}
+
+// testStream builds a representative stream: an empty invocation, a
+// two-profile invocation (dense + sparse), a history section, a trailer.
+// It panics on encoder error so fuzz seed registration can use it too.
+func testStream() []byte {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Header(testHeader())
+	e.Invocation(500, 0)
+	e.Invocation(1500, 2)
+	e.Profile(denseProfile())
+	e.Profile(sparseProfile())
+	e.History(HistoryMeta{Total: 5, PhaseChanges: 1, Cap: 64, Windows: 2})
+	e.Window(testWindow(1))
+	e.Window(testWindow(2))
+	e.Trailer(testTrailer())
+	if err := e.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAll drains a stream, returning the header and every record.
+func decodeAll(r io.Reader) (Header, []Record, error) {
+	d := NewDecoder(r)
+	h, err := d.Header()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return h, recs, nil
+		}
+		if err != nil {
+			return Header{}, nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	stream := testStream()
+	h, recs, err := decodeAll(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if want := testHeader(); h != want {
+		t.Errorf("header round trip:\n got %+v\nwant %+v", h, want)
+	}
+	wantSparse := sparseProfile()
+	wantSparse.Recorded = len(wantSparse.Cells) - 3
+	wantDense := denseProfile()
+	wantDense.Recorded = len(wantDense.Cells)
+	want := []Record{
+		&Invocation{Cycles: 500, Profiles: 0},
+		&Invocation{Cycles: 1500, Profiles: 2},
+		&wantDense,
+		&wantSparse,
+		&HistoryMeta{Total: 5, PhaseChanges: 1, Cap: 64, Windows: 2},
+		ptr(testWindow(1)),
+		ptr(testWindow(2)),
+		ptr(testTrailer()),
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(recs[i], want[i]) {
+			t.Errorf("record %d:\n got %#v\nwant %#v", i, recs[i], want[i])
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestDecoderAccounting(t *testing.T) {
+	stream := testStream()
+	d := NewDecoder(bytes.NewReader(stream))
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := d.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := d.Bytes(), uint64(len(stream)); got != want {
+		t.Errorf("Bytes() = %d, want %d (stream length)", got, want)
+	}
+	if got := d.Frames(); got != 9 { // header + 8 records
+		t.Errorf("Frames() = %d, want 9", got)
+	}
+}
+
+// TestTruncation: every strict prefix of a valid stream must fail to
+// decode — a stream is complete or rejected, never silently partial.
+func TestTruncation(t *testing.T) {
+	stream := testStream()
+	for n := 0; n < len(stream); n++ {
+		if _, _, err := decodeAll(bytes.NewReader(stream[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(stream))
+		}
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	stream := append(testStream(), 0x00)
+	if _, _, err := decodeAll(bytes.NewReader(stream)); err == nil ||
+		!strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("trailing byte: err = %v, want trailing-bytes error", err)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	valid := testStream()
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"bad version", func(b []byte) []byte { b[4] = 0x7f; return b }, "unsupported version"},
+		{"unknown frame type", func(b []byte) []byte { b[5] = 0x6e; return b }, "first frame type"},
+		{"empty input", func(b []byte) []byte { return nil }, "magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			_, _, err := decodeAll(bytes.NewReader(b))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestOversizedFrameRejected: a frame length past MaxFramePayload is
+// rejected before any payload allocation happens.
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version)
+	buf.WriteByte(frameHeader)
+	// Claimed payload of 1 << 40 bytes, no payload behind it.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if _, err := d.Header(); err == nil || !strings.Contains(err.Error(), "MaxFramePayload") {
+		t.Fatalf("err = %v, want MaxFramePayload error", err)
+	}
+}
+
+// TestProfileAllocationBounded: a profile frame declaring a huge dense
+// geometry with a tiny payload is rejected by the plausibility check, not
+// by attempting the allocation and replaying garbage.
+func TestProfileAllocationBounded(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Header(testHeader())
+	e.Invocation(1, 1)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.w.Flush(); err != nil { // white-box: flush the partial stream
+		t.Fatal(err)
+	}
+	// Hand-build a profile frame: 1 op at PC 1, 60000 rows, dense (60000
+	// recorded) — but no cell bytes at all.
+	var p []byte
+	p = appendF64(p, 0.5)  // alpha
+	p = appendUv(p, 1)     // nops
+	p = appendUv(p, 1)     // pc[0]
+	p = append(p, 0x01)    // isLoad bitmap
+	p = appendUv(p, 60000) // rows
+	p = appendUv(p, 60000) // recorded == cells → dense
+	buf.WriteByte(frameProfile)
+	buf.Write(appendUv(nil, uint64(len(p))))
+	buf.Write(p)
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err != nil { // invocation
+		t.Fatal(err)
+	}
+	_, err := d.Next()
+	if err == nil || !strings.Contains(err.Error(), "payload too short") {
+		t.Fatalf("err = %v, want payload-too-short error", err)
+	}
+}
+
+func appendUv(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendF64(b []byte, f float64) []byte {
+	v := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+// TestGrammarRejections: frames out of the declared order are rejected.
+func TestGrammarRejections(t *testing.T) {
+	// An invocation owing one profile, followed by a trailer frame.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version)
+	writeFrame := func(typ byte, payload []byte) {
+		buf.WriteByte(typ)
+		buf.Write(appendUv(nil, uint64(len(payload))))
+		buf.Write(payload)
+	}
+	var hdr []byte
+	for i := 0; i < 3; i++ { // workload, machine, cache name: empty strings
+		hdr = appendUv(hdr, 0)
+	}
+	hdr = appendUv(hdr, 1024) // size
+	hdr = appendUv(hdr, 2)    // assoc
+	hdr = appendUv(hdr, 64)   // line
+	hdr = append(hdr, 0)      // policy
+	for i := 0; i < 4; i++ {  // warmup, flush gap, per-ref, fixed
+		hdr = appendUv(hdr, 1)
+	}
+	hdr = appendUv(hdr, 0) // history windows (zigzag 0)
+	hdr = appendF64(hdr, 0)
+	hdr = appendF64(hdr, 0)
+	writeFrame(frameHeader, hdr)
+	inv := appendUv(nil, 7)
+	inv = appendUv(inv, 1) // declares one profile
+	writeFrame(frameInvocation, inv)
+	writeFrame(frameTrailer, nil)
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if _, err := d.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "profiles still expected") {
+		t.Fatalf("err = %v, want profiles-still-expected error", err)
+	}
+}
+
+// TestEncoderMisuse: grammar violations on the encode side surface as
+// sticky errors rather than producing undecodable streams.
+func TestEncoderMisuse(t *testing.T) {
+	cases := []struct {
+		name    string
+		drive   func(e *Encoder)
+		wantSub string
+	}{
+		{"profile before header", func(e *Encoder) {
+			e.Profile(denseProfile())
+		}, "before header"},
+		{"profile without invocation", func(e *Encoder) {
+			e.Header(testHeader())
+			e.Profile(denseProfile())
+		}, "without a pending invocation"},
+		{"trailer owing profiles", func(e *Encoder) {
+			e.Header(testHeader())
+			e.Invocation(1, 2)
+			e.Profile(denseProfile())
+			e.Trailer(testTrailer())
+		}, "profiles still owed"},
+		{"window count mismatch", func(e *Encoder) {
+			e.Header(testHeader())
+			e.History(HistoryMeta{Windows: 2})
+			e.Window(testWindow(1))
+			e.Trailer(testTrailer())
+		}, "windows still owed"},
+		{"double header", func(e *Encoder) {
+			e.Header(testHeader())
+			e.Header(testHeader())
+		}, "twice"},
+		{"unsorted trailer set", func(e *Encoder) {
+			e.Header(testHeader())
+			tr := testTrailer()
+			tr.CandidatePCs = []uint64{5, 3}
+			e.Trailer(tr)
+		}, "not strictly ascending"},
+		{"no trailer", func(e *Encoder) {
+			e.Header(testHeader())
+		}, "no trailer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEncoder(io.Discard)
+			tc.drive(e)
+			err := e.Flush()
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestEncodeCompactness pins the encoding's density: the dense test
+// profile (12 recorded cells with shared high bits) must land well under
+// 8 bytes per cell plus framing — the property that makes capture cheap.
+func TestEncodeCompactness(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Header(Header{CacheSize: 1024, CacheAssoc: 1, CacheLine: 64})
+	e.Invocation(1, 1)
+	p := denseProfile()
+	e.Profile(p)
+	e.Trailer(Trailer{})
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 12 cells at ≤6 varint bytes each plus header/trailer framing.
+	if buf.Len() > 200 {
+		t.Errorf("stream is %d bytes for 12 cells — encoding lost its compactness", buf.Len())
+	}
+}
+
+func FuzzWireDecode(f *testing.F) {
+	f.Add(testStream())
+	// A minimal stream: header + trailer only.
+	var minimal bytes.Buffer
+	e := NewEncoder(&minimal)
+	e.Header(Header{})
+	e.Trailer(Trailer{})
+	if err := e.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(minimal.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("UMIP\x01\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: the decoder never panics and always terminates with
+		// a record stream or an error, on any input.
+		h, recs, err := decodeAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Property 2: every valid stream round-trips — re-encoding the
+		// decoded records yields a stream that decodes to the same bytes
+		// again (byte-level fixed point, which also sidesteps NaN
+		// comparison traps in float fields).
+		enc1 := reencode(t, h, recs)
+		h2, recs2, err := decodeAll(bytes.NewReader(enc1))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded stream failed: %v", err)
+		}
+		enc2 := reencode(t, h2, recs2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("re-encode not a fixed point:\n first %x\nsecond %x", enc1, enc2)
+		}
+	})
+}
+
+// reencode writes the decoded records back out through the encoder.
+func reencode(t *testing.T, h Header, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Header(h)
+	for _, rec := range recs {
+		switch r := rec.(type) {
+		case *Invocation:
+			e.Invocation(r.Cycles, r.Profiles)
+		case *Profile:
+			e.Profile(*r)
+		case *HistoryMeta:
+			e.History(*r)
+		case *Window:
+			e.Window(*r)
+		case *Trailer:
+			e.Trailer(*r)
+		default:
+			t.Fatalf("unknown record type %T", rec)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("re-encode of valid decode failed: %v", err)
+	}
+	return buf.Bytes()
+}
