@@ -515,6 +515,74 @@ func BenchmarkWireDecode(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
 }
 
+// BenchmarkWireEncodeV2 measures umi-profile/v2 emission — the v1 work
+// plus predictor selection, the cell delta pre-transform, and per-frame
+// DEFLATE — and reports the compression ratio the extra cycles buy
+// (v1 bytes over v2 bytes for the same record stream).
+func BenchmarkWireEncodeV2(b *testing.B) {
+	var v1 bytes.Buffer
+	e1 := wire.NewEncoder(&v1)
+	refs := wireBenchEmit(e1)
+	if err := e1.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var v2Len int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var v2 countingWriter
+		enc := wire.NewEncoderV2(&v2)
+		wireBenchEmit(enc)
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		v2Len = v2.n
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
+	b.ReportMetric(float64(v1.Len())/float64(v2Len), "x-ratio")
+}
+
+// countingWriter discards while counting, so encode benchmarks measure
+// compressed output size without buffer-growth noise.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// BenchmarkWireDecodeV2 measures the v2 decode path: per-frame inflate
+// plus the predictor-driven cell reconstruction umid pays per ingested
+// reference.
+func BenchmarkWireDecodeV2(b *testing.B) {
+	var buf bytes.Buffer
+	enc := wire.NewEncoderV2(&buf)
+	refs := wireBenchEmit(enc)
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	stream := buf.Bytes()
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := wire.NewDecoder(bytes.NewReader(stream))
+		if _, err := dec.Header(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			rec, err := dec.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, done := rec.(*wire.Trailer); done {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*refs), "ns/ref")
+}
+
 // BenchmarkAblationPolicy measures the mini-simulator's sensitivity to the
 // replacement policy (§5: "The simulator implements an LRU replacement
 // policy although other schemes are possible"). The paper's observation —

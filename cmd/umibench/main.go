@@ -46,7 +46,8 @@ func main() {
 		args = []string{"table1", "table2", "table3", "table4", "table5", "table6",
 			"fig2", "fig3", "fig4", "fig5", "fig6",
 			"sens-threshold", "sens-profile", "sens-geometry", "linuxapps",
-			"counters-vs-umi", "self-overhead", "timeline", "phases"}
+			"counters-vs-umi", "self-overhead", "timeline", "phases",
+			"wire-compress"}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -92,6 +93,8 @@ experiments:
   phases          windowed miss-ratio and delinquent-set churn history
   replay-geometry geometry sweep replaying one umi-profile/v1 stream
                   (-stream file, or records the first -bench workload)
+  wire-compress   umi-profile/v2 compression ratio and replay equivalence
+                  per workload (default: em3d, 181.mcf)
   all             everything above
   list            print workload names
 `)
@@ -216,6 +219,12 @@ func run(exp string, names []string, streamPath string) (any, string, error) {
 			return nil, "", err
 		}
 		return r, r.String(), nil
+	case "wire-compress":
+		r, err := harness.WireCompress(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String() + r.LiveString(), nil
 	case "replay-geometry":
 		var (
 			r   *harness.ReplayGeometryResult

@@ -7,10 +7,12 @@
 //
 //	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
 //	        [-metrics] [-metrics-json file] [-trace-out file]
-//	        [-history] [-history-out file] [-emit file]
+//	        [-history] [-history-out file] [-emit file] [-emit-format 1|2]
+//	        [-emit-live host:port] [-live-window n]
 //	        [-http addr] [-http-linger d] <workload>
 //	umiprof -ingest file [-workers n]             replay a recorded stream locally
 //	umiprof -ingest file -ingest-addr host:port   ship it to a umid daemon
+//	umiprof -transcode file -o file [-emit-format 1|2]   re-encode a recording
 //	umiprof -list
 package main
 
@@ -22,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,16 +71,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpLinger := fs.Duration("http-linger", 0,
 		"keep the -http server up this long after the report prints (0: stop immediately)")
 	emitOut := fs.String("emit", "",
-		"record the run's umi-profile/v1 telemetry stream to this file (replayable via -ingest)")
+		"record the run's umi-profile telemetry stream to this file (replayable via -ingest)")
+	emitFormat := fs.Int("emit-format", 2,
+		"wire format version written by -emit, -emit-live, and -transcode: 1 or 2 (compressed)")
+	emitLive := fs.String("emit-live", "",
+		"stream telemetry live to a umid daemon at this address while the guest runs; appends the daemon's RunResult JSON")
+	liveWindow := fs.Int("live-window", 64,
+		"with -emit-live: flow-control window (in-flight frames before the producer backs off)")
 	ingestIn := fs.String("ingest", "",
-		"replay a recorded umi-profile/v1 stream instead of running a workload; prints the RunResult JSON")
+		"replay a recorded umi-profile stream instead of running a workload; prints the RunResult JSON")
 	ingestAddr := fs.String("ingest-addr", "",
 		"with -ingest: POST the stream to a umid daemon at this address instead of replaying locally")
+	transcodeIn := fs.String("transcode", "",
+		"re-encode a recorded stream to -emit-format and write it to -o; replay reports stay byte-identical")
+	transcodeOut := fs.String("o", "", "output file for -transcode")
 	list := fs.Bool("list", false, "list workloads and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *emitFormat != 1 && *emitFormat != 2 {
+		fmt.Fprintf(stderr, "umiprof: -emit-format must be 1 or 2, got %d\n", *emitFormat)
+		return 2
+	}
+	newEncoder := func(w io.Writer) *wire.Encoder {
+		if *emitFormat == 1 {
+			return wire.NewEncoder(w)
+		}
+		return wire.NewEncoderV2(w)
+	}
 
+	if *transcodeIn != "" {
+		return runTranscode(*transcodeIn, *transcodeOut, *emitFormat, stderr)
+	}
 	if *ingestIn != "" {
 		return runIngest(*ingestIn, *ingestAddr, *workers, stdout, stderr)
 	}
@@ -116,9 +141,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sys := umi.Attach(rt, cfg)
 	// Stream emission is observational (it records analyzer inputs on the
 	// guest thread before analysis), so stdout stays byte-identical with
-	// or without -emit.
+	// or without -emit. -emit-live ships the same frames to a daemon as
+	// they are encoded instead of (or as well as, on a different session)
+	// writing a file — one emission sink at a time.
+	if *emitOut != "" && *emitLive != "" {
+		fmt.Fprintln(stderr, "umiprof: -emit and -emit-live are mutually exclusive")
+		return 2
+	}
 	var emitEnc *wire.Encoder
 	var emitFile *os.File
+	var shipper *introspect.LiveShipper
 	if *emitOut != "" {
 		f, err := os.Create(*emitOut)
 		if err != nil {
@@ -126,9 +158,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		emitFile = f
-		emitEnc = wire.NewEncoder(f)
+		emitEnc = newEncoder(f)
 		emitEnc.Header(umi.WireHeader(&cfg, w.Name, *machine))
 		sys.EnableWireEmit(emitEnc)
+	}
+	if *emitLive != "" {
+		sh, err := introspect.NewLiveShipper(*emitLive, introspect.LiveConfig{
+			Workers: *workers,
+			Window:  *liveWindow,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: emit-live: %v\n", err)
+			return 1
+		}
+		shipper = sh
+		emitEnc = newEncoder(sh)
+		emitEnc.SetFrameHook(sh.FrameEnd)
+		emitEnc.Header(umi.WireHeader(&cfg, w.Name, *machine))
+		sys.EnableWireEmit(emitEnc)
+		fmt.Fprintf(stderr, "umiprof: live-tailing telemetry into session %s at %s\n", sh.SessionID(), *emitLive)
 	}
 	// The event timeline and the HTTP server are purely observational:
 	// neither touches modelled state, so everything printed to stdout is
@@ -183,6 +231,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sys.Finish()
+	var liveRes *introspect.RunResult
 	if emitEnc != nil {
 		sys.EmitWireTail(emitEnc, wire.Trailer{
 			GuestCycles: m.Cycles,
@@ -193,14 +242,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			HWEvictions: h.L2.Stats().Evictions,
 		})
 		err := emitEnc.Flush()
-		if cerr := emitFile.Close(); err == nil {
-			err = cerr
+		if emitFile != nil {
+			if cerr := emitFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "umiprof: emit: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "umiprof: wrote telemetry stream to %s\n", *emitOut)
 		}
-		if err != nil {
-			fmt.Fprintf(stderr, "umiprof: emit: %v\n", err)
-			return 1
+		if shipper != nil {
+			res, cerr := shipper.Close()
+			if err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "umiprof: emit-live: %v\n", err)
+				return 1
+			}
+			liveRes = res
+			fmt.Fprintf(stderr, "umiprof: daemon acknowledged live session %s\n", shipper.SessionID())
 		}
-		fmt.Fprintf(stderr, "umiprof: wrote telemetry stream to %s\n", *emitOut)
 	}
 	rep := sys.Report()
 
@@ -315,9 +378,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "umiprof: wrote %d events (%d dropped) to %s\n",
 			len(elog.Events()), elog.Drops(), *traceOut)
 	}
+	// The daemon's merged result for a live-tailed run — identical to what
+	// -ingest of a recording of this run would print.
+	if liveRes != nil {
+		data, err := json.MarshalIndent(liveRes, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "umiprof: emit-live: %v\n", err)
+			return 1
+		}
+		stdout.Write(append(data, '\n'))
+	}
 	if *httpAddr != "" && *httpLinger > 0 {
 		fmt.Fprintf(stderr, "umiprof: introspection server up for another %s\n", *httpLinger)
 		time.Sleep(*httpLinger)
+	}
+	return 0
+}
+
+// runTranscode re-encodes one recorded stream at the requested wire
+// version. Decoding either file replays identically; v2 output gains
+// per-frame compression and the shard manifest.
+func runTranscode(in, out string, version int, stderr io.Writer) int {
+	if out == "" {
+		fmt.Fprintln(stderr, "umiprof: -transcode requires -o <file>")
+		return 2
+	}
+	src, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: transcode: %v\n", err)
+		return 1
+	}
+	defer src.Close()
+	dst, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: transcode: %v\n", err)
+		return 1
+	}
+	terr := wire.Transcode(dst, src, byte(version))
+	if cerr := dst.Close(); terr == nil {
+		terr = cerr
+	}
+	if terr != nil {
+		fmt.Fprintf(stderr, "umiprof: transcode: %v\n", terr)
+		return 1
+	}
+	si, _ := os.Stat(in)
+	so, _ := os.Stat(out)
+	if si != nil && so != nil {
+		fmt.Fprintf(stderr, "umiprof: transcoded %s (%d bytes) to v%d %s (%d bytes)\n",
+			in, si.Size(), version, out, so.Size())
 	}
 	return 0
 }
@@ -382,7 +491,20 @@ func runIngestRemote(path, addr string, workers int, stdout, stderr io.Writer) i
 		fmt.Fprintf(stderr, "umiprof: ingest: create session: bad response %s\n", body)
 		return 1
 	}
-	resp, err = http.Post(base+"/sessions/"+inf.ID+"/ingest", "application/octet-stream", bytes.NewReader(stream))
+	req, err := http.NewRequest(http.MethodPost, base+"/sessions/"+inf.ID+"/ingest", bytes.NewReader(stream))
+	if err != nil {
+		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
+		return 1
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	// v2 recordings carry a shard manifest; declaring it up front lets the
+	// daemon detect a retried duplicate and make the upload idempotent.
+	if m, ok, err := wire.ScanManifest(bytes.NewReader(stream)); err == nil && ok {
+		req.Header.Set("X-Umi-Shard-Id", strconv.FormatUint(m.ShardID, 10))
+		req.Header.Set("X-Umi-Shard-Frames", strconv.FormatUint(m.Frames, 10))
+		req.Header.Set("X-Umi-Shard-Checksum", strconv.FormatUint(m.Checksum, 10))
+	}
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		fmt.Fprintf(stderr, "umiprof: ingest: %v\n", err)
 		return 1

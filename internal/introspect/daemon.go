@@ -11,7 +11,7 @@
 //	POST   /sessions             create from a SessionConfig JSON body
 //	GET    /sessions             list sessions with state
 //	POST   /sessions/{id}/run    execute to completion, return the result
-//	POST   /sessions/{id}/ingest replay a umi-profile/v1 stream (ingest sessions)
+//	POST   /sessions/{id}/ingest replay a umi-profile/v1|v2 stream (?live=1 to tail)
 //	GET    /sessions/{id}/report completed RunResult (409 until done)
 //	GET    /sessions/{id}/history  live profile-history windows
 //	GET    /sessions/{id}/metrics  live self-observability snapshot
@@ -72,14 +72,17 @@ func (c DaemonConfig) withDefaults() DaemonConfig {
 }
 
 // sessionState is the lifecycle state machine: created → running →
-// done|failed. DELETE is legal in any state.
+// done|failed, and for ingest sessions running → resumable (a live
+// upload cut off at a recoverable point; re-sending the stream resumes
+// it) → running. DELETE is legal in any state.
 type sessionState string
 
 const (
-	stateCreated sessionState = "created"
-	stateRunning sessionState = "running"
-	stateDone    sessionState = "done"
-	stateFailed  sessionState = "failed"
+	stateCreated   sessionState = "created"
+	stateRunning   sessionState = "running"
+	stateDone      sessionState = "done"
+	stateFailed    sessionState = "failed"
+	stateResumable sessionState = "resumable"
 )
 
 // session is one registered guest session.
@@ -223,7 +226,7 @@ func (d *Daemon) index(w http.ResponseWriter, r *http.Request) {
 POST   /sessions             create a session (SessionConfig JSON)
 GET    /sessions             list sessions
 POST   /sessions/{id}/run    run to completion, returns the result
-POST   /sessions/{id}/ingest replay a umi-profile/v1 stream into the session
+POST   /sessions/{id}/ingest replay a umi-profile/v1|v2 stream (?live=1 to tail)
 GET    /sessions/{id}/report completed run result
 GET    /sessions/{id}/history  profile-history windows
 GET    /sessions/{id}/metrics  self-observability snapshot
@@ -241,6 +244,15 @@ type sessionInfo struct {
 	// Guest names the workload, or "trace[n]" for a submitted stream.
 	Guest string `json:"guest"`
 	Error string `json:"error,omitempty"`
+	// Resume, present while the session is resumable, names the safe
+	// point (stream frame count and rolling checksum) a re-sent live
+	// stream will be resumed from.
+	Resume *resumePoint `json:"resume,omitempty"`
+}
+
+type resumePoint struct {
+	Frames   uint64 `json:"frames"`
+	Checksum uint64 `json:"checksum"`
 }
 
 // guestLabel names the session's guest. Ingest sessions pick up the
@@ -261,6 +273,9 @@ func (s *session) info() sessionInfo {
 	inf := sessionInfo{ID: s.id, State: string(s.state), Guest: s.guestLabel()}
 	if s.runErr != nil {
 		inf.Error = s.runErr.Error()
+	}
+	if s.state == stateResumable && s.ing != nil {
+		inf.Resume = &resumePoint{Frames: s.ing.resumeFrames, Checksum: s.ing.resumeChk}
 	}
 	return inf
 }

@@ -1,6 +1,7 @@
 package umi
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -8,6 +9,12 @@ import (
 	"umi/internal/cache"
 	"umi/internal/wire"
 )
+
+// ErrResume classifies ConsumeResume failures that happen before anything
+// was applied — a re-sent stream whose bytes disagree with the session's
+// recorded resume point, or one too short to reach it. The caller can
+// safely keep waiting for a correct retry.
+var ErrResume = errors.New("resume mismatch")
 
 // Replay drives an Analyzer from a recorded umi-profile/v1 stream instead
 // of a live guest: the receiving half of capture-once/analyze-many. It
@@ -35,6 +42,13 @@ type Replay struct {
 
 	profiledPCs map[uint64]bool
 	profiles    int
+
+	// Last safe resume point: the decoder's frame count and rolling
+	// checksum immediately after the most recently applied invocation.
+	// Safe points land only on invocation boundaries — resuming anywhere
+	// else would split an invocation's profile group across uploads.
+	safeFrames uint64
+	safeChk    uint64
 
 	// Reusable per-invocation staging (profile pointers hand ownership to
 	// the analyzer; only the slice headers are recycled).
@@ -103,22 +117,91 @@ type ReplayShard struct {
 // validated by the caller) into the analyzer. On a decode error the
 // analyzer keeps whatever invocations were applied before the bad frame —
 // the caller decides whether a partially-applied shard poisons the
-// session. The replayer stays usable for further shards after a clean
-// consume.
+// session (Progress reports how far the applied prefix reached). The
+// replayer stays usable for further shards after a clean consume.
 func (r *Replay) Consume(dec *wire.Decoder) (*ReplayShard, error) {
+	return r.consume(dec, 0, 0)
+}
+
+// Progress reports the last safe resume point: the stream frame count
+// (header included) and rolling content checksum right after the most
+// recently applied invocation. A client that re-sends the stream from the
+// beginning can hand these to ConsumeResume to skip what was already
+// applied. Zero frames means nothing has been applied yet.
+func (r *Replay) Progress() (frames, checksum uint64) {
+	return r.safeFrames, r.safeChk
+}
+
+// ConsumeResume is Consume for a re-sent stream: it decodes (and checks)
+// the first skipFrames frames without applying them, verifies the rolling
+// checksum at the resume point matches — proving the retried bytes are the
+// bytes whose prefix was already analyzed — and applies everything after.
+// A mismatched checksum, a resume point inside an invocation's profile
+// group, or a stream shorter than the resume point is an error with
+// nothing applied.
+func (r *Replay) ConsumeResume(dec *wire.Decoder, skipFrames, checksum uint64) (*ReplayShard, error) {
+	return r.consume(dec, skipFrames, checksum)
+}
+
+func (r *Replay) consume(dec *wire.Decoder, skip, skipSum uint64) (*ReplayShard, error) {
 	shard := &ReplayShard{}
 	var meta *wire.HistoryMeta
 	var windows []WindowSummary
 	var pendCycles uint64
 	pendLeft := -1
+	// Progress is per-stream: until this stream applies an invocation (or
+	// clears its skip prefix), there is no safe point to resume it from.
+	r.safeFrames, r.safeChk = 0, 0
+	skipping := skip > 0
+	if skipping {
+		if dec.Frames() > skip {
+			return nil, fmt.Errorf("umi: resume: decoder already past frame %d: %w", skip, ErrResume)
+		}
+		if dec.Frames() == skip {
+			if dec.Checksum() != skipSum {
+				return nil, fmt.Errorf("umi: resume: checksum %#016x at frame %d, session recorded %#016x: %w",
+					dec.Checksum(), skip, skipSum, ErrResume)
+			}
+			skipping = false
+			r.safeFrames, r.safeChk = skip, skipSum
+		}
+	}
 	for {
 		start := time.Now()
 		rec, err := dec.Next()
 		if err == io.EOF {
+			if skipping {
+				return nil, fmt.Errorf("umi: resume: point at frame %d past stream end: %w", skip, ErrResume)
+			}
 			break
 		}
 		if err != nil {
 			return nil, err
+		}
+		if skipping {
+			// Decode-only replay of the already-applied prefix. Safe
+			// points precede any history/trailer frames, so only
+			// analyzer input can legitimately appear here.
+			switch t := rec.(type) {
+			case *wire.Invocation:
+				pendLeft = t.Profiles
+			case *wire.Profile:
+				pendLeft--
+			default:
+				return nil, fmt.Errorf("umi: resume: %T frame before resume point %d: %w", rec, skip, ErrResume)
+			}
+			if dec.Frames() == skip {
+				if dec.Checksum() != skipSum {
+					return nil, fmt.Errorf("umi: resume: checksum %#016x at frame %d, session recorded %#016x: %w",
+						dec.Checksum(), skip, skipSum, ErrResume)
+				}
+				if pendLeft > 0 {
+					return nil, fmt.Errorf("umi: resume: point at frame %d splits an invocation: %w", skip, ErrResume)
+				}
+				skipping = false
+				r.safeFrames, r.safeChk = skip, skipSum
+			}
+			continue
 		}
 		switch t := rec.(type) {
 		case *wire.Invocation:
@@ -128,6 +211,7 @@ func (r *Replay) Consume(dec *wire.Decoder) (*ReplayShard, error) {
 			r.alphas = r.alphas[:0]
 			if pendLeft == 0 {
 				r.invocation(pendCycles, nil, nil)
+				r.safeFrames, r.safeChk = dec.Frames(), dec.Checksum()
 			}
 		case *wire.Profile:
 			// The decoder's grammar guarantees profiles only follow an
@@ -137,6 +221,7 @@ func (r *Replay) Consume(dec *wire.Decoder) (*ReplayShard, error) {
 			pendLeft--
 			if pendLeft == 0 {
 				r.invocation(pendCycles, r.profs, r.alphas)
+				r.safeFrames, r.safeChk = dec.Frames(), dec.Checksum()
 			}
 		case *wire.HistoryMeta:
 			meta = t

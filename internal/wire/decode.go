@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,19 +11,36 @@ import (
 	"math"
 )
 
-// Decoder reads one umi-profile/v1 stream record by record. It reads one
-// frame at a time into a reusable buffer — never the whole stream — so
-// memory stays bounded by the per-frame limits regardless of input size.
-// Malformed input (bad magic, unknown version or frame type, frames out
-// of grammar order, over-limit sizes, non-canonical encodings, truncation,
-// trailing bytes) is an error from Header or Next; the decoder never
-// panics on any input.
+// ErrTruncated marks decode errors caused by the stream ending (or the
+// transport failing) mid-frame, as opposed to well-framed but invalid
+// content. A consumer holding a cleanly-applied prefix may treat such a
+// stream as resumable; every other decode error means corrupt content.
+var ErrTruncated = errors.New("truncated stream")
+
+// Decoder reads one umi-profile stream (v1 or v2, auto-detected from the
+// preamble) record by record. It reads one frame at a time into a
+// reusable buffer — never the whole stream — so memory stays bounded by
+// the per-frame limits regardless of input size. Malformed input (bad
+// magic, unknown version, codec, frame type or method, frames out of
+// grammar order, over-limit sizes, non-canonical encodings, a manifest
+// contradicting the observed frames, truncation, trailing bytes) is an
+// error from Header or Next; the decoder never panics on any input.
 type Decoder struct {
-	r      *bufio.Reader
-	buf    []byte // frame payload scratch, reused
-	err    error  // sticky
-	frames uint64
-	bytes  uint64
+	r       *bufio.Reader
+	buf     []byte // on-wire frame payload scratch, reused
+	raw     []byte // v2 inflated payload scratch, reused
+	fhdr    []byte // current frame's on-wire header bytes, for the checksum
+	err     error  // sticky
+	frames  uint64
+	bytes   uint64
+	chk     uint64 // rolling FNV-1a over non-trailer frame bytes
+	version byte
+	codec   byte
+
+	fr io.ReadCloser // v2 block decoder, Reset per coded frame
+	br *bytes.Reader
+
+	cellPrev map[uint64]uint64 // v2 per-PC cell predecessors, stream-persistent
 
 	gotHeader       bool
 	pendingProfiles int
@@ -32,7 +51,7 @@ type Decoder struct {
 
 // NewDecoder returns a decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: bufio.NewReader(r)}
+	return &Decoder{r: bufio.NewReader(r), chk: fnvOffset64}
 }
 
 // Frames reports how many frames have been decoded so far (header
@@ -43,6 +62,15 @@ func (d *Decoder) Frames() uint64 { return d.frames }
 // version included).
 func (d *Decoder) Bytes() uint64 { return d.bytes }
 
+// Version reports the stream's version byte, valid once Header returns.
+func (d *Decoder) Version() byte { return d.version }
+
+// Checksum reports the rolling FNV-1a over the on-wire bytes of every
+// non-trailer frame decoded so far — the quantity a v2 trailer manifest
+// declares and, paired with Frames at a frame boundary, the resume point
+// a live-tail re-upload is verified against.
+func (d *Decoder) Checksum() uint64 { return d.chk }
+
 func (d *Decoder) fail(format string, args ...any) error {
 	if d.err == nil {
 		d.err = fmt.Errorf("wire: decode: "+format, args...)
@@ -52,12 +80,13 @@ func (d *Decoder) fail(format string, args ...any) error {
 
 // failTruncated wraps a raw-read error, mapping bare EOF mid-structure to
 // ErrUnexpectedEOF: inside a frame, running out of bytes is truncation.
+// The resulting error matches ErrTruncated.
 func (d *Decoder) failTruncated(what string, err error) error {
 	if errors.Is(err, io.EOF) {
 		err = io.ErrUnexpectedEOF
 	}
 	if d.err == nil {
-		d.err = fmt.Errorf("wire: decode: %s: %w", what, err)
+		d.err = fmt.Errorf("wire: decode: %s: %w (%w)", what, err, ErrTruncated)
 	}
 	return d.err
 }
@@ -79,8 +108,23 @@ func (d *Decoder) Header() (Header, error) {
 	if string(magic[:4]) != Magic {
 		return Header{}, d.fail("bad magic %q", magic[:4])
 	}
-	if magic[4] != Version {
-		return Header{}, d.fail("unsupported version 0x%02x (want 0x%02x)", magic[4], Version)
+	switch magic[4] {
+	case Version:
+		d.version = Version
+	case Version2:
+		d.version = Version2
+		codec, err := d.r.ReadByte()
+		if err != nil {
+			return Header{}, d.failTruncated("codec", err)
+		}
+		d.bytes++
+		if codec != CodecStored && codec != CodecFlate {
+			return Header{}, d.fail("unknown codec 0x%02x", codec)
+		}
+		d.codec = codec
+	default:
+		return Header{}, d.fail("unsupported version 0x%02x (want 0x%02x or 0x%02x)",
+			magic[4], Version, Version2)
 	}
 	typ, payload, err := d.readFrame()
 	if err != nil {
@@ -200,19 +244,32 @@ func (d *Decoder) Next() (Record, error) {
 		d.pendingWindows--
 		return w, nil
 	case frameTrailer:
-		t := &Trailer{
-			InstrumentEvents: c.uvarint(),
-			GuestCycles:      c.uvarint(),
-			TotalCycles:      c.uvarint(),
-			Instrs:           c.uvarint(),
-			HWAccesses:       c.uvarint(),
-			HWMisses:         c.uvarint(),
-			HWEvictions:      c.uvarint(),
+		t := &Trailer{}
+		if d.version >= Version2 {
+			t.Shard = Manifest{ShardID: c.uvarint(), Frames: c.uvarint(), Checksum: c.u64()}
 		}
+		t.InstrumentEvents = c.uvarint()
+		t.GuestCycles = c.uvarint()
+		t.TotalCycles = c.uvarint()
+		t.Instrs = c.uvarint()
+		t.HWAccesses = c.uvarint()
+		t.HWMisses = c.uvarint()
+		t.HWEvictions = c.uvarint()
 		t.CandidatePCs = c.pcSet("candidate")
 		t.TracePCs = c.pcSet("trace")
 		if err := c.finish("trailer"); err != nil {
 			return nil, err
+		}
+		// The manifest must agree with what was actually observed — a
+		// checksum mismatch means frames were corrupted or substituted in a
+		// way the per-frame parsing did not catch.
+		if d.version >= Version2 {
+			if t.Shard.Frames != d.frames-1 {
+				return nil, d.fail("shard manifest declares %d frames, observed %d", t.Shard.Frames, d.frames-1)
+			}
+			if t.Shard.Checksum != d.chk {
+				return nil, d.fail("shard manifest checksum %#016x != observed %#016x", t.Shard.Checksum, d.chk)
+			}
 		}
 		// The trailer must be the last thing in the stream.
 		if _, err := d.r.ReadByte(); err == nil {
@@ -230,7 +287,8 @@ func (d *Decoder) Next() (Record, error) {
 }
 
 // readFrame reads one frame header and its payload into the reusable
-// buffer.
+// buffer, inflating coded v2 frames, and rolls the manifest checksum over
+// the on-wire bytes of every non-trailer frame.
 func (d *Decoder) readFrame() (byte, []byte, error) {
 	typ, err := d.r.ReadByte()
 	if err != nil {
@@ -241,23 +299,103 @@ func (d *Decoder) readFrame() (byte, []byte, error) {
 		}
 		return 0, nil, d.failTruncated("frame type", err)
 	}
-	n, lenBytes, err := readUvarint(d.r)
+	d.fhdr = append(d.fhdr[:0], typ)
+	payload, err := d.readFrameBody(typ)
 	if err != nil {
-		return 0, nil, d.failTruncated("frame length", err)
+		return 0, nil, err
+	}
+	if typ != frameTrailer {
+		d.chk = fnvUpdate(fnvUpdate(d.chk, d.fhdr), d.buf)
+	}
+	d.frames++
+	d.bytes += uint64(len(d.fhdr)) + uint64(len(d.buf))
+	return typ, payload, nil
+}
+
+// readFrameBody reads the length fields and on-wire payload (into d.buf)
+// of one frame whose type byte is already consumed, returning the raw
+// payload — d.buf itself for stored frames, the inflated d.raw for coded
+// ones.
+func (d *Decoder) readFrameBody(typ byte) ([]byte, error) {
+	method := byte(methodStored)
+	if d.version >= Version2 {
+		m, err := d.r.ReadByte()
+		if err != nil {
+			return nil, d.failTruncated("frame method", err)
+		}
+		d.fhdr = append(d.fhdr, m)
+		if m != methodStored && m != methodCoded {
+			return nil, d.fail("frame type 0x%02x has unknown method 0x%02x", typ, m)
+		}
+		if m == methodCoded && d.codec != CodecFlate {
+			return nil, d.fail("coded frame in a stored-codec stream")
+		}
+		method = m
+	}
+	rawLen := uint64(0)
+	if method == methodCoded {
+		n, err := d.frameUvarint()
+		if err != nil {
+			return nil, d.failTruncated("frame raw length", err)
+		}
+		if n > MaxFramePayload {
+			return nil, d.fail("frame type 0x%02x raw payload %d exceeds MaxFramePayload %d", typ, n, MaxFramePayload)
+		}
+		rawLen = n
+	}
+	n, err := d.frameUvarint()
+	if err != nil {
+		return nil, d.failTruncated("frame length", err)
 	}
 	if n > MaxFramePayload {
-		return 0, nil, d.fail("frame type 0x%02x payload %d exceeds MaxFramePayload %d", typ, n, MaxFramePayload)
+		return nil, d.fail("frame type 0x%02x payload %d exceeds MaxFramePayload %d", typ, n, MaxFramePayload)
 	}
 	if uint64(cap(d.buf)) < n {
 		d.buf = make([]byte, n)
 	}
 	d.buf = d.buf[:n]
 	if _, err := io.ReadFull(d.r, d.buf); err != nil {
-		return 0, nil, d.failTruncated("frame payload", err)
+		return nil, d.failTruncated("frame payload", err)
 	}
-	d.frames++
-	d.bytes += 1 + uint64(lenBytes) + n
-	return typ, d.buf, nil
+	if method == methodStored {
+		return d.buf, nil
+	}
+	return d.inflate(typ, rawLen)
+}
+
+// inflate decodes the coded payload sitting in d.buf into d.raw, which
+// must inflate to exactly the declared raw length. Inflation failures are
+// content corruption, never ErrTruncated: the on-wire frame arrived
+// whole.
+func (d *Decoder) inflate(typ byte, rawLen uint64) ([]byte, error) {
+	if d.fr == nil {
+		d.br = bytes.NewReader(nil)
+		d.fr = flate.NewReader(d.br)
+	}
+	d.br.Reset(d.buf)
+	if err := d.fr.(flate.Resetter).Reset(d.br, nil); err != nil {
+		return nil, d.fail("frame type 0x%02x inflate reset: %v", typ, err)
+	}
+	if uint64(cap(d.raw)) < rawLen {
+		d.raw = make([]byte, rawLen)
+	}
+	d.raw = d.raw[:rawLen]
+	if _, err := io.ReadFull(d.fr, d.raw); err != nil {
+		return nil, d.fail("frame type 0x%02x inflate: %v", typ, err)
+	}
+	var one [1]byte
+	if n, err := d.fr.Read(one[:]); n != 0 || !errors.Is(err, io.EOF) {
+		return nil, d.fail("frame type 0x%02x inflates past its declared %d raw bytes", typ, rawLen)
+	}
+	return d.raw, nil
+}
+
+// frameUvarint reads one frame-header uvarint, recording the consumed
+// bytes into d.fhdr so the rolling checksum covers the wire exactly.
+func (d *Decoder) frameUvarint() (uint64, error) {
+	v, rec, err := readUvarint(d.r, d.fhdr)
+	d.fhdr = rec
+	return v, err
 }
 
 // decodeProfile parses a profile payload, allocating cells only after the
@@ -299,13 +437,51 @@ func (d *Decoder) decodeProfile(c *cursor) (*Profile, error) {
 		return nil, d.fail("profile recorded %d exceeds cells %d", recorded, ncells)
 	}
 	p.Recorded = recorded
+	// v2 cell prediction state: the per-column predictor list rides in
+	// the frame (0 = previous recorded cell in the same column, i+1 =
+	// the same row's column i, which must be an earlier column), and
+	// each column's predecessor is seeded from the stream-persistent
+	// per-PC map — the exact inverse of Encoder.cellsV2.
+	var pred []int
+	var colPrev []uint64
+	if d.version >= Version2 {
+		if d.cellPrev == nil {
+			d.cellPrev = make(map[uint64]uint64)
+		}
+		pred = make([]int, nops)
+		for j := range pred {
+			pred[j] = c.count("profile cell predictor", j)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		colPrev = make([]uint64, nops)
+		for j := range colPrev {
+			colPrev[j] = d.cellPrev[p.PCs[j]]
+		}
+	}
+	cell := func(i int) uint64 {
+		if d.version < Version2 {
+			return c.uvarint()
+		}
+		j := i % nops
+		base := colPrev[j]
+		if pr := pred[j]; pr > 0 {
+			if ref := p.Cells[i-j+(pr-1)]; ref != NoCell {
+				base = ref
+			}
+		}
+		v := base + uint64(c.zigzag())
+		colPrev[j] = v
+		return v
+	}
 	if recorded == ncells { // dense
 		if c.remaining() < ncells {
 			return nil, d.fail("profile payload too short for %d dense cells", ncells)
 		}
 		p.Cells = make([]uint64, ncells)
 		for i := range p.Cells {
-			v := c.uvarint()
+			v := cell(i)
 			if v == NoCell {
 				return nil, d.fail("profile cell %d holds the NoCell sentinel", i)
 			}
@@ -329,7 +505,7 @@ func (d *Decoder) decodeProfile(c *cursor) (*Profile, error) {
 		p.Cells = make([]uint64, ncells)
 		for i := range p.Cells {
 			if bitmap[i/8]&(1<<(i%8)) != 0 {
-				v := c.uvarint()
+				v := cell(i)
 				if v == NoCell {
 					return nil, d.fail("profile cell %d holds the NoCell sentinel", i)
 				}
@@ -339,32 +515,39 @@ func (d *Decoder) decodeProfile(c *cursor) (*Profile, error) {
 			}
 		}
 	}
+	if d.version >= Version2 {
+		for j := 0; j < nops; j++ {
+			d.cellPrev[p.PCs[j]] = colPrev[j]
+		}
+	}
 	if err := c.finish("profile"); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-// readUvarint is binary.ReadUvarint plus the consumed byte count, so the
-// decoder's Bytes accounting stays exact.
-func readUvarint(r *bufio.Reader) (uint64, int, error) {
+// readUvarint is binary.ReadUvarint plus the consumed bytes appended to
+// rec, so the decoder's Bytes accounting and rolling checksum cover the
+// wire exactly (including non-canonical encodings, which hash as read).
+func readUvarint(r *bufio.Reader, rec []byte) (uint64, []byte, error) {
 	var x uint64
 	var s uint
 	for i := 0; i < binary.MaxVarintLen64; i++ {
 		b, err := r.ReadByte()
 		if err != nil {
-			return 0, i, err
+			return 0, rec, err
 		}
+		rec = append(rec, b)
 		if b < 0x80 {
 			if i == binary.MaxVarintLen64-1 && b > 1 {
-				return 0, i + 1, errors.New("uvarint overflows 64 bits")
+				return 0, rec, errors.New("uvarint overflows 64 bits")
 			}
-			return x | uint64(b)<<s, i + 1, nil
+			return x | uint64(b)<<s, rec, nil
 		}
 		x |= uint64(b&0x7f) << s
 		s += 7
 	}
-	return 0, binary.MaxVarintLen64, errors.New("uvarint too long")
+	return 0, rec, errors.New("uvarint too long")
 }
 
 func popcount(b []byte) int {

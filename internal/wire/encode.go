@@ -2,21 +2,43 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 )
 
-// Encoder writes one umi-profile/v1 stream. Frame methods buffer the
-// payload, validate it against the format limits and the stream grammar,
-// and write the framed record through an internal bufio.Writer; errors —
-// both I/O and misuse — are sticky, checked via Err or the final Flush.
-// An Encoder is single-goroutine, like the analyzer path that feeds it.
+// minCodedPayload is the smallest payload the v2 encoder tries to
+// compress: below it DEFLATE framing overhead always loses, so small
+// frames (invocations, windows) go straight to stored.
+const minCodedPayload = 64
+
+// Encoder writes one umi-profile stream (v1 or v2). Frame methods buffer
+// the payload, validate it against the format limits and the stream
+// grammar, and write the framed record through an internal bufio.Writer;
+// errors — both I/O and misuse — are sticky, checked via Err or the final
+// Flush. An Encoder is single-goroutine, like the analyzer path that
+// feeds it.
 type Encoder struct {
-	w   *bufio.Writer
-	buf []byte // payload scratch, reused across frames
-	err error
+	w       *bufio.Writer
+	buf     []byte // payload scratch, reused across frames
+	err     error
+	version byte
+	codec   byte
+
+	fw       *flate.Writer     // v2 block coder, Reset per frame
+	cbuf     bytes.Buffer      // coded-payload scratch
+	cellPrev map[uint64]uint64 // v2 per-PC cell predecessors, stream-persistent
+	colPrev  []uint64          // per-column predecessor scratch, one profile frame
+	predBuf  []int             // per-column predictor scratch
+
+	chk       uint64 // rolling FNV-1a over written frame bytes (pre-trailer)
+	framesOut uint64 // frames written before the trailer
+	shardID   uint64
+	frameHook func()
 
 	wroteHeader     bool
 	pendingProfiles int // Profile frames owed to the last Invocation
@@ -25,12 +47,39 @@ type Encoder struct {
 	done            bool
 }
 
-// NewEncoder returns an encoder writing to w. The caller owns w; Flush
+// NewEncoder returns a v1 encoder writing to w. The caller owns w; Flush
 // must be called (and its error checked) before the underlying writer is
 // closed.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: bufio.NewWriter(w)}
+	return &Encoder{w: bufio.NewWriter(w), version: Version, codec: CodecStored, chk: fnvOffset64}
 }
+
+// NewEncoderV2 returns a v2 encoder writing to w, negotiating the DEFLATE
+// codec: frame payloads are delta pre-transformed where the format allows
+// and block-coded whenever that shrinks them, and the trailer carries the
+// shard manifest. Same ownership contract as NewEncoder.
+func NewEncoderV2(w io.Writer) *Encoder {
+	fw, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	if err != nil {
+		// flate.NewWriter fails only on an invalid level constant.
+		panic(err)
+	}
+	return &Encoder{w: bufio.NewWriter(w), version: Version2, codec: CodecFlate, fw: fw,
+		cellPrev: make(map[uint64]uint64), chk: fnvOffset64}
+}
+
+// SetShardID names the shard in the v2 trailer manifest. Zero (the
+// default) derives the ID from the content checksum, which already makes
+// retried uploads of the same recording idempotent; set it explicitly
+// when splitting one logical run across distinct shards that could carry
+// identical frame content. No effect on v1 streams.
+func (e *Encoder) SetShardID(id uint64) { e.shardID = id }
+
+// SetFrameHook registers fn to run after each frame (preamble included
+// with the first) has been flushed through to the underlying writer — so
+// when fn runs, the writer has seen every byte up to a frame boundary.
+// Live shippers use this to chunk the stream into whole-frame units.
+func (e *Encoder) SetFrameHook(fn func()) { e.frameHook = fn }
 
 // Err returns the first error the encoder hit, nil if none.
 func (e *Encoder) Err() error { return e.err }
@@ -58,7 +107,9 @@ func (e *Encoder) fail(format string, args ...any) {
 	}
 }
 
-// frame writes the buffered payload as one frame of the given type.
+// frame writes the buffered payload as one frame of the given type. In v2
+// it picks the per-frame method (stored, or coded when that shrinks the
+// payload) and rolls the manifest checksum over the on-wire bytes.
 func (e *Encoder) frame(typ byte) {
 	if e.err != nil {
 		return
@@ -68,16 +119,76 @@ func (e *Encoder) frame(typ byte) {
 			typ, len(e.buf), MaxFramePayload)
 		return
 	}
-	var hdr [binary.MaxVarintLen64 + 1]byte
+	var hdr [2*binary.MaxVarintLen64 + 2]byte
 	hdr[0] = typ
-	n := binary.PutUvarint(hdr[1:], uint64(len(e.buf))) + 1
+	var n int
+	payload := e.buf
+	if e.version >= Version2 {
+		if coded, ok := e.deflate(e.buf); ok {
+			hdr[1] = methodCoded
+			n = 2
+			n += binary.PutUvarint(hdr[n:], uint64(len(e.buf)))
+			n += binary.PutUvarint(hdr[n:], uint64(len(coded)))
+			payload = coded
+		} else {
+			if e.err != nil {
+				return
+			}
+			hdr[1] = methodStored
+			n = 2 + binary.PutUvarint(hdr[2:], uint64(len(e.buf)))
+		}
+	} else {
+		n = 1 + binary.PutUvarint(hdr[1:], uint64(len(e.buf)))
+	}
+	if typ != frameTrailer {
+		e.chk = fnvUpdate(fnvUpdate(e.chk, hdr[:n]), payload)
+		e.framesOut++
+	}
 	if _, err := e.w.Write(hdr[:n]); err != nil {
 		e.err = fmt.Errorf("wire: write frame: %w", err)
 		return
 	}
-	if _, err := e.w.Write(e.buf); err != nil {
+	if _, err := e.w.Write(payload); err != nil {
 		e.err = fmt.Errorf("wire: write frame: %w", err)
+		return
 	}
+	e.frameEnd()
+}
+
+// deflate block-codes payload into the reusable scratch buffer, reporting
+// ok=false when the stream's codec is stored-only or coding would not
+// shrink the frame.
+func (e *Encoder) deflate(payload []byte) ([]byte, bool) {
+	if e.codec != CodecFlate || len(payload) < minCodedPayload {
+		return nil, false
+	}
+	e.cbuf.Reset()
+	e.fw.Reset(&e.cbuf)
+	if _, err := e.fw.Write(payload); err != nil {
+		e.err = fmt.Errorf("wire: deflate: %w", err)
+		return nil, false
+	}
+	if err := e.fw.Close(); err != nil {
+		e.err = fmt.Errorf("wire: deflate: %w", err)
+		return nil, false
+	}
+	if e.cbuf.Len() >= len(payload) {
+		return nil, false
+	}
+	return e.cbuf.Bytes(), true
+}
+
+// frameEnd flushes through to the underlying writer and fires the frame
+// hook, if one is registered.
+func (e *Encoder) frameEnd() {
+	if e.frameHook == nil || e.err != nil {
+		return
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = fmt.Errorf("wire: flush: %w", err)
+		return
+	}
+	e.frameHook()
 }
 
 func (e *Encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
@@ -118,9 +229,15 @@ func (e *Encoder) Header(h Header) {
 		e.err = fmt.Errorf("wire: write magic: %w", err)
 		return
 	}
-	if err := e.w.WriteByte(Version); err != nil {
+	if err := e.w.WriteByte(e.version); err != nil {
 		e.err = fmt.Errorf("wire: write version: %w", err)
 		return
+	}
+	if e.version >= Version2 {
+		if err := e.w.WriteByte(e.codec); err != nil {
+			e.err = fmt.Errorf("wire: write codec: %w", err)
+			return
+		}
 	}
 	e.buf = e.buf[:0]
 	e.str(h.Workload)
@@ -227,11 +344,15 @@ func (e *Encoder) Profile(p Profile) {
 		}
 	}
 	e.uvarint(uint64(recorded))
-	if recorded == len(p.Cells) { // dense: no presence bitmap needed
+	dense := recorded == len(p.Cells)
+	switch {
+	case e.version >= Version2:
+		e.cellsV2(p, nops, dense)
+	case dense: // dense: no presence bitmap needed
 		for _, c := range p.Cells {
 			e.uvarint(c)
 		}
-	} else {
+	default:
 		e.bitmapCells(p.Cells)
 		for _, c := range p.Cells {
 			if c != NoCell {
@@ -241,6 +362,111 @@ func (e *Encoder) Profile(p Profile) {
 	}
 	e.frame(frameProfile)
 }
+
+// maxPredictorSearch caps the rows*nops^2 work of the exhaustive
+// predictor search; wider frames fall back to self prediction so
+// encoding stays linear in the cell count.
+const maxPredictorSearch = 1 << 22
+
+// cellsV2 writes the v2 profile cell section: a per-column predictor
+// list, the sparse presence bitmap if one is needed, then the recorded
+// cells row-major as zigzag deltas from their column's predictor.
+//
+// Each column j (one op's address stream down the rows) declares how its
+// cells are predicted: 0 — the previous recorded cell in the same
+// column, seeded across frames from the per-PC predecessor map, the
+// right axis when the op strides; or i+1 with i<j — the same row's
+// column i cell, the right axis when the op tracks another op at a
+// near-constant offset (fields of one object, parallel arrays), whose
+// own addresses may be arbitrarily irregular. The encoder picks
+// whichever minimizes the pre-compression byte count; the choice rides
+// in the stream, so the decoder just follows it.
+func (e *Encoder) cellsV2(p Profile, nops int, dense bool) {
+	if cap(e.colPrev) < nops {
+		e.colPrev = make([]uint64, nops)
+	}
+	colPrev := e.colPrev[:nops]
+	for j := range colPrev {
+		colPrev[j] = e.cellPrev[p.PCs[j]]
+	}
+	pred := e.choosePredictors(p, nops, colPrev)
+	for _, pr := range pred {
+		e.uvarint(uint64(pr))
+	}
+	if !dense {
+		e.bitmapCells(p.Cells)
+	}
+	for i, c := range p.Cells {
+		if c == NoCell {
+			continue
+		}
+		j := i % nops
+		base := colPrev[j]
+		if pr := pred[j]; pr > 0 {
+			// Reference cell already emitted this row; a hole there
+			// falls back to the column's own predecessor.
+			if ref := p.Cells[i-j+(pr-1)]; ref != NoCell {
+				base = ref
+			}
+		}
+		e.zigzag(int64(c - base))
+		colPrev[j] = c
+	}
+	for j := 0; j < nops; j++ {
+		e.cellPrev[p.PCs[j]] = colPrev[j]
+	}
+}
+
+// choosePredictors picks each column's cheapest predictor by exact
+// pre-compression varint cost, self prediction winning ties (and used
+// outright past the search cap). The result lives in e.predBuf.
+func (e *Encoder) choosePredictors(p Profile, nops int, seed []uint64) []int {
+	if cap(e.predBuf) < nops {
+		e.predBuf = make([]int, nops)
+	}
+	pred := e.predBuf[:nops]
+	for j := range pred {
+		pred[j] = 0
+	}
+	if p.Rows*nops*nops > maxPredictorSearch {
+		return pred
+	}
+	for j := 1; j < nops; j++ {
+		chain := seed[j]
+		bestCost := 0
+		for r := 0; r < p.Rows; r++ {
+			c := p.Cells[r*nops+j]
+			if c == NoCell {
+				continue
+			}
+			bestCost += uvarintLen(zigzag(int64(c - chain)))
+			chain = c
+		}
+		for i := 0; i < j; i++ {
+			cost := 0
+			chain = seed[j]
+			for r := 0; r < p.Rows && cost < bestCost; r++ {
+				c := p.Cells[r*nops+j]
+				if c == NoCell {
+					continue
+				}
+				base := chain
+				if ref := p.Cells[r*nops+i]; ref != NoCell {
+					base = ref
+				}
+				cost += uvarintLen(zigzag(int64(c - base)))
+				chain = c
+			}
+			if cost < bestCost {
+				pred[j], bestCost = i+1, cost
+			}
+		}
+	}
+	return pred
+}
+
+// uvarintLen is the encoded size of v as a uvarint, in bytes.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
 
 func (e *Encoder) bitmapBools(bits []bool) {
 	n := (len(bits) + 7) / 8
@@ -325,7 +551,11 @@ func (e *Encoder) Window(w Window) {
 	e.frame(frameWindow)
 }
 
-// Trailer closes the stream. No frame may follow it.
+// Trailer closes the stream. No frame may follow it. In v2 the payload
+// opens with the shard manifest: the ID (t.Shard.ShardID if set, else
+// SetShardID's value, else derived from the content checksum) plus the
+// frame count and rolling checksum of everything written so far — the
+// latter two always computed, never taken from t.
 func (e *Encoder) Trailer(t Trailer) {
 	if !e.ready("trailer") {
 		return
@@ -339,6 +569,18 @@ func (e *Encoder) Trailer(t Trailer) {
 		return
 	}
 	e.buf = e.buf[:0]
+	if e.version >= Version2 {
+		id := t.Shard.ShardID
+		if id == 0 {
+			id = e.shardID
+		}
+		if id == 0 {
+			id = e.chk
+		}
+		e.uvarint(id)
+		e.uvarint(e.framesOut)
+		e.u64(e.chk)
+	}
 	e.uvarint(t.InstrumentEvents)
 	e.uvarint(t.GuestCycles)
 	e.uvarint(t.TotalCycles)

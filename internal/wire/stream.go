@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ScanManifest frame-walks one complete stream and returns its shard
+// manifest, verified against the observed frame count and rolling
+// checksum. ok is false (with a nil error) for v1 streams, which carry no
+// manifest. Unlike a full decode it never materializes records past the
+// header — payloads are read (and coded frames inflated) but not parsed —
+// so it is the cheap pre-upload pass the duplicate-shard check rides on.
+func ScanManifest(r io.Reader) (Manifest, bool, error) {
+	d := NewDecoder(r)
+	if _, err := d.Header(); err != nil {
+		return Manifest{}, false, err
+	}
+	if d.version < Version2 {
+		return Manifest{}, false, nil
+	}
+	for {
+		typ, payload, err := d.readFrame()
+		if err != nil {
+			return Manifest{}, false, err
+		}
+		if typ != frameTrailer {
+			continue
+		}
+		c := cursor{d: d, b: payload}
+		m := Manifest{ShardID: c.uvarint(), Frames: c.uvarint(), Checksum: c.u64()}
+		if d.err != nil {
+			return Manifest{}, false, d.err
+		}
+		if m.Frames != d.frames-1 {
+			return Manifest{}, false, d.fail("shard manifest declares %d frames, observed %d", m.Frames, d.frames-1)
+		}
+		if m.Checksum != d.chk {
+			return Manifest{}, false, d.fail("shard manifest checksum %#016x != observed %#016x", m.Checksum, d.chk)
+		}
+		if _, err := d.r.ReadByte(); err == nil {
+			return Manifest{}, false, d.fail("trailing bytes after trailer")
+		} else if !errors.Is(err, io.EOF) {
+			return Manifest{}, false, d.failTruncated("after trailer", err)
+		}
+		return m, true, nil
+	}
+}
+
+// Transcode re-encodes one complete stream at the given version (Version
+// or Version2), record for record — and, when the source is v2, shard ID
+// for shard ID. Replaying either stream produces byte-identical reports;
+// a v1 recording transcoded to v2 gains per-frame compression and the
+// trailer manifest without re-running the guest.
+func Transcode(dst io.Writer, src io.Reader, version byte) error {
+	var enc *Encoder
+	switch version {
+	case Version:
+		enc = NewEncoder(dst)
+	case Version2:
+		enc = NewEncoderV2(dst)
+	default:
+		return fmt.Errorf("wire: transcode: unknown version 0x%02x", version)
+	}
+	return TranscodeInto(enc, src)
+}
+
+// TranscodeInto is Transcode onto a caller-built encoder — the hook for
+// destinations that need encoder configuration first (a frame hook for
+// live shipping, an explicit shard ID). It drives the encoder through
+// the whole source stream, Flush included.
+func TranscodeInto(enc *Encoder, src io.Reader) error {
+	dec := NewDecoder(src)
+	h, err := dec.Header()
+	if err != nil {
+		return err
+	}
+	enc.Header(h)
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch t := rec.(type) {
+		case *Invocation:
+			enc.Invocation(t.Cycles, t.Profiles)
+		case *Profile:
+			enc.Profile(*t)
+		case *HistoryMeta:
+			enc.History(*t)
+		case *Window:
+			enc.Window(*t)
+		case *Trailer:
+			enc.Trailer(*t)
+		}
+	}
+	return enc.Flush()
+}

@@ -1,5 +1,5 @@
-// Package wire defines umi-profile/v1, the compact binary stream that
-// carries one UMI run's analyzer-input telemetry out of the capture
+// Package wire defines umi-profile/v1 and /v2, the compact binary streams
+// that carry one UMI run's analyzer-input telemetry out of the capture
 // process: the profiled address stream (per analyzer invocation), the
 // framed WindowSummary phase history, and the run trailer. A stream
 // recorded by `umiprof -emit` and replayed through umi.Replay — locally or
@@ -10,10 +10,15 @@
 //
 // # Stream grammar
 //
-//	stream  := magic version frame*
+//	stream  := magic version [codec] frame*
 //	magic   := "UMIP" (4 bytes)
-//	version := 0x01 (1 byte)
-//	frame   := type (1 byte) · payloadLen (uvarint) · payload
+//	version := 0x01 | 0x02 (1 byte)
+//	codec   := v2 only: 0x00 stored | 0x01 flate (1 byte)
+//	frame   := v1: type (1 byte) · payloadLen (uvarint) · payload
+//	           v2: type (1 byte) · method (1 byte)
+//	              · method 0x00 (stored): payloadLen (uvarint) · payload
+//	              · method 0x01 (coded):  rawLen (uvarint) · codedLen (uvarint)
+//	                                      · coded payload (inflates to exactly rawLen)
 //
 // Frame order is fixed and enforced by the decoder:
 //
@@ -24,6 +29,36 @@
 // must be the final frame, with nothing after it. A stream without a
 // Trailer is truncated, and truncation is an error — a decoded stream is
 // either complete or rejected.
+//
+// # v2: compression and shard manifest
+//
+// Version 0x02 keeps the frame payloads' field grammar but adds three
+// transport-level mechanisms:
+//
+//   - Per-frame compression. The codec byte after the version negotiates
+//     the block coder for the whole stream (0x01 is DEFLATE); each frame
+//     then independently chooses method 0x00 (stored) or 0x01 (coded),
+//     so tiny frames never pay the coder's framing overhead. The encoder
+//     codes a frame only when that makes it smaller.
+//   - Profile cell predictor pre-transform. A v2 profile frame carries a
+//     per-column predictor list, then each recorded cell as the zigzag
+//     delta from its prediction: predictor 0 is the column's previous
+//     recorded cell (seeded from the stream-persistent per-PC last
+//     value, so regular strides survive frame boundaries), predictor
+//     i+1 is the same row's column i — which captures loads at fixed
+//     offsets from another column's address, the common shape of
+//     pointer-chasing rows. The encoder picks each column's predictor
+//     by exact varint cost; the choice is deterministic, keeping
+//     streams canonical.
+//   - Shard manifest. The v2 trailer payload opens with a manifest —
+//     shard ID, frame count, and a rolling FNV-1a checksum over every
+//     on-wire frame byte before the trailer — which the decoder verifies
+//     against what it observed. The manifest identifies a shard across
+//     retries (duplicate-upload idempotence) and anchors live-tail
+//     resume points (Decoder.Checksum at a frame boundary).
+//
+// A v1 stream is decoded bit-exactly as before; Decoder auto-detects the
+// version from the preamble.
 //
 // # Scalar encodings
 //
@@ -61,8 +96,20 @@ package wire
 
 // Magic opens every stream, followed by the version byte.
 const (
-	Magic   = "UMIP"
-	Version = 0x01
+	Magic    = "UMIP"
+	Version  = 0x01
+	Version2 = 0x02
+)
+
+// Stream codecs (the byte after a v2 version byte) and per-frame methods.
+// CodecStored streams may only use stored frames; CodecFlate streams may
+// code any frame with DEFLATE.
+const (
+	CodecStored = 0x00
+	CodecFlate  = 0x01
+
+	methodStored = 0x00
+	methodCoded  = 0x01
 )
 
 // Frame type bytes.
@@ -192,6 +239,40 @@ type Trailer struct {
 	HWEvictions      uint64
 	CandidatePCs     []uint64
 	TracePCs         []uint64
+
+	// Shard is the v2 shard manifest. On decode of a v2 stream it holds
+	// the manifest the trailer declared (already verified against the
+	// observed frame count and rolling checksum); for v1 streams it is
+	// zero. On encode, only ShardID is consulted (see Encoder.Trailer);
+	// Frames and Checksum are always computed from the frames actually
+	// written.
+	Shard Manifest
+}
+
+// Manifest identifies one shard's content: how many frames precede the
+// trailer (header included) and the rolling FNV-1a-64 checksum over their
+// on-wire bytes (everything between the stream preamble and the trailer's
+// type byte). ShardID names the shard across retries; an encoder given no
+// explicit ID derives it from the checksum, so identical content gets an
+// identical ID and a re-recorded upload stays idempotent.
+type Manifest struct {
+	ShardID  uint64
+	Frames   uint64
+	Checksum uint64
+}
+
+// FNV-1a 64-bit, computed incrementally so both codec ends can roll it
+// over frame bytes as they stream.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvUpdate(h uint64, b []byte) uint64 {
+	for _, x := range b {
+		h = (h ^ uint64(x)) * fnvPrime64
+	}
+	return h
 }
 
 // Record is the sum type Decoder.Next yields: one of *Invocation,

@@ -113,19 +113,25 @@ func testStream() []byte {
 
 // decodeAll drains a stream, returning the header and every record.
 func decodeAll(r io.Reader) (Header, []Record, error) {
+	h, recs, _, err := decodeAllVer(r)
+	return h, recs, err
+}
+
+// decodeAllVer is decodeAll plus the detected stream version.
+func decodeAllVer(r io.Reader) (Header, []Record, byte, error) {
 	d := NewDecoder(r)
 	h, err := d.Header()
 	if err != nil {
-		return Header{}, nil, err
+		return Header{}, nil, 0, err
 	}
 	var recs []Record
 	for {
 		rec, err := d.Next()
 		if err == io.EOF {
-			return h, recs, nil
+			return h, recs, d.Version(), nil
 		}
 		if err != nil {
-			return Header{}, nil, err
+			return Header{}, nil, 0, err
 		}
 		recs = append(recs, rec)
 	}
@@ -427,38 +433,52 @@ func FuzzWireDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(minimal.Bytes())
+	f.Add(testStreamV2())
+	var minimal2 bytes.Buffer
+	e2 := NewEncoderV2(&minimal2)
+	e2.Header(Header{})
+	e2.Trailer(Trailer{})
+	if err := e2.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(minimal2.Bytes())
 	f.Add([]byte(Magic))
 	f.Add([]byte("UMIP\x01\x01\x00"))
+	f.Add([]byte("UMIP\x02\x01\x01\x00"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Property 1: the decoder never panics and always terminates with
 		// a record stream or an error, on any input.
-		h, recs, err := decodeAll(bytes.NewReader(data))
+		h, recs, ver, err := decodeAllVer(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		// Property 2: every valid stream round-trips — re-encoding the
-		// decoded records yields a stream that decodes to the same bytes
-		// again (byte-level fixed point, which also sidesteps NaN
-		// comparison traps in float fields).
-		enc1 := reencode(t, h, recs)
-		h2, recs2, err := decodeAll(bytes.NewReader(enc1))
+		// decoded records at the stream's own version yields a stream that
+		// decodes to the same bytes again (byte-level fixed point, which
+		// also sidesteps NaN comparison traps in float fields).
+		enc1 := reencode(t, h, recs, ver)
+		h2, recs2, ver2, err := decodeAllVer(bytes.NewReader(enc1))
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded stream failed: %v", err)
 		}
-		enc2 := reencode(t, h2, recs2)
+		enc2 := reencode(t, h2, recs2, ver2)
 		if !bytes.Equal(enc1, enc2) {
 			t.Fatalf("re-encode not a fixed point:\n first %x\nsecond %x", enc1, enc2)
 		}
 	})
 }
 
-// reencode writes the decoded records back out through the encoder.
-func reencode(t *testing.T, h Header, recs []Record) []byte {
+// reencode writes the decoded records back out through the encoder, at the
+// version the stream was decoded from.
+func reencode(t *testing.T, h Header, recs []Record, version byte) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	e := NewEncoder(&buf)
+	if version == Version2 {
+		e = NewEncoderV2(&buf)
+	}
 	e.Header(h)
 	for _, rec := range recs {
 		switch r := rec.(type) {
