@@ -4,7 +4,7 @@ FUZZTIME ?= 5s
 # The perf-trajectory micro-benchmarks: the hot paths every simulated
 # reference crosses. bench-json pins -benchtime/-count so BENCH_umi.json
 # baselines are comparable run to run on one machine.
-BENCH_HOT = ^Benchmark(CacheAccess|AnalyzeProfile|PipelineEndToEnd|WireEncode|WireEncodeV2|WireDecode|WireDecodeV2)$$
+BENCH_HOT = ^Benchmark(CacheAccess|AnalyzeProfile|PipelineEndToEnd|WireEncode|WireEncodeV2|WireDecode|WireDecodeV2|SampledAccess|OverheadAttribution)$$
 BENCH_TIME ?= 300ms
 BENCH_COUNT ?= 3
 
@@ -53,5 +53,7 @@ fuzz:
 	$(GO) test ./internal/cache -run FuzzCacheConfig -fuzz FuzzCacheConfig -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/umi -run FuzzAnalyzerProfile -fuzz FuzzAnalyzerProfile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/umi -run FuzzWindowSummary -fuzz FuzzWindowSummary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/umi -run FuzzSamplerConfig -fuzz FuzzSamplerConfig -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/umi -run FuzzReservoirProfile -fuzz FuzzReservoirProfile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/introspect -run FuzzSessionConfig -fuzz FuzzSessionConfig -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run FuzzWireDecode -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)

@@ -396,6 +396,61 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkSampledAccess runs the full pipeline under burst sampling with
+// adaptation (1-in-8 trace executions profiled, stable phases shrinking
+// further) — the configuration the overhead-frontier harness recommends —
+// and reports wall time per simulated reference next to the modelled
+// self-overhead it leaves behind. Belongs in BENCH_umi.json beside
+// BenchmarkPipelineEndToEnd, its instrument-everything counterpart.
+func BenchmarkSampledAccess(b *testing.B) {
+	w, ok := workloads.ByName("181.mcf")
+	if !ok {
+		b.Fatal("workload 181.mcf missing")
+	}
+	cfg := harness.UMIParams(harness.P4)
+	cfg.BurstPeriod = 8
+	cfg.SamplerSeed = 1
+	cfg.AdaptSampling = true
+	var refs uint64
+	var overheadPct float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := harness.RunUMI(w, harness.P4, cfg, false, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += run.Report.SimulatedRefs
+		overheadPct = 100 * run.Overhead.OverheadRatio
+	}
+	if refs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(refs), "ns/ref")
+	}
+	b.ReportMetric(overheadPct, "overhead_%")
+}
+
+// BenchmarkOverheadAttribution measures assembling the per-stage
+// attribution report from the live registry — the cost the introspection
+// endpoint pays per /overhead scrape while the guest runs.
+func BenchmarkOverheadAttribution(b *testing.B) {
+	w, _ := workloads.ByName("181.mcf")
+	h := harness.P4.Hierarchy(false)
+	m := vm.New(w.Program(), h)
+	rt := rio.NewRuntime(m)
+	s := iumi.Attach(rt, harness.UMIParams(harness.P4))
+	if err := rt.Run(harness.MaxInstrs); err != nil {
+		b.Fatal(err)
+	}
+	s.Finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := s.LiveOverhead()
+		if r.GuestCycles == 0 {
+			b.Fatal("live report empty")
+		}
+	}
+}
+
 // wireBenchEmit writes a umi-profile/v1 stream shaped like the analyzer's
 // defaults — 32 invocations of one 16-op × 256-row profile (the
 // BenchmarkAnalyzeProfile geometry), a 64-window history, a trailer with

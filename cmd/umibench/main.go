@@ -46,8 +46,8 @@ func main() {
 		args = []string{"table1", "table2", "table3", "table4", "table5", "table6",
 			"fig2", "fig3", "fig4", "fig5", "fig6",
 			"sens-threshold", "sens-profile", "sens-geometry", "linuxapps",
-			"counters-vs-umi", "self-overhead", "timeline", "phases",
-			"wire-compress"}
+			"counters-vs-umi", "self-overhead", "overhead-frontier",
+			"timeline", "phases", "wire-compress"}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -89,6 +89,10 @@ experiments:
   linuxapps       Linux application miss ratios (Section 6.3)
   counters-vs-umi PMU sampling quality per overhead vs UMI (Section 1.2)
   self-overhead   modelled UMI cost vs the runtime's own metrics
+  overhead-frontier
+                  sampling-rate x adaptation sweep: fill-cost reduction
+                  vs delinquent-set recall and miss-ratio correlation
+                  (default: 181.mcf, 197.parser, em3d, 470.lbm)
   timeline        delinquent-set evolution per analyzer invocation
   phases          windowed miss-ratio and delinquent-set churn history
   replay-geometry geometry sweep replaying one umi-profile/v1 stream
@@ -207,6 +211,12 @@ func run(exp string, names []string, streamPath string) (any, string, error) {
 			return nil, "", err
 		}
 		return r, r.String() + r.LiveString(), nil
+	case "overhead-frontier":
+		r, err := harness.OverheadFrontier(names)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.String(), nil
 	case "timeline":
 		r, err := harness.Timeline(names)
 		if err != nil {

@@ -63,6 +63,29 @@ func TestRunReplayGeometry(t *testing.T) {
 	}
 }
 
+func TestRunOverheadFrontier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a UMI experiment")
+	}
+	v, text, err := run("overhead-frontier", []string{"em3d"}, "")
+	if err != nil {
+		t.Fatalf("overhead-frontier: %v", err)
+	}
+	r, ok := v.(*harness.FrontierResult)
+	if !ok {
+		t.Fatalf("overhead-frontier value is %T, want *harness.FrontierResult", v)
+	}
+	if r.Schema != harness.FrontierSchema || len(r.Points) != 4 {
+		t.Errorf("frontier = schema %q, %d points; want %q with 4 points",
+			r.Schema, len(r.Points), harness.FrontierSchema)
+	}
+	for _, want := range []string{"full", "burst-8+adapt", "em3d", "Recall"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("frontier render missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunTimelineExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a UMI experiment")

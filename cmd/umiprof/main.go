@@ -6,7 +6,7 @@
 // Usage:
 //
 //	umiprof [-machine p4|k7] [-hwpf] [-swpf] [-no-sampling] [-workers n] [-top n]
-//	        [-metrics] [-metrics-json file] [-trace-out file]
+//	        [-metrics] [-metrics-json file] [-overhead] [-trace-out file]
 //	        [-history] [-history-out file] [-emit file] [-emit-format 1|2]
 //	        [-emit-live host:port] [-live-window n]
 //	        [-http addr] [-http-linger d] <workload>
@@ -59,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	patterns := fs.Bool("patterns", false, "classify reference patterns per operation")
 	whatIf := fs.Bool("whatif", false, "mini-simulate alternative cache sizes over the same profiles")
 	showMetrics := fs.Bool("metrics", false, "append the runtime's self-overhead metrics snapshot")
+	showOverhead := fs.Bool("overhead", false,
+		"append the per-stage self-overhead attribution (modelled cycles + measured wall)")
 	metricsJSON := fs.String("metrics-json", "", "write the metrics snapshot as JSON to this file")
 	traceOut := fs.String("trace-out", "",
 		"write the run's event timeline as Chrome trace-event JSON to this file (open in Perfetto)")
@@ -187,9 +189,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *httpAddr != "" {
 		srv := &introspect.Server{
-			Metrics: sys.LiveMetricsSnapshot,
-			Events:  elog,
-			History: sys.LiveHistory,
+			Metrics:  sys.LiveMetricsSnapshot,
+			Events:   elog,
+			History:  sys.LiveHistory,
+			Overhead: sys.LiveOverhead,
 		}
 		addr, stop, err := srv.Serve(*httpAddr)
 		if err != nil {
@@ -342,6 +345,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+	}
+	if *showOverhead {
+		rep := sys.Overhead()
+		fmt.Fprintf(stdout, "\n%s%s", rep, rep.LiveString())
 	}
 	if *showHistory {
 		hv := sys.History()

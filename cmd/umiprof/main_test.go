@@ -16,6 +16,7 @@ import (
 
 	"umi/internal/introspect"
 	"umi/internal/metrics"
+	"umi/internal/umi"
 )
 
 // The end-to-end tests drive run() — main minus os.Exit — so they exercise
@@ -267,6 +268,13 @@ func TestE2EHTTP(t *testing.T) {
 	if !bytes.HasPrefix(get("/events/timeline"), []byte("timeline:")) {
 		t.Error("/events/timeline missing header")
 	}
+	var ovh umi.OverheadReport
+	if err := json.Unmarshal(get("/overhead"), &ovh); err != nil {
+		t.Fatalf("/overhead is not an OverheadReport: %v", err)
+	}
+	if ovh.Schema != umi.OverheadSchema || len(ovh.Stages) == 0 {
+		t.Errorf("/overhead payload = %+v, want a schema-stamped staged report", ovh)
+	}
 
 	if code := <-done; code != 0 {
 		t.Fatalf("-http run exited %d, stderr %q", code, errb.String())
@@ -359,6 +367,31 @@ func TestE2EHistoryFlag(t *testing.T) {
 	}
 }
 
+// TestE2EOverheadFlag: -overhead is purely additive (the plain output
+// stays a byte-exact prefix) and appends both attribution views — the
+// deterministic modelled table and the measured wall table.
+func TestE2EOverheadFlag(t *testing.T) {
+	_, plain, _ := runCLI(t, "470.lbm")
+	code, out, errs := runCLI(t, "-overhead", "470.lbm")
+	if code != 0 {
+		t.Fatalf("-overhead run exited %d, stderr %q", code, errs)
+	}
+	if !strings.HasPrefix(out, plain) {
+		t.Errorf("-overhead must extend plain stdout, not rewrite it:\n%s", out)
+	}
+	suffix := strings.TrimPrefix(out, plain)
+	for _, want := range []string{
+		"self-overhead: guest",
+		"substrate",
+		"self-overhead (wall): run",
+		"(sampled estimate)",
+	} {
+		if !strings.Contains(suffix, want) {
+			t.Errorf("-overhead section missing %q:\n%s", want, suffix)
+		}
+	}
+}
+
 // TestE2EPromScrape scrapes /metrics/prom off a live run: the exposition
 // must parse (TYPE-declared families, parseable sample values) and carry
 // the stable counter names dashboards pin.
@@ -446,6 +479,50 @@ func TestE2EPromScrape(t *testing.T) {
 
 	if code := <-done; code != 0 {
 		t.Fatalf("-http run exited %d, stderr %q", code, errb.String())
+	}
+}
+
+// TestE2ETranscode drives the -transcode path end to end: a v1 recording
+// re-encoded to v2 must come out smaller and replay byte-identically, and
+// the flag surface must reject a missing -o.
+func TestE2ETranscode(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "stream-v1.bin")
+	v2 := filepath.Join(dir, "stream-v2.bin")
+	if code, _, errs := runCLI(t, "-emit", v1, "-emit-format", "1", "em3d"); code != 0 {
+		t.Fatalf("emit: exit %d, stderr %q", code, errs)
+	}
+	code, _, errs := runCLI(t, "-transcode", v1, "-o", v2)
+	if code != 0 {
+		t.Fatalf("transcode: exit %d, stderr %q", code, errs)
+	}
+	if !strings.Contains(errs, "transcoded") {
+		t.Errorf("transcode summary missing from stderr: %q", errs)
+	}
+	s1, err := os.Stat(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := os.Stat(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() >= s1.Size() {
+		t.Errorf("v2 re-encoding (%d bytes) not smaller than v1 (%d bytes)", s2.Size(), s1.Size())
+	}
+	_, rep1, _ := runCLI(t, "-ingest", v1)
+	code, rep2, errs := runCLI(t, "-ingest", v2)
+	if code != 0 {
+		t.Fatalf("ingest v2: exit %d, stderr %q", code, errs)
+	}
+	if rep1 != rep2 {
+		t.Error("v2 replay report differs from the v1 replay report")
+	}
+	if code, _, _ := runCLI(t, "-transcode", v1); code != 2 {
+		t.Errorf("-transcode without -o: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-transcode", filepath.Join(dir, "nope.bin"), "-o", v2); code != 1 {
+		t.Errorf("-transcode of a missing file: exit %d, want 1", code)
 	}
 }
 

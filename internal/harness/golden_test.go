@@ -208,6 +208,14 @@ func TestGoldenSelfOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden(t, "self_overhead", r.String())
+	// The measured half is never golden-compared, but it must render the
+	// wall sections for the same workloads.
+	live := r.LiveString()
+	for _, want := range []string{"Measured analysis latency", "Event tracing throughput", "470.lbm"} {
+		if !strings.Contains(live, want) {
+			t.Errorf("LiveString missing %q:\n%s", want, live)
+		}
+	}
 }
 
 // TestGoldenTimeline pins the delinquent-set-evolution figure, the
@@ -246,6 +254,50 @@ func TestGoldenUMIReport(t *testing.T) {
 	golden(t, "umi_report", run.Report.String()+"\n")
 }
 
+// TestGoldenOverheadReport pins the per-stage attribution render for one
+// deterministic run — the modelled-cycles view only (String); the wall
+// view (LiveString) is measured and excluded by design.
+func TestGoldenOverheadReport(t *testing.T) {
+	w, ok := workloads.ByName("470.lbm")
+	if !ok {
+		t.Fatal("470.lbm missing from the workload registry")
+	}
+	run, err := RunUMI(w, P4, UMIParams(P4), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "overhead_report", run.Overhead.String())
+}
+
+// TestGoldenOverheadFrontier pins the overhead/accuracy frontier figure on
+// a two-workload subset and asserts the acceptance bar the figure exists
+// to demonstrate: the burst-8 + adaptation point must cut fill cycles by
+// at least 40% on average while keeping delinquent-set recall at 0.90+.
+func TestGoldenOverheadFrontier(t *testing.T) {
+	r, err := OverheadFrontier(figNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "overhead_frontier", r.String())
+
+	var adapt *FrontierPoint
+	for _, pt := range r.Points {
+		if pt.Config.Label == "burst-8+adapt" {
+			adapt = pt
+		}
+	}
+	if adapt == nil {
+		t.Fatal("frontier has no burst-8+adapt point")
+	}
+	if adapt.MeanFillReductionPct < 40 {
+		t.Errorf("burst-8+adapt cuts fill cycles by %.1f%%, acceptance bar is 40%%",
+			adapt.MeanFillReductionPct)
+	}
+	if adapt.MeanRecall < 0.90 {
+		t.Errorf("burst-8+adapt recall = %.3f, acceptance bar is 0.90", adapt.MeanRecall)
+	}
+}
+
 // TestEmptyRenderers checks the degraded renders: every report producer
 // must say explicitly that there is nothing to show rather than emitting
 // an empty string or a header-only table (satellite of the observability
@@ -267,6 +319,9 @@ func TestEmptyRenderers(t *testing.T) {
 		{"TimelineResult", (&TimelineResult{}).String(), "Timeline: no benchmarks selected\n"},
 		{"PhasesResult", (&PhasesResult{}).String(), "Phases: no benchmarks selected\n"},
 		{"FormatHistory", umi.FormatHistory(nil), "phase history: no analyzer invocations\n"},
+		{"OverheadReport", (&umi.OverheadReport{}).String(), "self-overhead: no guest cycles recorded\n"},
+		{"OverheadReport.Live", (&umi.OverheadReport{}).LiveString(), "self-overhead (wall): no wall time recorded\n"},
+		{"FrontierResult", (&FrontierResult{}).String(), "Overhead frontier: no configurations\n"},
 	}
 	for _, c := range cases {
 		if !strings.Contains(c.got, strings.TrimSuffix(c.want, "\n")) {

@@ -110,6 +110,10 @@ type UMIRun struct {
 	// denominator for events/sec and other live rates. Nondeterministic;
 	// never renders into a golden surface.
 	Wall time.Duration
+	// Overhead is the per-stage self-overhead attribution report. The
+	// modelled-cycles half is deterministic (golden-safe); the wall half is
+	// measured and belongs to live renders only.
+	Overhead *umi.OverheadReport
 }
 
 // TotalCycles is the modelled running time under UMI.
@@ -136,7 +140,7 @@ func RunUMI(w *workloads.Workload, p *Platform, cfg umi.Config, hwPrefetch, with
 	wall := time.Since(start)
 	return &UMIRun{Report: s.Report(), RT: rt, H: h, Opt: opt,
 		Metrics: s.MetricsSnapshot(), Events: elog,
-		History: s.History(), Wall: wall}, nil
+		History: s.History(), Wall: wall, Overhead: s.Overhead()}, nil
 }
 
 // RunCachegrind executes the workload natively while feeding every memory

@@ -114,6 +114,19 @@ func (s *session) liveMetrics() metrics.Snapshot {
 	return metrics.Snapshot{}
 }
 
+// liveOverhead assembles the session's per-stage self-overhead report when
+// a live run is attached. Ingest sessions have no guest (the replayer pays
+// its own costs on daemon time), so they serve nothing here.
+func (s *session) liveOverhead() *umi.OverheadReport {
+	s.mu.Lock()
+	sys := s.sys
+	s.mu.Unlock()
+	if sys != nil {
+		return sys.LiveOverhead()
+	}
+	return nil
+}
+
 // liveHistory snapshots the session's history ring if a run has attached.
 // Ingest sessions serve the merged streamed history from the last
 // completed shard (their replayer has no live ring of its own to scrape
@@ -464,6 +477,13 @@ func (d *Daemon) fleetProm(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", metrics.PromContentType)
 	metrics.WritePrometheusFleet(w, labeled)
+	ovh := make([]umi.LabeledOverhead, 0, len(sessions))
+	for _, s := range sessions {
+		if rep := s.liveOverhead(); rep != nil {
+			ovh = append(ovh, umi.LabeledOverhead{Label: s.id, Report: rep})
+		}
+	}
+	umi.WriteOverheadPromFleet(w, ovh)
 }
 
 // fleetMember pairs a session id with its completed result, the input to

@@ -57,6 +57,11 @@ type Sources struct {
 	// scrape cannot block or reorder guest progress. Nil serves an empty
 	// (schema-stamped) view.
 	History func() umi.HistoryView
+	// Overhead returns the current per-stage self-overhead attribution —
+	// the session's LiveOverhead, assembled purely from the registry, so
+	// it is safe from any goroutine and never touches guest-owned state.
+	// Nil serves an empty report.
+	Overhead func() *umi.OverheadReport
 }
 
 // Server serves one session's observability state. Zero-value fields are
@@ -70,9 +75,10 @@ type Server struct {
 	// Metrics, Events, History are the construction-time sources — see
 	// Sources for their contracts. They are read only until the first
 	// SetSources call; after that the atomic bundle wins.
-	Metrics func() metrics.Snapshot
-	Events  *tracelog.Log
-	History func() umi.HistoryView
+	Metrics  func() metrics.Snapshot
+	Events   *tracelog.Log
+	History  func() umi.HistoryView
+	Overhead func() *umi.OverheadReport
 
 	src atomic.Pointer[Sources]
 
@@ -99,7 +105,8 @@ func (s *Server) sources() *Sources {
 	if p := s.src.Load(); p != nil {
 		return p
 	}
-	return &Sources{Metrics: s.Metrics, Events: s.Events, History: s.History}
+	return &Sources{Metrics: s.Metrics, Events: s.Events, History: s.History,
+		Overhead: s.Overhead}
 }
 
 func (s *Server) snapshot() metrics.Snapshot {
@@ -114,6 +121,13 @@ func (s *Server) history() umi.HistoryView {
 		return src.History()
 	}
 	return (*umi.History)(nil).View()
+}
+
+func (s *Server) overhead() *umi.OverheadReport {
+	if src := s.sources(); src.Overhead != nil {
+		return src.Overhead()
+	}
+	return &umi.OverheadReport{Schema: umi.OverheadSchema}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -145,6 +159,10 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", metrics.PromContentType)
 		metrics.WritePrometheus(w, s.snapshot())
 		umi.WriteHistoryProm(w, s.history())
+		umi.WriteOverheadProm(w, s.overhead())
+	})
+	mux.HandleFunc("/overhead", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.overhead())
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.history())
@@ -179,6 +197,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 /metrics/delta    change since the previous /metrics/delta scrape (JSON)
 /metrics/prom     Prometheus text exposition (registry + phase gauges)
 /history          profile-history windows with phase-change flags (JSON)
+/overhead         per-stage self-overhead attribution (JSON)
 /events           recent lifecycle events (JSON; ?n=100 limits)
 /events/timeline  deterministic plain-text timeline
 /events/trace     Chrome trace-event JSON (open in Perfetto)

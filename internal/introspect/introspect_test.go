@@ -297,6 +297,110 @@ func TestPromEndpoint(t *testing.T) {
 	}
 }
 
+// TestOverheadEndpoint: /overhead must serve the attribution report as
+// JSON, and /metrics/prom must carry the same numbers in the
+// umi_overhead_* families — the two surfaces describe one report.
+func TestOverheadEndpoint(t *testing.T) {
+	s, _, _ := testServer()
+	s.Overhead = func() *umi.OverheadReport {
+		return &umi.OverheadReport{
+			Schema:         umi.OverheadSchema,
+			GuestCycles:    1_000_000,
+			OverheadCycles: 25_000,
+			OverheadRatio:  0.025,
+			GuestWallNs:    4_000_000,
+			Stages: []umi.StageCost{
+				{Stage: "instrument", Events: 12, ModelledCycles: 6_000, CycleRatio: 0.006},
+				{Stage: "fill", Events: 800, ModelledCycles: 19_000, CycleRatio: 0.019, WallNs: 90_000, WallRatio: 0.0225},
+			},
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/overhead")
+	if code != http.StatusOK {
+		t.Fatalf("/overhead status = %d", code)
+	}
+	var r umi.OverheadReport
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatalf("/overhead is not an OverheadReport: %v\n%s", err, body)
+	}
+	if r.Schema != umi.OverheadSchema || r.GuestCycles != 1_000_000 || len(r.Stages) != 2 {
+		t.Errorf("overhead payload = %+v", r)
+	}
+	if st := r.Stage("fill"); st.ModelledCycles != 19_000 || st.WallNs != 90_000 {
+		t.Errorf("fill stage payload = %+v", st)
+	}
+
+	// The Prometheus exposition must agree with the JSON report — every
+	// umi_overhead_* sample structurally valid (TYPE declared before use,
+	// parseable value) and numerically equal to the report's fields.
+	_, prom := get(t, ts, "/metrics/prom")
+	types := make(map[string]bool)
+	samples := make(map[string]float64)
+	for ln, line := range strings.Split(strings.TrimRight(prom, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			types[f[2]] = true
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value in %q", ln+1, line)
+		}
+		name := line[:sp]
+		if strings.HasPrefix(name, "umi_overhead") {
+			base := name
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				base = base[:i]
+			}
+			if !types[base] {
+				t.Fatalf("line %d: sample %q before its TYPE line", ln+1, line)
+			}
+			samples[name] = v
+		}
+	}
+	want := map[string]float64{
+		"umi_overhead_guest_cycles":                     1_000_000,
+		"umi_overhead_cycles_total":                     25_000,
+		"umi_overhead_ratio":                            0.025,
+		`umi_overhead_stage_cycles{stage="fill"}`:       19_000,
+		`umi_overhead_stage_wall_ns{stage="fill"}`:      90_000,
+		`umi_overhead_stage_cycles{stage="instrument"}`: 6_000,
+	}
+	for name, w := range want {
+		if got, ok := samples[name]; !ok || got != w {
+			t.Errorf("/metrics/prom %s = %v (present %v), /overhead says %v", name, got, ok, w)
+		}
+	}
+}
+
+// TestOverheadNilSource: with no overhead source the endpoint serves an
+// empty schema-stamped report, and the exposition omits nothing fatal.
+func TestOverheadNilSource(t *testing.T) {
+	ts := httptest.NewServer((&Server{}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/overhead")
+	if code != http.StatusOK {
+		t.Fatalf("/overhead status = %d with nil source", code)
+	}
+	var r umi.OverheadReport
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != umi.OverheadSchema || r.GuestCycles != 0 || len(r.Stages) != 0 {
+		t.Errorf("nil-source overhead = %+v, want empty schema-stamped report", r)
+	}
+}
+
 // TestHistoryNilSource: both history surfaces must serve the empty view
 // when no history source is wired.
 func TestHistoryNilSource(t *testing.T) {

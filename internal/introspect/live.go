@@ -152,7 +152,7 @@ func (s *LiveShipper) Close() (*RunResult, error) {
 // here, so frame order and the spool are trivially consistent.
 func (s *LiveShipper) run() {
 	defer close(s.done)
-	var spool []byte  // every frame handed to any attempt, in order
+	var spool []byte    // every frame handed to any attempt, in order
 	streamDone := false // producer closed the window and spool holds it all
 	for attempt := 1; ; attempt++ {
 		res, err := s.attempt(&spool, &streamDone)

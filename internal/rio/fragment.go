@@ -28,8 +28,12 @@ type MemHook func(pc, addr uint64, size uint8, write bool)
 type Instrumentation struct {
 	// Prolog runs on every fragment entry (the paper's bookkeeping
 	// prolog: one conditional jump thanks to the guard-page trick). If it
-	// returns false the fragment has asked to be replaced; the dispatcher
-	// re-resolves the fragment for the same PC before executing.
+	// returns true, the entry is profiled: the fragment's hooks are
+	// installed for this execution. If it returns false, the dispatcher
+	// re-resolves the fragment for the same PC: when the prolog replaced
+	// the fragment (analysis finished) execution continues in the
+	// replacement, and when it did not (a burst-sampling skip) this entry
+	// executes unprofiled, paying only PrologCost.
 	Prolog func() bool
 	// Hooks maps original application PCs of profiled operations to
 	// their observers.

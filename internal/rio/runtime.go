@@ -269,26 +269,34 @@ func (rt *Runtime) execFragment(f *Fragment) (uint64, bool, error) {
 	m := rt.M
 	if f.Instr != nil {
 		rt.Overhead += f.Instr.PrologCost
-		if !f.Instr.Prolog() {
-			// Fragment asked to be replaced (analysis finished).
+		profile := f.Instr.Prolog()
+		if !profile {
+			// The prolog declined this execution. Either the fragment asked
+			// to be replaced (analysis finished) — re-dispatch to whatever
+			// now owns the PC — or the fragment is unchanged and this entry
+			// simply runs without its reference hooks: the burst-sampling
+			// skip, which pays only the prolog conditional already charged
+			// above.
 			nf, _ := rt.lookup(f.Start)
 			if nf != f {
 				return rt.execFragment(nf)
 			}
 		}
-		savedHook := m.RefHook
-		hooks := f.Instr.Hooks
-		perRef := f.Instr.PerRefCost
-		m.RefHook = func(pc, addr uint64, size uint8, write bool) {
-			if savedHook != nil {
-				savedHook(pc, addr, size, write)
+		if profile {
+			savedHook := m.RefHook
+			hooks := f.Instr.Hooks
+			perRef := f.Instr.PerRefCost
+			m.RefHook = func(pc, addr uint64, size uint8, write bool) {
+				if savedHook != nil {
+					savedHook(pc, addr, size, write)
+				}
+				if h, ok := hooks[pc]; ok {
+					h(pc, addr, size, write)
+					rt.Overhead += perRef
+				}
 			}
-			if h, ok := hooks[pc]; ok {
-				h(pc, addr, size, write)
-				rt.Overhead += perRef
-			}
+			defer func() { m.RefHook = savedHook }()
 		}
-		defer func() { m.RefHook = savedHook }()
 	}
 
 	for i := 0; i < len(f.Instrs); i++ {

@@ -135,12 +135,84 @@ type Config struct {
 	// byte-identical to a standalone run.
 	SharedPrep *SharedPrep
 
+	// Burst sampling (Examem-style): when BurstPeriod > 1 an instrumented
+	// trace records only 1-in-BurstPeriod of its executions — the prolog
+	// skips hook installation for the rest, so a skipped entry pays
+	// PrologCost but no per-reference cost and contributes no profile row.
+	// The instrumented burst still ends after AddressProfileRows entries
+	// (recorded or not), so the analyzer cadence is unchanged and each
+	// invocation sees a ~1/BurstPeriod row sample. The schedule is
+	// deterministic — derived from SamplerSeed and the trace's start PC,
+	// advanced by the trace's own entry counter, all guest-thread modelled
+	// state — so reports stay byte-identical at every worker count.
+	// BurstPeriod ≤ 1 disables burst sampling (today's behaviour exactly).
+	BurstPeriod int
+
+	// SamplerSeed seeds the deterministic burst and reservoir schedules.
+	// Zero is a valid seed; two runs with the same seed (and config)
+	// produce byte-identical reports.
+	SamplerSeed uint64
+
+	// ReservoirRows, when > 0 and below the effective row target, caps how
+	// many rows a profile physically retains: the first ReservoirRows
+	// recorded executions fill the buffer, after which each further one
+	// replaces a deterministically-pseudo-random resident with probability
+	// cap/seen (classic reservoir sampling) or is dropped — so the
+	// analyzer replays a uniform sample of the burst's executions at a
+	// fraction of the simulation cost. 0 disables.
+	ReservoirRows int
+
+	// AdaptSampling enables history-driven adaptation: after
+	// AdaptStableWindows consecutive analyzer windows without a
+	// PhaseChange flag, the sampler steps down one level — halving the
+	// per-trace row target and doubling the reinstrumentation cooldown —
+	// down to at most adaptMaxLevel steps; any PhaseChange re-arms level 0
+	// (full profiling) immediately. Adaptation reads analysis results at
+	// deinstrument time, so (like OnAnalyzed and AdaptiveFrequency) it
+	// forces the inline analysis path. Requires HistoryWindows ≥ 0.
+	AdaptSampling bool
+
+	// AdaptStableWindows is the consecutive phase-stable window count K
+	// that triggers one adaptation step (0 selects
+	// DefaultAdaptStableWindows).
+	AdaptStableWindows int
+
 	// Overhead model (cycles).
 	PerRefCost     uint64 // per recorded (pc, address) tuple (§4.2: 4-6 ops)
 	PrologCost     uint64 // per instrumented trace entry
 	AnalyzerPerRef uint64 // analyzer cycles per simulated reference
 	AnalyzerFixed  uint64 // analyzer invocation fixed cost (context switch)
 	InstrumentCost uint64 // per instrument/swap event (clone + patching)
+}
+
+// DefaultAdaptStableWindows is the default stable-window count before an
+// adaptation step when AdaptSampling is on and AdaptStableWindows is 0.
+const DefaultAdaptStableWindows = 4
+
+// adaptMaxLevel bounds history-driven adaptation: each level halves the
+// row target and doubles the cooldown, so level 3 profiles 1/8 the rows
+// at 8× the interval — deep enough to matter, shallow enough that a
+// re-arm recovers full profiling within one window.
+const adaptMaxLevel = 3
+
+// adaptMinRows floors the adapted per-trace row target so even the
+// quietest phase keeps enough post-warmup rows for stable miss ratios.
+const adaptMinRows = 32
+
+// burstPeriod returns the effective burst period (≥ 1).
+func (c *Config) burstPeriod() int {
+	if c.BurstPeriod < 1 {
+		return 1
+	}
+	return c.BurstPeriod
+}
+
+// adaptStableWindows returns the effective K for AdaptSampling.
+func (c *Config) adaptStableWindows() int {
+	if c.AdaptStableWindows <= 0 {
+		return DefaultAdaptStableWindows
+	}
+	return c.AdaptStableWindows
 }
 
 // clampAlpha bounds a delinquency threshold to the configured window

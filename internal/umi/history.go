@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Phase-aware profile history. Every other surface in the runtime reports
@@ -145,6 +146,22 @@ func (h *History) Windows() []WindowSummary {
 	return out
 }
 
+// lastWindow returns the most recently recorded summary, or false when
+// none has been captured yet. Nil-safe: the adaptation state machine
+// consults it after every inline invocation, and a history-less run
+// (HistoryWindows < 0) simply never adapts.
+func (h *History) lastWindow() (WindowSummary, bool) {
+	if h == nil {
+		return WindowSummary{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return WindowSummary{}, false
+	}
+	return h.buf[(h.start+h.n-1)%len(h.buf)], true
+}
+
 // reset rewinds the ring and the capture baseline to the just-constructed
 // state, so an analyzer reused across runs (Analyzer.Reset) records the
 // same history a fresh one would. Nil-safe: standalone analyzers built in
@@ -255,6 +272,18 @@ func (a *Analyzer) captureWindow(cycles uint64, consumers []ProfileConsumer) {
 	h := a.hist
 	if h == nil {
 		return
+	}
+	// Stage attribution (overhead.go): capture is observational, so its
+	// modelled cost is zero by construction; its wall cost is measured
+	// here, on whichever thread owns the analyzer for this invocation.
+	var start time.Time
+	if a.met != nil {
+		start = time.Now()
+		defer func() {
+			ns := uint64(time.Since(start))
+			a.met.HistoryWallNs.Add(ns)
+			a.met.HistoryLatency.Observe(ns)
+		}()
 	}
 	cur := make([]uint64, 0, len(a.delinquent))
 	for pc := range a.delinquent {

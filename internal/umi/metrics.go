@@ -61,12 +61,50 @@ type Metrics struct {
 	RecycleMisses *metrics.Counter // instrumentations that had to allocate
 	PrepBusyNs    *metrics.Counter // cumulative preparation-worker busy time
 	SeqBusyNs     *metrics.Counter // cumulative sequencer busy time
+
+	// Per-stage self-overhead attribution (overhead.go). Event counters
+	// feed the modelled cost model (cycles = events × configured unit
+	// cost); wall counters hold measured nanoseconds. Each cell is written
+	// only by the thread that owns its stage — guest thread for
+	// instrument/fill/analyze-charge/emit, the analyzer owner (sequencer
+	// goroutine or inline guest) for history capture, prep workers for
+	// prep latency — so scraping them from any goroutine is race-free.
+	FillPrologs       *metrics.Counter   // instrumented trace entries (prolog executions)
+	FillRefs          *metrics.Counter   // profiled references recorded by hooks
+	FillWallNs        *metrics.Counter   // prolog wall time (sampled estimator, see overhead.go)
+	InstrumentWallNs  *metrics.Counter   // clone-and-patch wall time
+	InstrumentLatency *metrics.Histogram // wall ns per instrument event
+	AnalyzeCycles     *metrics.Counter   // modelled analysis cost charged to the guest
+	AnalyzeWallNs     *metrics.Counter   // measured analysis wall (inline stall or sequencer busy)
+	PrepLatency       *metrics.Histogram // wall ns per profile preparation
+	HistoryWallNs     *metrics.Counter   // window-capture wall time
+	HistoryLatency    *metrics.Histogram // wall ns per captured window
+	EmitWallNs        *metrics.Counter   // wire emit wall time (encoder + LiveShipper)
+	EmitFrames        *metrics.Counter   // emitted invocation frames (+1 for the tail)
+	EmitLatency       *metrics.Histogram // wall ns per emitted invocation
+	GuestCycles       *metrics.Gauge     // mirror of the modelled guest cycle clock
+	GuestOverheadCyc  *metrics.Gauge     // mirror of total modelled introspection overhead
+	GuestWallNs       *metrics.Gauge     // run wall time (final after Finish)
+
+	// Sampler (sampler.go): burst / reservoir / adaptation activity.
+	BurstSkips        *metrics.Counter // trace entries skipped by the burst schedule
+	ReservoirReplaced *metrics.Counter // rows that overwrote a reservoir resident
+	ReservoirDrops    *metrics.Counter // rows dropped by the reservoir
+	AdaptShrinks      *metrics.Counter // adaptation steps down (shrink/stretch)
+	AdaptRearms       *metrics.Counter // phase-change re-arms back to full profiling
+	AdaptLevel        *metrics.Gauge   // current adaptation level (value / high-water)
 }
 
 // analysisLatencyBuckets is the fixed histogram scheme for analyzer
 // invocation latency: 1µs doubling through ~8s (24 buckets), wide enough
 // for a whole-profile mini-simulation at either end.
 var analysisLatencyBuckets = metrics.ExpBuckets(1_000, 24)
+
+// stageLatencyBuckets is the scheme for the finer per-stage latencies
+// (instrument, prep, history capture, wire emit): these stages run in the
+// hundreds of nanoseconds to low milliseconds, so the scale starts at
+// 250ns and doubles through ~2s.
+var stageLatencyBuckets = metrics.ExpBuckets(250, 24)
 
 func newMetrics() *Metrics {
 	reg := metrics.NewRegistry()
@@ -99,6 +137,28 @@ func newMetrics() *Metrics {
 		RecycleMisses:        reg.Counter("umi.pool.recycle_misses"),
 		PrepBusyNs:           reg.Counter("umi.pool.prep_busy_ns"),
 		SeqBusyNs:            reg.Counter("umi.pool.seq_busy_ns"),
+		FillPrologs:          reg.Counter("umi.stage.fill.prologs"),
+		FillRefs:             reg.Counter("umi.stage.fill.refs"),
+		FillWallNs:           reg.Counter("umi.stage.fill.wall_ns"),
+		InstrumentWallNs:     reg.Counter("umi.stage.instrument.wall_ns"),
+		InstrumentLatency:    reg.Histogram("umi.stage.instrument.latency_ns", stageLatencyBuckets),
+		AnalyzeCycles:        reg.Counter("umi.stage.analyze.cycles"),
+		AnalyzeWallNs:        reg.Counter("umi.stage.analyze.wall_ns"),
+		PrepLatency:          reg.Histogram("umi.stage.prep.latency_ns", stageLatencyBuckets),
+		HistoryWallNs:        reg.Counter("umi.stage.history.wall_ns"),
+		HistoryLatency:       reg.Histogram("umi.stage.history.latency_ns", stageLatencyBuckets),
+		EmitWallNs:           reg.Counter("umi.stage.emit.wall_ns"),
+		EmitFrames:           reg.Counter("umi.stage.emit.frames"),
+		EmitLatency:          reg.Histogram("umi.stage.emit.latency_ns", stageLatencyBuckets),
+		GuestCycles:          reg.Gauge("umi.guest.cycles"),
+		GuestOverheadCyc:     reg.Gauge("umi.guest.overhead_cycles"),
+		GuestWallNs:          reg.Gauge("umi.guest.wall_ns"),
+		BurstSkips:           reg.Counter("umi.sampler.burst_skips"),
+		ReservoirReplaced:    reg.Counter("umi.sampler.reservoir_replaced"),
+		ReservoirDrops:       reg.Counter("umi.sampler.reservoir_drops"),
+		AdaptShrinks:         reg.Counter("umi.sampler.adapt_shrinks"),
+		AdaptRearms:          reg.Counter("umi.sampler.adapt_rearms"),
+		AdaptLevel:           reg.Gauge("umi.sampler.level"),
 	}
 }
 
@@ -146,6 +206,7 @@ func (s *System) MetricsSnapshot() metrics.Snapshot {
 	}
 	s.met.syncCache(s.an)
 	s.met.syncRIO(s.rt)
+	s.syncGuestMirrors()
 	return s.met.reg.Snapshot()
 }
 

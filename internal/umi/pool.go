@@ -148,7 +148,9 @@ func (p *analyzerPool) prepareJob(job *analysisJob) {
 		job.buf = new(prepBuf)
 	}
 	job.prep = job.buf.prepare(job.profile)
-	p.met.PrepBusyNs.Add(uint64(time.Since(start)))
+	ns := uint64(time.Since(start))
+	p.met.PrepBusyNs.Add(ns)
+	p.met.PrepLatency.Observe(ns)
 	close(job.ready)
 }
 
@@ -205,6 +207,7 @@ func (p *analyzerPool) sequencer() {
 		elapsed := uint64(time.Since(start))
 		p.met.AnalysisLatency.Observe(elapsed)
 		p.met.SeqBusyNs.Add(elapsed)
+		p.met.AnalyzeWallNs.Add(elapsed)
 		p.met.RecycleQueue.Set(int64(len(p.recycle)))
 		// The span is stamped with the hand-off cycles and the modelled
 		// cost — the same deterministic (ts, dur) an inline run reports —

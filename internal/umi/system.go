@@ -30,6 +30,19 @@ type traceState struct {
 	analyses     int
 	// barren marks traces with no profilable operations after filtering.
 	barren bool
+
+	// Sampler state (sampler.go). entrySeen counts instrumented entries
+	// since the trace was last (re)instrumented — the burst position and
+	// the fill trigger; rowTarget is the entry budget captured at
+	// instrument time (adaptation can change it between bursts, never
+	// mid-burst); rowsSeen counts recorded executions offered to the
+	// reservoir; burstOffset and rngState are the per-trace deterministic
+	// schedule seeds.
+	entrySeen   int
+	rowTarget   int
+	rowsSeen    int
+	burstOffset uint64
+	rngState    uint64
 }
 
 // System wires the three UMI components (region selector, instrumentor,
@@ -71,6 +84,18 @@ type System struct {
 	candidatePCs      map[uint64]bool
 	instrumentEvents  int
 
+	// Sampler adaptation state (sampler.go): the current shrink level and
+	// the consecutive phase-stable window count feeding it. Guest thread
+	// only — adaptation forces the inline analysis path.
+	adaptLevel  int
+	adaptStable int
+
+	// Wall-clock attribution anchors (overhead.go). wallStart is set once
+	// at Attach; prologTick drives the 1-in-N sampled prolog wall
+	// estimator.
+	wallStart  time.Time
+	prologTick uint64
+
 	// met is the self-observability registry (metrics.go); always present,
 	// always collecting — the snapshot surfaces decide whether anyone
 	// looks. Collection never feeds back into modelled overhead or
@@ -106,6 +131,7 @@ func Attach(rt *rio.Runtime, cfg Config) *System {
 		candidatePCs: make(map[uint64]bool),
 	}
 	s.met = newMetrics()
+	s.wallStart = time.Now()
 	s.an = NewAnalyzer(&s.cfg)
 	s.an.met = s.met
 	if cfg.HistoryWindows >= 0 {
@@ -164,6 +190,7 @@ func (s *System) Analyzer() *Analyzer {
 func (s *System) onTrace(f *rio.Fragment) {
 	ts := &traceState{clean: f, alpha: s.cfg.clampAlpha(s.cfg.DelinquencyInit),
 		freqThresh: s.cfg.FrequencyThreshold}
+	s.samplerInit(ts)
 	s.traces[f.Start] = ts
 	s.met.TracesSeen.Inc()
 	// Record candidate operations for Table 3 accounting even if the
@@ -201,7 +228,7 @@ func (s *System) onSample(f *rio.Fragment) {
 	if !ok || ts.barren || ts.instr != nil {
 		return
 	}
-	if ts.everAnalyzed && s.rt.M.Instrs-ts.lastAnalyzed < s.cfg.ReinstrumentGap {
+	if ts.everAnalyzed && s.rt.M.Instrs-ts.lastAnalyzed < s.effGap() {
 		return
 	}
 	if s.cfg.UseSampling {
@@ -221,31 +248,43 @@ func (s *System) onSample(f *rio.Fragment) {
 // instrument builds and installs the instrumented version of a trace: the
 // paper's clone-and-patch step.
 func (s *System) instrument(ts *traceState) {
+	wallStart := time.Now()
 	ops, isLoad, _ := selectOps(ts.clean, s.cfg.FilterOps, s.cfg.AddressProfileOps)
 	if len(ops) == 0 {
 		ts.barren = true
 		s.met.TracesBarren.Inc()
 		return
 	}
+	// The burst's entry budget is the (possibly adaptation-shrunk) row
+	// target; the profile's physical capacity is that, further capped by
+	// the reservoir. Both are latched here so mid-burst adaptation never
+	// changes a running trace's geometry.
+	ts.rowTarget = s.effRows()
+	capRows := ts.rowTarget
+	if r := s.cfg.ReservoirRows; r > 0 && r < capRows {
+		capRows = r
+	}
+	ts.entrySeen = 0
+	ts.rowsSeen = 0
 	switch {
 	case ts.profile == nil:
 		// No buffer attached: either the trace was never instrumented, or
 		// its last profile is still in (or went through) the pipeline.
 		// Prefer a recycled buffer over a fresh allocation.
 		if s.pool != nil {
-			ts.profile = s.pool.takeRecycled(ops, isLoad, s.cfg.AddressProfileRows)
+			ts.profile = s.pool.takeRecycled(ops, isLoad, capRows)
 		}
 		if ts.profile == nil {
-			ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
+			ts.profile = NewAddressProfile(ops, isLoad, capRows)
 			s.met.RecycleMisses.Inc()
 		} else {
 			s.met.RecycleHits.Inc()
 			s.tlog.Emit(tracelog.Event{Type: tracelog.EvPipelineRecycle,
 				Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start,
-				Arg1: uint64(s.cfg.AddressProfileRows)})
+				Arg1: uint64(capRows)})
 		}
-	case len(ts.profile.Ops) != len(ops):
-		ts.profile = NewAddressProfile(ops, isLoad, s.cfg.AddressProfileRows)
+	case len(ts.profile.Ops) != len(ops) || ts.profile.rowCap != capRows:
+		ts.profile.Reinit(ops, isLoad, capRows)
 	default:
 		ts.profile.Reset()
 	}
@@ -263,6 +302,7 @@ func (s *System) instrument(ts *traceState) {
 		hooks[pc] = func(hpc, addr uint64, size uint8, write bool) {
 			if ts.rowOpen {
 				ts.profile.Record(ts.curRow, col, addr)
+				s.met.FillRefs.Inc()
 			}
 		}
 	}
@@ -270,9 +310,10 @@ func (s *System) instrument(ts *traceState) {
 	inst := ts.clean.Clone()
 	inst.Instr = &rio.Instrumentation{
 		Prolog: func() bool {
-			if ts.profile.Full() || s.globalRows >= s.cfg.TraceProfileLen {
+			s.met.FillPrologs.Inc()
+			if ts.entrySeen >= ts.rowTarget || s.globalRows >= s.cfg.TraceProfileLen {
 				global := uint64(0)
-				if ts.profile.Full() {
+				if ts.entrySeen >= ts.rowTarget {
 					s.met.ProfileFills.Inc()
 				} else {
 					s.met.GlobalFills.Inc()
@@ -284,8 +325,41 @@ func (s *System) instrument(ts *traceState) {
 				s.runAnalyzer(ts)
 				return false
 			}
-			row, _ := ts.profile.OpenRow()
-			ts.curRow = row
+			// Fill-stage wall attribution: timing every prolog would put
+			// two clock reads on the hottest guest path, so 1-in-N entries
+			// are timed and scaled — a sampled estimator, flagged as such
+			// in the live render.
+			s.prologTick++
+			if s.prologTick%prologWallSample == 0 {
+				t0 := time.Now()
+				defer func() {
+					s.met.FillWallNs.Add(uint64(time.Since(t0)) * prologWallSample)
+				}()
+			}
+			ts.entrySeen++
+			if !s.burstRecord(ts) {
+				// Off-schedule entry: run unprofiled (rio skips the hooks),
+				// paying only the prolog conditional.
+				s.met.BurstSkips.Inc()
+				ts.rowOpen = false
+				return false
+			}
+			ts.rowsSeen++
+			if row, ok := ts.profile.OpenRow(); ok {
+				ts.curRow = row
+			} else {
+				// Reservoir: replace a pseudo-random resident with
+				// probability cap/seen, else drop this execution.
+				j := ts.nextRand() % uint64(ts.rowsSeen)
+				if j >= uint64(ts.profile.rowCap) {
+					s.met.ReservoirDrops.Inc()
+					ts.rowOpen = false
+					return false
+				}
+				ts.profile.ReuseRow(int(j))
+				ts.curRow = int(j)
+				s.met.ReservoirReplaced.Inc()
+			}
 			ts.rowOpen = true
 			s.globalRows++
 			return true
@@ -301,6 +375,9 @@ func (s *System) instrument(ts *traceState) {
 		Cycles: s.rt.M.Cycles, TracePC: ts.clean.Start, Arg1: uint64(len(ops))})
 	s.rt.AddOverhead(s.cfg.InstrumentCost)
 	s.rt.ReplaceTrace(inst)
+	ns := uint64(time.Since(wallStart))
+	s.met.InstrumentWallNs.Add(ns)
+	s.met.InstrumentLatency.Observe(ns)
 }
 
 // liveTraces returns the traces with a non-empty profile, sorted by trace
@@ -322,12 +399,12 @@ func (s *System) liveTraces() []*traceState {
 
 // asyncActive reports whether this invocation should go through the
 // pipeline, starting it lazily on first use. The pipeline is off the
-// table whenever a synchronous hook (OnAnalyzed, AdaptiveFrequency) needs
-// analysis results at deinstrument time; if one appeared after the pool
-// already ran, the inline path first synchronizes with the pipeline so it
-// never touches analyzer state concurrently.
+// table whenever a synchronous hook (OnAnalyzed, AdaptiveFrequency,
+// AdaptSampling) needs analysis results at deinstrument time; if one
+// appeared after the pool already ran, the inline path first synchronizes
+// with the pipeline so it never touches analyzer state concurrently.
 func (s *System) asyncActive() bool {
-	if s.cfg.AnalyzerWorkers < 2 || s.OnAnalyzed != nil || s.cfg.AdaptiveFrequency || s.poolClosed {
+	if s.cfg.AnalyzerWorkers < 2 || s.OnAnalyzed != nil || s.cfg.AdaptiveFrequency || s.cfg.AdaptSampling || s.poolClosed {
 		if s.pool != nil {
 			s.pool.drain()
 		}
@@ -361,6 +438,7 @@ func (s *System) runAnalyzer(trigger *traceState) {
 			Arg1: math.Float64bits(trigger.alpha)})
 	}
 	s.globalRows = 0
+	s.syncGuestMirrors()
 	s.emitMetrics()
 }
 
@@ -395,7 +473,16 @@ func (s *System) analyzeInline(live []*traceState) {
 	// cycle stamp — the same clock the pipeline path stamps at hand-off —
 	// so inline and async histories are byte-identical.
 	s.an.captureWindow(startCycles, s.consumers)
-	s.met.AnalysisLatency.Observe(uint64(time.Since(start)))
+	if s.cfg.AdaptSampling {
+		// The window just captured is visible here on the guest thread —
+		// AdaptSampling forces the inline path — so the adaptation state
+		// machine steps from fully-settled analysis results.
+		s.adaptFromWindow()
+	}
+	wallNs := uint64(time.Since(start))
+	s.met.AnalysisLatency.Observe(wallNs)
+	s.met.AnalyzeWallNs.Add(wallNs)
+	s.met.AnalyzeCycles.Add(cost)
 	s.tlog.Emit(tracelog.Event{Type: tracelog.EvAnalyzerEnd,
 		Cycles: startCycles, Dur: cost,
 		Arg1: s.an.SimulatedRefs - refs0, Arg2: s.an.totalMiss - miss0,
@@ -426,6 +513,7 @@ func (s *System) submitAnalysis(live []*traceState) {
 	s.tlog.Emit(tracelog.Event{Type: tracelog.EvPipelineSubmit,
 		Cycles: cycles, Arg1: uint64(len(jobs)),
 		Arg2: uint64(len(s.pool.prepQ)), Arg3: uint64(len(s.pool.seqQ))})
+	s.met.AnalyzeCycles.Add(cost)
 	s.rt.AddOverhead(cost)
 }
 
@@ -488,6 +576,7 @@ func (s *System) Finish() {
 		s.pool = nil
 		s.poolClosed = true
 	}
+	s.syncGuestMirrors()
 }
 
 // Report summarizes a UMI run.

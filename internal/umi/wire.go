@@ -3,6 +3,7 @@ package umi
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"umi/internal/cache"
 	"umi/internal/wire"
@@ -173,14 +174,22 @@ func windowFromWire(w *wire.Window) WindowSummary {
 func (s *System) EnableWireEmit(enc *wire.Encoder) { s.wenc = enc }
 
 // emitInvocation records one invocation's inputs, if emit is enabled.
+// Emit-stage wall attribution covers the encoder and, through it, any
+// synchronous LiveShipper write — everything the guest thread pays for
+// telemetry; the stage's modelled cost is 0 (emission is observational).
 func (s *System) emitInvocation(live []*traceState) {
 	if s.wenc == nil {
 		return
 	}
+	start := time.Now()
 	s.wenc.Invocation(s.rt.M.Cycles, len(live))
 	for _, ts := range live {
 		s.wenc.Profile(wireProfile(ts.profile, ts.alpha))
 	}
+	ns := uint64(time.Since(start))
+	s.met.EmitWallNs.Add(ns)
+	s.met.EmitLatency.Observe(ns)
+	s.met.EmitFrames.Inc()
 }
 
 // EmitWireTail writes the stream tail after Finish: the framed phase
@@ -190,6 +199,7 @@ func (s *System) emitInvocation(live []*traceState) {
 // candidate/trace PC sets whose cardinalities the report cites.
 func (s *System) EmitWireTail(enc *wire.Encoder, t wire.Trailer) {
 	hv := s.History()
+	start := time.Now() // after the pipeline drain: time the writes, not the wait
 	enc.History(wire.HistoryMeta{
 		Total:        hv.Total,
 		PhaseChanges: hv.PhaseChanges,
@@ -203,6 +213,10 @@ func (s *System) EmitWireTail(enc *wire.Encoder, t wire.Trailer) {
 	t.CandidatePCs = sortedPCSet(s.candidatePCs)
 	t.TracePCs = s.TracePCs()
 	enc.Trailer(t)
+	ns := uint64(time.Since(start))
+	s.met.EmitWallNs.Add(ns)
+	s.met.EmitLatency.Observe(ns)
+	s.met.EmitFrames.Inc()
 }
 
 // CandidatePCs returns the unique load/store PCs seen in traces, sorted

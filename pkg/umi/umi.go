@@ -65,6 +65,12 @@ type (
 	// retained window counts, phase-change accounting, and the windows
 	// themselves, oldest first.
 	HistoryView = iumi.HistoryView
+	// OverheadReport attributes a run's introspection cost per stage:
+	// modelled cycles (deterministic) and measured wall-ns, each as a
+	// ratio against the guest's own cost.
+	OverheadReport = iumi.OverheadReport
+	// StageCost is one introspection stage's share of an OverheadReport.
+	StageCost = iumi.StageCost
 	// Program is an assembled guest program.
 	Program = program.Program
 	// Builder constructs guest programs.
@@ -197,6 +203,55 @@ func WithHistory(n int) Option {
 // cumulative miss ratios, delinquent-set churn, and phase-change markers.
 func FormatHistory(windows []WindowSummary) string { return iumi.FormatHistory(windows) }
 
+// WithBurstSampling enables Examem-style burst sampling of trace
+// instrumentation: an instrumented trace records only 1-in-period of its
+// executions, on a deterministic schedule derived from seed and the
+// trace's start PC; skipped executions run without profiling hooks,
+// paying only the prolog conditional. period ≤ 1 disables. Sampled runs
+// remain byte-identical across analyzer worker counts for a fixed seed.
+func WithBurstSampling(period int, seed uint64) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) {
+			c.BurstPeriod = period
+			c.SamplerSeed = seed
+		})
+	}
+}
+
+// WithRowReservoir caps the rows a profile physically retains at n:
+// beyond the cap, each recorded execution replaces a deterministic
+// pseudo-random resident or is dropped (classic reservoir sampling), so
+// the analyzer replays a uniform sample of the burst at a fraction of the
+// simulation cost. 0 disables.
+func WithRowReservoir(n int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) { c.ReservoirRows = n })
+	}
+}
+
+// WithAdaptiveSampling enables history-driven adaptation: after
+// stableWindows consecutive analyzer windows without a phase change the
+// sampler halves the per-trace row target and doubles the
+// reinstrumentation cooldown (one level per step, bounded); any
+// phase-change flag re-arms full profiling immediately. stableWindows ≤ 0
+// selects the default (4). Adaptation reads analysis results at the
+// deinstrument boundary, so such sessions run the inline analysis path.
+func WithAdaptiveSampling(stableWindows int) Option {
+	return func(s *Session) {
+		s.cfgEdit = append(s.cfgEdit, func(c *iumi.Config) {
+			c.AdaptSampling = true
+			c.AdaptStableWindows = stableWindows
+		})
+	}
+}
+
+// FormatOverhead renders the deterministic per-stage attribution table
+// (modelled cycles); FormatOverheadLive renders the measured-wall view.
+func FormatOverhead(r *OverheadReport) string { return r.String() }
+
+// FormatOverheadLive renders the wall-clock half of an overhead report.
+func FormatOverheadLive(r *OverheadReport) string { return r.LiveString() }
+
 // WriteChromeTrace serializes recorded events as Chrome trace-event JSON,
 // loadable in Perfetto or chrome://tracing: analyzer invocations as
 // duration spans per component track, lifecycle events as instants, and
@@ -250,6 +305,7 @@ type Session struct {
 	whatIf     *WhatIf
 	events     *tracelog.Log
 	history    HistoryView
+	overhead   *OverheadReport
 }
 
 // NewSession prepares a session for the program.
@@ -327,6 +383,7 @@ func (s *Session) Run() (*Report, error) {
 	s.report = sys.Report()
 	s.metrics = sys.MetricsSnapshot()
 	s.history = sys.History()
+	s.overhead = sys.Overhead()
 	s.hierarchy = h
 	s.runtime = rt
 	return s.report, nil
@@ -340,6 +397,12 @@ func (s *Session) Report() *Report { return s.report }
 // counts through analysis latency and pipeline queue pressure. The zero
 // Snapshot before Run.
 func (s *Session) Metrics() MetricsSnapshot { return s.metrics }
+
+// Overhead returns the run's per-stage self-overhead attribution: where
+// the introspection cost went, in modelled cycles (deterministic — the
+// basis of the overhead/accuracy frontier) and measured wall time. Nil
+// before Run.
+func (s *Session) Overhead() *OverheadReport { return s.overhead }
 
 // History returns the profile-history snapshot of the run: one
 // WindowSummary per analyzer invocation (bounded by WithHistory), with
